@@ -1,0 +1,108 @@
+// Ablation benches (DESIGN.md experiments A1/A2), quantifying the §4.2
+// narrative "the pruning techniques reduce the running times consistently
+// by about 20%" one technique at a time, plus the heuristic-function
+// ablation (the paper argues a *cheap* h beats an expensive one — the
+// h_path/h_composite columns measure what a stronger-but-costlier bound
+// buys on the same instances).
+//
+//   $ ./bench_ablation [--vmax N] [--budget-ms MS] [--full]
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/astar.hpp"
+#include "util/timer.hpp"
+
+using namespace optsched;
+
+namespace {
+
+struct Outcome {
+  std::string time;
+  std::uint64_t generated;
+};
+
+Outcome run(const core::SearchProblem& problem, core::SearchConfig cfg,
+            double budget_ms) {
+  cfg.time_budget_ms = budget_ms;
+  util::Timer t;
+  const auto r = core::astar_schedule(problem, cfg);
+  return {bench::cell_time(t.seconds(), !r.proved_optimal),
+          r.stats.generated};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  auto opt = bench::parse_sweep(cli, /*default_vmax=*/12,
+                                /*default_budget_ms=*/3000.0);
+  if (cli.maybe_print_help(
+          "Ablation: per-technique pruning and heuristic-function impact"))
+    return 0;
+  cli.validate();
+
+  const double ccr = 1.0;
+
+  // --- A1: one pruning technique removed at a time --------------------
+  {
+    util::Table table({"v", "all", "-isomorphism", "-equivalence",
+                       "-upper bound", "none"});
+    for (std::uint32_t v = opt.vmin; v <= opt.vmax; v += opt.vstep) {
+      const auto graph = bench::paper_workload(ccr, v);
+      const auto machine = bench::paper_machine(v);
+      const core::SearchProblem problem(graph, machine);
+
+      auto& row = table.row().cell(static_cast<int>(v));
+      {
+        core::SearchConfig cfg;
+        row.cell(run(problem, cfg, opt.budget_ms).time);
+      }
+      for (int drop = 0; drop < 3; ++drop) {
+        core::SearchConfig cfg;
+        if (drop == 0) cfg.prune.processor_isomorphism = false;
+        if (drop == 1) cfg.prune.node_equivalence = false;
+        if (drop == 2) cfg.prune.upper_bound = false;
+        row.cell(run(problem, cfg, opt.budget_ms).time);
+      }
+      {
+        core::SearchConfig cfg;
+        cfg.prune = core::PruneConfig::none();
+        row.cell(run(problem, cfg, opt.budget_ms).time);
+      }
+    }
+    table.print(std::cout,
+                "A1: pruning ablation, CCR = 1.0 (time per cell; each "
+                "column removes one technique)");
+    if (opt.csv) table.write_csv(std::cout);
+    std::printf("\n");
+  }
+
+  // --- A2: heuristic-function ablation ---------------------------------
+  {
+    util::Table table({"v", "h_zero", "h_paper", "h_path", "h_composite",
+                       "gen(paper)", "gen(composite)"});
+    for (std::uint32_t v = opt.vmin; v <= opt.vmax; v += opt.vstep) {
+      const auto graph = bench::paper_workload(ccr, v);
+      const auto machine = bench::paper_machine(v);
+      const core::SearchProblem problem(graph, machine);
+
+      auto& row = table.row().cell(static_cast<int>(v));
+      std::uint64_t gen_paper = 0, gen_comp = 0;
+      for (const auto h :
+           {core::HFunction::kZero, core::HFunction::kPaper,
+            core::HFunction::kPath, core::HFunction::kComposite}) {
+        core::SearchConfig cfg;
+        cfg.h = h;
+        const auto outcome = run(problem, cfg, opt.budget_ms);
+        row.cell(outcome.time);
+        if (h == core::HFunction::kPaper) gen_paper = outcome.generated;
+        if (h == core::HFunction::kComposite) gen_comp = outcome.generated;
+      }
+      row.cell(gen_paper).cell(gen_comp);
+    }
+    table.print(std::cout, "A2: heuristic ablation, CCR = 1.0");
+    if (opt.csv) table.write_csv(std::cout);
+  }
+  return 0;
+}

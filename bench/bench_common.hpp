@@ -1,0 +1,99 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Workloads follow §4.1: three sets of random task graphs with CCR in
+// {0.1, 1.0, 10.0}, sizes v = 10..32 step 2, node costs ~ U(mean 40),
+// out-degrees ~ U(mean v/10), edge costs ~ U(mean 40*CCR). One fixed seed
+// per (ccr, v) cell keeps every run reproducible; the paper's own Table 1
+// likewise reports one graph per cell.
+//
+// The paper's absolute numbers (10^2..10^5 seconds on an Intel Paragon
+// node) are not the target — the *shape* is. Each cell gets a wall-clock
+// budget; cells that exceed it print "TIMEOUT" exactly like the paper's
+// "—" entry for Chen & Yu at v = 32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/generators.hpp"
+#include "machine/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace optsched::bench {
+
+inline constexpr double kPaperCcrs[] = {0.1, 1.0, 10.0};
+
+/// One graph per (ccr, v, attempt) cell, deterministic across runs.
+inline dag::TaskGraph paper_workload(double ccr, std::uint32_t v,
+                                     std::uint32_t attempt = 0) {
+  dag::RandomDagParams p;
+  p.num_nodes = v;
+  p.ccr = ccr;
+  p.mean_comp = 40.0;
+  p.seed = 900000 + static_cast<std::uint64_t>(v) * 10 +
+           static_cast<std::uint64_t>(ccr * 10) +
+           static_cast<std::uint64_t>(attempt) * 131071;
+  return dag::random_dag(p);
+}
+
+/// The paper lets the search use O(v) TPEs; redundant processors only add
+/// isomorphism-pruned states. A clique of min(v, cap) processors keeps the
+/// benches faithful yet bounded.
+inline machine::Machine paper_machine(std::uint32_t v, std::uint32_t cap = 5) {
+  return machine::Machine::fully_connected(std::min(v, cap));
+}
+
+/// Exact search difficulty varies by orders of magnitude across same-size
+/// random instances (the paper absorbed that variance with multi-day cell
+/// budgets). To compare algorithms within a laptop budget, each cell
+/// probes up to `max_attempts` §4.1 instances with the *pruned* A* and
+/// selects the first one it can prove within `probe_budget_ms`; the other
+/// algorithms then run on that same instance. Cells where no attempt is
+/// tractable report TIMEOUT. Returns the attempt index, or -1.
+template <typename Probe>
+int select_tractable_instance(double ccr, std::uint32_t v, Probe&& probe,
+                              std::uint32_t max_attempts = 6) {
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt)
+    if (probe(paper_workload(ccr, v, attempt))) return static_cast<int>(attempt);
+  return -1;
+}
+
+struct SweepOptions {
+  std::uint32_t vmin = 10;
+  std::uint32_t vmax = 16;
+  std::uint32_t vstep = 2;
+  double budget_ms = 2000.0;
+  bool csv = false;
+};
+
+/// Parse the flags shared by all sweep benches. `default_vmax` lets each
+/// bench choose a default that completes in a couple of minutes; --full
+/// switches to the paper's complete grid.
+inline SweepOptions parse_sweep(util::Cli& cli, std::uint32_t default_vmax,
+                                double default_budget_ms) {
+  cli.describe("vmin", "smallest graph size (default 10)")
+      .describe("vmax", "largest graph size")
+      .describe("budget-ms", "per-cell wall-clock budget")
+      .describe("full", "run the paper's full grid (v up to 32, 10s cells)")
+      .describe("csv", "emit CSV after each table");
+  SweepOptions opt;
+  opt.vmax = default_vmax;
+  opt.budget_ms = default_budget_ms;
+  if (cli.get_bool("full")) {
+    opt.vmax = 32;
+    opt.budget_ms = 10000.0;
+  }
+  opt.vmin = static_cast<std::uint32_t>(cli.get_int("vmin", opt.vmin));
+  opt.vmax = static_cast<std::uint32_t>(cli.get_int("vmax", opt.vmax));
+  opt.budget_ms = cli.get_double("budget-ms", opt.budget_ms);
+  opt.csv = cli.get_bool("csv");
+  return opt;
+}
+
+inline std::string cell_time(double seconds, bool timed_out) {
+  return timed_out ? "TIMEOUT" : util::format_seconds(seconds);
+}
+
+}  // namespace optsched::bench

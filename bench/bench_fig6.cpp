@@ -1,0 +1,119 @@
+// Figure 6 reproduction: speedup of the parallel A* over the serial A*
+// with 2/4/8/16 PPEs for CCR in {0.1, 1.0, 10.0}.
+//
+// Expected shape (paper §4.3): moderately sub-linear speedup, slightly
+// degrading with graph size and more irregular at high CCR. NOTE on
+// substitution: the paper measured wall-clock on a 16-node Intel Paragon;
+// PPEs here are threads, so wall-clock speedup saturates at the host's
+// hardware-thread count (printed below). The work ratio (parallel/serial
+// expansions, the paper's "extra states") and the PPE load balance carry
+// the machine-independent signal.
+//
+//   $ ./bench_fig6 [--vmax N] [--budget-ms MS] [--ppes 2,4,8,16] [--full]
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/astar.hpp"
+#include "parallel/parallel_astar.hpp"
+#include "util/timer.hpp"
+
+using namespace optsched;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  auto opt = bench::parse_sweep(cli, /*default_vmax=*/12,
+                                /*default_budget_ms=*/4000.0);
+  cli.describe("ppes", "comma-separated PPE counts (default 2,4,8,16)");
+  if (cli.maybe_print_help("Reproduce Figure 6: parallel A* speedups"))
+    return 0;
+  cli.validate();
+
+  std::vector<std::uint32_t> ppe_counts;
+  {
+    std::stringstream ss(cli.get("ppes", "2,4,8,16"));
+    for (std::string tok; std::getline(ss, tok, ',');)
+      ppe_counts.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+  }
+
+  std::printf("== Figure 6: parallel A* speedup (host has %u hardware "
+              "threads) ==\n\n",
+              std::thread::hardware_concurrency());
+
+  for (const double ccr : bench::kPaperCcrs) {
+    std::vector<std::string> header{"v", "serial"};
+    for (const auto q : ppe_counts) {
+      header.push_back("S(" + std::to_string(q) + ")");
+      header.push_back("work(" + std::to_string(q) + ")");
+    }
+    util::Table table(header);
+
+    for (std::uint32_t v = opt.vmin; v <= opt.vmax; v += opt.vstep) {
+      const auto machine = bench::paper_machine(v);
+
+      // Pick a cell instance the serial search can prove (see
+      // bench_common.hpp), preferring ones that are not trivially fast so
+      // the speedup measurement has signal.
+      double serial_time = 0.0;
+      core::SearchResult serial{sched::Schedule(bench::paper_workload(ccr, v),
+                                                machine),
+                                0, false, 1.0, core::Termination::kOptimal,
+                                {}};
+      const int attempt = bench::select_tractable_instance(
+          ccr, v, [&](const dag::TaskGraph& graph) {
+            const core::SearchProblem problem(graph, machine);
+            core::SearchConfig cfg;
+            cfg.time_budget_ms = opt.budget_ms;
+            util::Timer t;
+            serial = core::astar_schedule(problem, cfg);
+            serial_time = t.seconds();
+            return serial.proved_optimal;
+          });
+
+      auto& row = table.row().cell(static_cast<int>(v));
+      if (attempt < 0) {
+        row.cell("TIMEOUT");
+        for (std::size_t k = 0; k < ppe_counts.size(); ++k)
+          row.cell("-").cell("-");
+        continue;
+      }
+      const auto graph =
+          bench::paper_workload(ccr, v, static_cast<std::uint32_t>(attempt));
+      const core::SearchProblem problem(graph, machine);
+      row.cell(bench::cell_time(serial_time, false));
+      for (const auto q : ppe_counts) {
+        par::ParallelConfig cfg;
+        cfg.num_ppes = q;
+        cfg.search.time_budget_ms = opt.budget_ms;
+        util::Timer t;
+        const auto r = par::parallel_astar_schedule(problem, cfg);
+        const double elapsed = t.seconds();
+        if (!r.result.proved_optimal) {
+          row.cell("-").cell("-");
+          continue;
+        }
+        if (r.result.makespan != serial.makespan) {
+          row.cell("MISMATCH").cell("-");
+          continue;
+        }
+        row.cell(serial_time / elapsed, 2)
+            .cell(serial.stats.expanded
+                      ? static_cast<double>(r.result.stats.expanded) /
+                            static_cast<double>(serial.stats.expanded)
+                      : 0.0,
+                  2);
+      }
+    }
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "CCR = %.1f   (S(q) = wall speedup, work(q) = parallel/"
+                  "serial expansions)",
+                  ccr);
+    table.print(std::cout, title);
+    if (opt.csv) table.write_csv(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

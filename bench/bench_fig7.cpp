@@ -1,0 +1,101 @@
+// Figure 7 reproduction: the parallel Aε* with ε = 0.2 and ε = 0.5 —
+// percentage deviation from the optimal schedule length (plots a, c) and
+// the Aε*/A* scheduling-time ratio (plots b, d), per CCR and graph size.
+//
+// Expected shape (paper §4.4): actual deviations stay well below the
+// 100ε% guarantee (often 0 for small graphs); time ratios drop well below
+// 1 (the paper reports 10-40% savings at ε=0.2 and 50-70% at ε=0.5).
+//
+//   $ ./bench_fig7 [--vmax N] [--budget-ms MS] [--ppes Q] [--full]
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/astar.hpp"
+#include "parallel/parallel_astar.hpp"
+#include "util/timer.hpp"
+
+using namespace optsched;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  auto opt = bench::parse_sweep(cli, /*default_vmax=*/12,
+                                /*default_budget_ms=*/4000.0);
+  cli.describe("ppes", "PPE count (paper: 16)");
+  if (cli.maybe_print_help(
+          "Reproduce Figure 7: parallel Aepsilon* deviation and time ratio"))
+    return 0;
+  cli.validate();
+  const auto ppes = static_cast<std::uint32_t>(cli.get_int("ppes", 16));
+
+  std::printf("== Figure 7: parallel Aepsilon* with %u PPEs ==\n\n", ppes);
+
+  for (const double eps : {0.2, 0.5}) {
+    for (const double ccr : bench::kPaperCcrs) {
+      util::Table table({"v", "optimal", "Aeps SL", "deviation%", "bound%",
+                         "time(A*)", "time(Aeps)", "ratio"});
+      for (std::uint32_t v = opt.vmin; v <= opt.vmax; v += opt.vstep) {
+        const auto machine = bench::paper_machine(v);
+
+        // Cell instance: first one the serial search can prove (the
+        // deviation column needs a known optimum).
+        const int attempt = bench::select_tractable_instance(
+            ccr, v, [&](const dag::TaskGraph& graph) {
+              const core::SearchProblem problem(graph, machine);
+              core::SearchConfig cfg;
+              cfg.time_budget_ms = opt.budget_ms;
+              return core::astar_schedule(problem, cfg).proved_optimal;
+            });
+
+        auto& row = table.row().cell(static_cast<int>(v));
+        if (attempt < 0) {
+          row.cell("TIMEOUT").cell("-").cell("-").cell("-").cell("-")
+              .cell("-").cell("-");
+          continue;
+        }
+        const auto graph =
+            bench::paper_workload(ccr, v, static_cast<std::uint32_t>(attempt));
+        const core::SearchProblem problem(graph, machine);
+
+        par::ParallelConfig exact_cfg;
+        exact_cfg.num_ppes = ppes;
+        exact_cfg.search.time_budget_ms = 4 * opt.budget_ms;
+        util::Timer t_exact;
+        const auto exact = par::parallel_astar_schedule(problem, exact_cfg);
+        const double exact_time = t_exact.seconds();
+
+        par::ParallelConfig eps_cfg = exact_cfg;
+        eps_cfg.search.epsilon = eps;
+        util::Timer t_eps;
+        const auto approx = par::parallel_astar_schedule(problem, eps_cfg);
+        const double eps_time = t_eps.seconds();
+
+        if (!exact.result.proved_optimal) {
+          row.cell("TIMEOUT").cell("-").cell("-").cell("-").cell("-")
+              .cell("-").cell("-");
+          continue;
+        }
+        const double deviation = 100.0 *
+                                 (approx.result.makespan -
+                                  exact.result.makespan) /
+                                 exact.result.makespan;
+        row.cell(exact.result.makespan, 0)
+            .cell(approx.result.makespan, 0)
+            .cell(deviation, 2)
+            .cell(100.0 * eps, 0)
+            .cell(util::format_seconds(exact_time))
+            .cell(util::format_seconds(eps_time))
+            .cell(eps_time / exact_time, 2);
+      }
+      char title[96];
+      std::snprintf(title, sizeof title, "epsilon = %.1f, CCR = %.1f", eps,
+                    ccr);
+      table.print(std::cout, title);
+      if (opt.csv) table.write_csv(std::cout);
+      std::printf("\n");
+    }
+  }
+  std::printf("shape check: deviation%% stays below bound%% everywhere; "
+              "time ratio < 1 and smaller for epsilon = 0.5.\n");
+  return 0;
+}

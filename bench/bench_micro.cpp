@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the search's hot paths: state
+// signatures, the CLOSED flat set, the OPEN heap, context replay +
+// expansion, level computation, processor-isomorphism classes, and the
+// upper-bound list scheduler. These are the quantities behind the paper's
+// core argument that a *computationally cheap* cost function wins.
+#include <benchmark/benchmark.h>
+
+#include "core/astar.hpp"
+#include "core/expansion.hpp"
+#include "core/open_list.hpp"
+#include "dag/generators.hpp"
+#include "machine/automorphism.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace optsched;
+
+dag::TaskGraph bench_graph(std::uint32_t v) {
+  dag::RandomDagParams p;
+  p.num_nodes = v;
+  p.ccr = 1.0;
+  p.seed = 777;
+  return dag::random_dag(p);
+}
+
+void BM_SignatureExtend(benchmark::State& state) {
+  util::Key128 sig = core::root_signature();
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    sig = core::extend_signature(sig, i & 63, i & 7,
+                                 static_cast<double>(i));
+    benchmark::DoNotOptimize(sig);
+    ++i;
+  }
+}
+BENCHMARK(BM_SignatureExtend);
+
+void BM_FlatSetInsert(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::FlatSet128 set(1 << 16);
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i)
+      set.insert({rng() | 1, rng()});
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_FlatSetInsert);
+
+void BM_FlatSetContains(benchmark::State& state) {
+  util::FlatSet128 set(1 << 16);
+  util::Rng rng(2);
+  std::vector<util::Key128> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back({rng() | 1, rng()});
+    set.insert(keys.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.contains(keys[i % keys.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FlatSetContains);
+
+void BM_OpenListPushPop(benchmark::State& state) {
+  util::Rng rng(3);
+  core::OpenList open;
+  for (int i = 0; i < 1000; ++i)
+    open.push({static_cast<double>(rng.uniform_u64(0, 1 << 20)), 0.0, 0});
+  for (auto _ : state) {
+    open.push({static_cast<double>(rng.uniform_u64(0, 1 << 20)), 0.0, 0});
+    benchmark::DoNotOptimize(open.pop());
+  }
+}
+BENCHMARK(BM_OpenListPushPop);
+
+void BM_ComputeLevels(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto lv = dag::compute_levels(g);
+    benchmark::DoNotOptimize(lv.cp_length);
+  }
+}
+BENCHMARK(BM_ComputeLevels)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ContextLoadAndExpand(benchmark::State& state) {
+  // Cost of one expansion (replay + children) at mid-depth — the paper's
+  // per-state cost that its cheap h keeps small.
+  const auto v = static_cast<std::uint32_t>(state.range(0));
+  const auto g = bench_graph(v);
+  const auto m = machine::Machine::fully_connected(4);
+  const core::SearchProblem problem(g, m);
+  core::SearchConfig cfg;
+  core::Expander expander(problem, cfg);
+  core::StateArena arena;
+  util::FlatSet128 seen(1 << 12);
+
+  core::State root;
+  root.sig = core::root_signature();
+  root.parent = core::kNoParent;
+  core::StateIndex cur = arena.add(root);
+  // Descend to half depth.
+  for (std::uint32_t d = 0; d < v / 2; ++d) {
+    std::vector<core::StateIndex> kids;
+    expander.expand(arena, seen, cur, 1e300,
+                    [&](core::StateIndex k, const core::State&) {
+                      kids.push_back(k);
+                    });
+    if (kids.empty()) break;
+    cur = kids.front();
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::FlatSet128 fresh(1 << 10);
+    state.ResumeTiming();
+    std::uint64_t children = 0;
+    expander.expand(arena, fresh, cur, 1e300,
+                    [&](core::StateIndex, const core::State&) { ++children; });
+    benchmark::DoNotOptimize(children);
+  }
+}
+BENCHMARK(BM_ContextLoadAndExpand)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IsomorphismClasses(benchmark::State& state) {
+  const auto m = machine::Machine::hypercube(4);  // |Aut| = 384
+  const machine::AutomorphismGroup group(m);
+  std::vector<bool> busy(16, false);
+  busy[0] = busy[5] = true;
+  std::vector<machine::ProcId> rep;
+  for (auto _ : state) {
+    group.state_classes(busy, rep);
+    benchmark::DoNotOptimize(rep.data());
+  }
+}
+BENCHMARK(BM_IsomorphismClasses);
+
+void BM_UpperBoundListSchedule(benchmark::State& state) {
+  const auto g = bench_graph(static_cast<std::uint32_t>(state.range(0)));
+  const auto m = machine::Machine::fully_connected(8);
+  for (auto _ : state) {
+    auto s = sched::upper_bound_schedule(g, m);
+    benchmark::DoNotOptimize(s.makespan());
+  }
+}
+BENCHMARK(BM_UpperBoundListSchedule)->Arg(32)->Arg(128);
+
+void BM_FullAStarSmall(benchmark::State& state) {
+  // End-to-end optimal search on a small instance (the Table 1 v=10 cell).
+  const auto g = bench_graph(10);
+  const auto m = machine::Machine::fully_connected(4);
+  const core::SearchProblem problem(g, m);
+  for (auto _ : state) {
+    auto r = core::astar_schedule(problem);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_FullAStarSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Table 1 reproduction: running times of (a) Chen & Yu's branch-and-bound,
+// (b) A* without the §3.2 pruning techniques ("A* full"), and (c) A* with
+// all prunings, on the §4.1 random workloads for CCR in {0.1, 1.0, 10.0}.
+//
+// Expected shape (paper §4.2): times grow steeply with v and with CCR;
+// Chen & Yu is consistently the slowest (expensive per-state underestimate);
+// pruning buys A* a consistent further reduction. Absolute values are
+// hardware-bound — the paper's Paragon needed 120 s for a v=10 cell that a
+// modern core finishes in milliseconds; conversely its v=32 cells took up
+// to 7 *days*, which no laptop bench reproduces. Per-cell instance
+// selection (see bench_common.hpp) keeps every printed row comparable:
+// each cell uses the first §4.1 instance the pruned A* can prove within
+// the probe budget, and all three algorithms run on that instance.
+//
+//   $ ./bench_table1 [--vmax N] [--budget-ms MS] [--full] [--csv]
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bnb/chen_yu.hpp"
+#include "core/astar.hpp"
+#include "util/timer.hpp"
+
+using namespace optsched;
+
+namespace {
+
+struct Cell {
+  double seconds = 0.0;
+  bool timed_out = false;
+  std::uint64_t expanded = 0;
+};
+
+Cell run_astar(const core::SearchProblem& problem, bool pruned,
+               double budget_ms) {
+  core::SearchConfig cfg;
+  if (!pruned) cfg.prune = core::PruneConfig::none();
+  cfg.time_budget_ms = budget_ms;
+  util::Timer t;
+  const auto r = core::astar_schedule(problem, cfg);
+  return {t.seconds(), !r.proved_optimal, r.stats.expanded};
+}
+
+Cell run_chen(const core::SearchProblem& problem, double budget_ms) {
+  bnb::ChenYuConfig cfg;
+  cfg.time_budget_ms = budget_ms;
+  util::Timer t;
+  const auto r = bnb::chen_yu_schedule(problem, cfg);
+  return {t.seconds(), !r.proved_optimal, r.expanded};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  auto opt = bench::parse_sweep(cli, /*default_vmax=*/16,
+                                /*default_budget_ms=*/2000.0);
+  if (cli.maybe_print_help(
+          "Reproduce Table 1: Chen&Yu B&B vs A*-full vs pruned A* runtimes"))
+    return 0;
+  cli.validate();
+
+  std::printf("== Table 1: serial scheduling times ==\n");
+  std::printf("per-cell probe budget %.0f ms (others get 4x); 'TIMEOUT' = "
+              "no tractable instance found, like the paper's '-'\n\n",
+              opt.budget_ms);
+
+  for (const double ccr : bench::kPaperCcrs) {
+    util::Table table({"v", "Chen", "A*full", "A*", "exp(Chen)",
+                       "exp(A*full)", "exp(A*)", "inst"});
+    for (std::uint32_t v = opt.vmin; v <= opt.vmax; v += opt.vstep) {
+      const auto machine = bench::paper_machine(v);
+      Cell probe_cell;
+      const int attempt = bench::select_tractable_instance(
+          ccr, v, [&](const dag::TaskGraph& graph) {
+            const core::SearchProblem problem(graph, machine);
+            probe_cell = run_astar(problem, /*pruned=*/true, opt.budget_ms);
+            return !probe_cell.timed_out;
+          });
+
+      auto& row = table.row().cell(static_cast<int>(v));
+      if (attempt < 0) {
+        row.cell("TIMEOUT").cell("TIMEOUT").cell("TIMEOUT");
+        row.cell("-").cell("-").cell("-").cell("-");
+        continue;
+      }
+      const auto graph =
+          bench::paper_workload(ccr, v, static_cast<std::uint32_t>(attempt));
+      const core::SearchProblem problem(graph, machine);
+      const Cell chen = run_chen(problem, 4 * opt.budget_ms);
+      const Cell full =
+          run_astar(problem, /*pruned=*/false, 4 * opt.budget_ms);
+
+      row.cell(bench::cell_time(chen.seconds, chen.timed_out))
+          .cell(bench::cell_time(full.seconds, full.timed_out))
+          .cell(bench::cell_time(probe_cell.seconds, false))
+          .cell(chen.expanded)
+          .cell(full.expanded)
+          .cell(probe_cell.expanded)
+          .cell(attempt);
+    }
+    char title[96];
+    std::snprintf(title, sizeof title, "CCR = %.1f", ccr);
+    table.print(std::cout, title);
+    if (opt.csv) table.write_csv(std::cout);
+    std::printf("\n");
+  }
+  std::printf("shape check: times grow with v within each column; on solved "
+              "cells Chen >= A*full >= A*.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Using optimal schedules to grade heuristics — the paper's second
+// motivation: "optimal solutions for a set of benchmark problems can serve
+// as a reference to assess the performance of various scheduling
+// heuristics".
+//
+// Generates a batch of random workloads small enough to solve exactly,
+// then reports each list heuristic's average and worst-case deviation
+// from the true optimum.
+//
+//   $ ./heuristic_showdown [--count N] [--nodes V] [--ccr C]
+#include <cstdio>
+#include <iostream>
+
+#include "core/astar.hpp"
+#include "dag/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace optsched;
+
+  util::Cli cli(argc, argv);
+  cli.describe("count", "number of random workloads (default 20)")
+      .describe("nodes", "tasks per workload (default 10)")
+      .describe("ccr", "communication-to-computation ratio (default 1.0)")
+      .describe("procs", "processors (default 3)")
+      .describe("budget-ms", "per-instance exact-search budget (default 3000)");
+  if (cli.maybe_print_help(
+          "Grade list heuristics against optimal schedules"))
+    return 0;
+  cli.validate();
+
+  const int count = static_cast<int>(cli.get_int("count", 20));
+  dag::RandomDagParams params;
+  params.num_nodes = static_cast<std::uint32_t>(cli.get_int("nodes", 10));
+  params.ccr = cli.get_double("ccr", 1.0);
+  const machine::Machine machine = machine::Machine::fully_connected(
+      static_cast<std::uint32_t>(cli.get_int("procs", 3)));
+
+  struct Entry {
+    const char* name;
+    util::Accumulator deviation;
+    int optimal_hits = 0;
+  };
+  Entry entries[] = {{"b-level list", {}, 0},
+                     {"HLFET", {}, 0},
+                     {"MCP", {}, 0},
+                     {"ETF", {}, 0}};
+
+  int solved = 0;
+  for (int i = 0; i < count; ++i) {
+    params.seed = 1000 + static_cast<std::uint64_t>(i);
+    const dag::TaskGraph graph = dag::random_dag(params);
+
+    core::SearchConfig cfg;
+    cfg.time_budget_ms = cli.get_double("budget-ms", 3000.0);
+    const auto exact = core::astar_schedule(graph, machine, cfg);
+    if (!exact.proved_optimal) continue;  // skip unsolved instances
+    ++solved;
+
+    const double heuristics[] = {
+        sched::upper_bound_schedule(graph, machine).makespan(),
+        sched::hlfet(graph, machine).makespan(),
+        sched::mcp(graph, machine).makespan(),
+        sched::etf(graph, machine).makespan()};
+    for (int h = 0; h < 4; ++h) {
+      const double dev =
+          100.0 * (heuristics[h] - exact.makespan) / exact.makespan;
+      entries[h].deviation.add(dev);
+      if (dev < 1e-9) ++entries[h].optimal_hits;
+    }
+  }
+
+  std::printf("solved %d/%d instances exactly (v=%u, ccr=%.1f, p=%u)\n\n",
+              solved, count, params.num_nodes, params.ccr,
+              machine.num_procs());
+  util::Table table(
+      {"heuristic", "avg dev%", "worst dev%", "optimal hits"});
+  for (const auto& e : entries) {
+    table.row()
+        .cell(e.name)
+        .cell(e.deviation.mean(), 2)
+        .cell(e.deviation.count() ? e.deviation.max() : 0.0, 2)
+        .cell(std::to_string(e.optimal_hits) + "/" + std::to_string(solved));
+  }
+  table.print(std::cout, "heuristic deviation from optimal");
+  return 0;
+}

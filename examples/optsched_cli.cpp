@@ -1,0 +1,135 @@
+// optsched_cli — schedule a task-graph file from the command line.
+//
+// The downstream-user entry point: read a graph in the text format
+// (dag/io.hpp), pick a machine and an engine, print the schedule.
+//
+//   $ ./optsched_cli graph.tg --machine clique:4 --engine astar
+//   $ ./optsched_cli graph.tg --machine ring:8 --engine aeps --epsilon 0.2
+//   $ ./optsched_cli graph.tg --machine mesh:2x3 --engine parallel --ppes 8
+//   $ ./optsched_cli --demo            # uses the paper's Figure 1 example
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bnb/chen_yu.hpp"
+#include "core/astar.hpp"
+#include "core/ida_star.hpp"
+#include "dag/graph.hpp"
+#include "dag/io.hpp"
+#include "dag/stg.hpp"
+#include "machine/spec.hpp"
+#include "parallel/parallel_astar.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/metrics.hpp"
+#include "util/cli.hpp"
+
+using namespace optsched;
+
+int main(int argc, char** argv) try {
+  util::Cli cli(argc, argv);
+  cli.describe("machine", "target machine, kind:size (default clique:4)")
+      .describe("engine",
+                "astar | aeps | ida | parallel | chenyu | blevel | mcp | etf "
+                "(default astar)")
+      .describe("epsilon", "Aeps* approximation factor (default 0.2)")
+      .describe("ppes", "parallel engine PPE count (default 4)")
+      .describe("budget-ms", "search budget (default unlimited)")
+      .describe("hop-scaled", "scale comm costs by topology hop distance")
+      .describe("gantt", "print the ASCII Gantt chart (default true)")
+      .describe("stg", "input is in STG format (Kasahara suite)")
+      .describe("stg-ccr", "synthesize STG comm costs at this CCR (default 0)")
+      .describe("metrics", "print schedule quality metrics (default true)")
+      .describe("demo", "schedule the paper's Figure 1 example");
+  if (cli.maybe_print_help("Schedule a task-graph file")) return 0;
+  cli.validate();
+
+  dag::TaskGraph graph = [&] {
+    if (cli.get_bool("demo")) return dag::paper_figure1();
+    OPTSCHED_REQUIRE(!cli.positional().empty(),
+                     "usage: optsched_cli <graph.tg> [flags] (or --demo)");
+    if (cli.get_bool("stg")) {
+      dag::StgOptions opt;
+      opt.ccr = cli.get_double("stg-ccr", 0.0);
+      return dag::read_stg_file(cli.positional().front(), opt);
+    }
+    return dag::read_text_file(cli.positional().front());
+  }();
+
+  const machine::Machine machine = machine::machine_from_spec(
+      cli.get("machine", cli.get_bool("demo") ? "ring:3" : "clique:4"));
+  const auto comm = cli.get_bool("hop-scaled")
+                        ? machine::CommMode::kHopScaled
+                        : machine::CommMode::kUnitDistance;
+  const std::string engine = cli.get("engine", "astar");
+  const double budget = cli.get_double("budget-ms", 0.0);
+
+  std::printf("graph: %zu tasks, %zu edges, CCR %.2f | machine: %s (%u "
+              "procs) | engine: %s\n\n",
+              graph.num_nodes(), graph.num_edges(), graph.ccr(),
+              machine.topology_name().c_str(), machine.num_procs(),
+              engine.c_str());
+
+  sched::Schedule schedule(graph, machine, comm);
+  std::string verdict;
+  if (engine == "blevel" || engine == "mcp" || engine == "etf") {
+    schedule = engine == "blevel" ? sched::upper_bound_schedule(graph, machine, comm)
+               : engine == "mcp" ? sched::mcp(graph, machine, comm)
+                                 : sched::etf(graph, machine, comm);
+    verdict = "heuristic (no optimality guarantee)";
+  } else if (engine == "chenyu") {
+    const core::SearchProblem problem(graph, machine, comm);
+    bnb::ChenYuConfig cfg;
+    cfg.time_budget_ms = budget;
+    const auto r = bnb::chen_yu_schedule(problem, cfg);
+    schedule = r.schedule;
+    verdict = r.proved_optimal ? "optimal (Chen&Yu B&B)" : "budget-limited";
+  } else if (engine == "parallel") {
+    const core::SearchProblem problem(graph, machine, comm);
+    par::ParallelConfig cfg;
+    cfg.num_ppes = static_cast<std::uint32_t>(cli.get_int("ppes", 4));
+    cfg.search.time_budget_ms = budget;
+    cfg.search.epsilon = cli.get_double("epsilon", 0.0);
+    const auto r = par::parallel_astar_schedule(problem, cfg);
+    schedule = r.result.schedule;
+    verdict = r.result.proved_optimal
+                  ? (cfg.search.epsilon > 0 ? "within (1+eps) of optimal"
+                                            : "optimal (parallel A*)")
+                  : "budget-limited";
+  } else if (engine == "ida") {
+    core::SearchConfig cfg;
+    cfg.time_budget_ms = budget;
+    const auto r = core::ida_star_schedule(graph, machine, cfg, comm);
+    schedule = r.schedule;
+    verdict = r.proved_optimal ? "optimal (IDA*)" : "budget-limited";
+  } else if (engine == "astar" || engine == "aeps") {
+    core::SearchConfig cfg;
+    cfg.time_budget_ms = budget;
+    if (engine == "aeps") cfg.epsilon = cli.get_double("epsilon", 0.2);
+    const auto r = core::astar_schedule(graph, machine, cfg, comm);
+    schedule = r.schedule;
+    verdict = !r.proved_optimal  ? "budget-limited"
+              : cfg.epsilon > 0 ? "within (1+eps) of optimal"
+                                : "optimal (A*)";
+    std::printf("states expanded: %llu, generated: %llu, peak memory ~%zu "
+                "KiB\n",
+                static_cast<unsigned long long>(r.stats.expanded),
+                static_cast<unsigned long long>(r.stats.generated),
+                r.stats.peak_memory_bytes / 1024);
+  } else {
+    throw util::Error("unknown engine '" + engine + "'");
+  }
+
+  sched::validate(schedule);
+  std::printf("schedule length: %.2f  [%s]\n\n", schedule.makespan(),
+              verdict.c_str());
+  if (cli.get_bool("gantt", true))
+    std::printf("%s", sched::render_gantt(schedule).c_str());
+  if (cli.get_bool("metrics", true))
+    std::printf("\n%s",
+                sched::format_metrics(sched::compute_metrics(schedule))
+                    .c_str());
+  return 0;
+} catch (const optsched::util::Error& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

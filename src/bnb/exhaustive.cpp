@@ -1,0 +1,109 @@
+#include "bnb/exhaustive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace optsched::bnb {
+
+namespace {
+
+using dag::NodeId;
+using machine::ProcId;
+
+struct Enumerator {
+  const dag::TaskGraph& graph;
+  const machine::Machine& machine;
+  machine::CommMode comm;
+
+  std::vector<double> finish;
+  std::vector<ProcId> proc_of;
+  std::vector<double> proc_ready;
+  std::vector<std::uint32_t> pending;
+  std::vector<std::pair<NodeId, ProcId>> assignments;
+  std::vector<std::pair<NodeId, ProcId>> best_assignments;
+  double g = 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t visited = 0;
+
+  Enumerator(const dag::TaskGraph& gr, const machine::Machine& m,
+             machine::CommMode c)
+      : graph(gr), machine(m), comm(c) {
+    finish.assign(gr.num_nodes(), 0.0);
+    proc_of.assign(gr.num_nodes(), machine::kInvalidProc);
+    proc_ready.assign(m.num_procs(), 0.0);
+    pending.assign(gr.num_nodes(), 0);
+    for (NodeId n = 0; n < gr.num_nodes(); ++n)
+      pending[n] = static_cast<std::uint32_t>(gr.num_parents(n));
+  }
+
+  void recurse() {
+    ++visited;
+    if (assignments.size() == graph.num_nodes()) {
+      if (g < best) {
+        best = g;
+        best_assignments = assignments;
+      }
+      return;
+    }
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (proc_of[n] != machine::kInvalidProc || pending[n] != 0) continue;
+      for (ProcId p = 0; p < machine.num_procs(); ++p) {
+        // Compute start/finish.
+        double dat = 0.0;
+        for (const auto& [parent, cost] : graph.parents(n))
+          dat = std::max(dat, finish[parent] + machine.comm_delay(
+                                                   cost, proc_of[parent], p,
+                                                   comm));
+        const double st = std::max(proc_ready[p], dat);
+        const double ft = st + machine.exec_time(graph.weight(n), p);
+        const double new_g = std::max(g, ft);
+        if (new_g >= best) continue;  // bound: g is monotone
+
+        // Apply.
+        const double saved_ready = proc_ready[p];
+        const double saved_g = g;
+        finish[n] = ft;
+        proc_of[n] = p;
+        proc_ready[p] = ft;
+        g = new_g;
+        for (const auto& [child, cost] : graph.children(n)) {
+          (void)cost;
+          --pending[child];
+        }
+        assignments.emplace_back(n, p);
+
+        recurse();
+
+        // Undo.
+        assignments.pop_back();
+        for (const auto& [child, cost] : graph.children(n)) {
+          (void)cost;
+          ++pending[child];
+        }
+        finish[n] = 0.0;
+        proc_of[n] = machine::kInvalidProc;
+        proc_ready[p] = saved_ready;
+        g = saved_g;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ExhaustiveResult exhaustive_schedule(const dag::TaskGraph& graph,
+                                     const machine::Machine& machine,
+                                     machine::CommMode comm) {
+  OPTSCHED_REQUIRE(graph.finalized(), "exhaustive_schedule needs finalize()");
+  Enumerator e(graph, machine, comm);
+  e.recurse();
+  OPTSCHED_ASSERT(!e.best_assignments.empty() || graph.num_nodes() == 0);
+
+  sched::Schedule schedule(graph, machine, comm);
+  for (const auto& [n, p] : e.best_assignments) schedule.append(n, p);
+  sched::validate(schedule);
+  return {std::move(schedule), e.best, e.visited};
+}
+
+}  // namespace optsched::bnb

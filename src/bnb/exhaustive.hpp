@@ -1,0 +1,25 @@
+// Exhaustive optimal scheduler — the test oracle.
+//
+// Depth-first enumeration of every (ready node, processor) interleaving
+// with only the sound trivial bound g >= best (g is monotone along a
+// branch). Deliberately independent of the core/ search machinery — no
+// heuristics, no equivalence or isomorphism reasoning — so it can serve as
+// an oracle for the A*/Aε*/IDA*/parallel implementations on small
+// instances. Exponential: intended for v <= ~9, p <= 3.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace optsched::bnb {
+
+struct ExhaustiveResult {
+  sched::Schedule schedule;
+  double makespan = 0.0;
+  std::uint64_t nodes_visited = 0;
+};
+
+ExhaustiveResult exhaustive_schedule(
+    const dag::TaskGraph& graph, const machine::Machine& machine,
+    machine::CommMode comm = machine::CommMode::kUnitDistance);
+
+}  // namespace optsched::bnb

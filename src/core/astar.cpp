@@ -1,0 +1,250 @@
+#include "core/astar.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/open_list.hpp"
+#include "util/timer.hpp"
+
+namespace optsched::core {
+
+namespace {
+
+State make_root() {
+  State root;
+  root.sig = root_signature();
+  root.parent = kNoParent;
+  root.depth = 0;
+  root.g = 0.0;
+  root.h = 0.0;
+  return root;
+}
+
+/// Shared bookkeeping for both selection disciplines (plain A* and FOCAL).
+struct SearchDriver {
+  explicit SearchDriver(const SearchProblem& p, const SearchConfig& c)
+      : problem(p),
+        config(c),
+        expander(p, c),
+        seen(1 << 12),
+        incumbent_len(p.upper_bound()) {}
+
+  const SearchProblem& problem;
+  SearchConfig config;
+  Expander expander;
+  StateArena arena;
+  util::FlatSet128 seen;
+  double incumbent_len;                  ///< best complete schedule known
+  std::optional<StateIndex> incumbent;   ///< goal state achieving it (if any)
+  util::Timer timer;
+
+  bool is_goal(const State& s) const { return s.depth == problem.num_nodes(); }
+
+  /// Threshold passed to the expander's upper-bound pruning.
+  double prune_bound() const {
+    if (!config.prune.upper_bound) return 0.0;  // unused
+    return config.prune.strict_upper_bound ? problem.upper_bound()
+                                           : incumbent_len;
+  }
+
+  /// Record a goal state if it beats the incumbent.
+  void offer_goal(StateIndex idx) {
+    const State& s = arena[idx];
+    OPTSCHED_ASSERT(is_goal(s));
+    if (s.g < incumbent_len) {
+      incumbent_len = s.g;
+      incumbent = idx;
+    } else if (!incumbent) {
+      // Equal to the heuristic bound: prefer the search's schedule so the
+      // caller sees a goal found by A* (matters only for reporting).
+      if (s.g <= incumbent_len) incumbent = idx;
+    }
+  }
+
+  SearchResult finish(Termination reason, bool proved, double bound_factor,
+                      std::size_t max_open, std::size_t open_mem) {
+    SearchResult result{
+        incumbent ? reconstruct_schedule(problem, arena, *incumbent)
+                  : sched::Schedule(problem.upper_bound_schedule()),
+        0.0, proved, bound_factor, reason, {}};
+    result.makespan = result.schedule.makespan();
+    result.stats.absorb(expander.stats());
+    result.stats.max_open_size = max_open;
+    result.stats.peak_memory_bytes =
+        arena.memory_bytes() + seen.memory_bytes() + open_mem;
+    result.stats.elapsed_seconds = timer.seconds();
+    sched::validate(result.schedule);
+    return result;
+  }
+
+  std::optional<Termination> hit_limit() const {
+    if (config.max_expansions &&
+        expander.stats().expanded >= config.max_expansions)
+      return Termination::kExpansionLimit;
+    if (config.time_budget_ms > 0 && timer.millis() >= config.time_budget_ms)
+      return Termination::kTimeLimit;
+    return std::nullopt;
+  }
+};
+
+SearchResult run_astar(SearchDriver& d) {
+  OpenList open;
+  const StateIndex root = d.arena.add(make_root());
+  d.seen.insert(d.arena[root].sig);
+  open.push({d.arena[root].f(), 0.0, root});
+
+  std::size_t max_open = 1;
+  const double bound_factor = std::max(1.0, d.config.h_weight);
+  const bool exact = d.config.h_weight == 1.0;
+
+  while (!open.empty()) {
+    if (const auto limit = d.hit_limit())
+      return d.finish(*limit, false, bound_factor, max_open,
+                      open.memory_bytes());
+
+    const OpenEntry e = open.pop();
+
+    // Incumbent domination: e.f is the minimum over OPEN, so nothing left
+    // can strictly beat the incumbent — it is optimal (for exact search).
+    // Paper-fidelity mode keeps the f == U frontier alive so the goal is
+    // popped explicitly, as in the Figure 3 trace.
+    const bool dominated = d.config.prune.strict_upper_bound
+                               ? e.f > d.incumbent_len + 1e-9
+                               : e.f >= d.incumbent_len - 1e-9;
+    if (exact && dominated) break;
+
+    const State& s = d.arena[e.index];
+    if (d.is_goal(s)) {
+      // Goal popped with minimum f: optimal (admissible h, exact dedup).
+      d.offer_goal(e.index);
+      return d.finish(
+          exact ? Termination::kOptimal : Termination::kBoundedOptimal, true,
+          exact ? 1.0 : bound_factor, max_open, open.memory_bytes());
+    }
+
+    d.expander.expand(d.arena, d.seen, e.index, d.prune_bound(),
+                      [&](StateIndex idx, const State& child) {
+                        if (d.config.incumbent_updates &&
+                            d.is_goal(child)) {
+                          d.offer_goal(idx);
+                          return;  // complete: nothing to expand
+                        }
+                        open.push({child.f(), child.g, idx});
+                      });
+    max_open = std::max(max_open, open.size());
+  }
+
+  // OPEN exhausted or dominated: every complete schedule not examined was
+  // proven >= the incumbent, so the incumbent is optimal.
+  return d.finish(Termination::kOptimal, exact, exact ? 1.0 : bound_factor,
+                  max_open, 0);
+}
+
+// ---- Aε* (FOCAL) ---------------------------------------------------------
+//
+// OPEN is an ordered set by (f, -g); FOCAL is the prefix with
+// f <= (1 + eps) * fmin, from which the entry with the smallest h (ties:
+// larger g, then smaller index — deterministic) is expanded. Theorem 2:
+// the first goal obtained this way costs at most (1+eps) * optimal.
+struct FocalEntry {
+  double f;
+  double g;
+  double h;
+  StateIndex index;
+
+  friend bool operator<(const FocalEntry& a, const FocalEntry& b) {
+    if (a.f != b.f) return a.f < b.f;
+    if (a.g != b.g) return a.g > b.g;
+    return a.index < b.index;
+  }
+};
+
+SearchResult run_focal(SearchDriver& d) {
+  std::set<FocalEntry> open;
+  const StateIndex root = d.arena.add(make_root());
+  d.seen.insert(d.arena[root].sig);
+  open.insert({d.arena[root].f(), 0.0, d.arena[root].h, root});
+
+  std::size_t max_open = 1;
+  const double eps = d.config.epsilon;
+  const double bound_factor = (1.0 + eps) * std::max(1.0, d.config.h_weight);
+  auto open_mem = [&] { return open.size() * sizeof(FocalEntry) * 3; };
+
+  while (!open.empty()) {
+    if (const auto limit = d.hit_limit())
+      return d.finish(*limit, false, bound_factor, max_open, open_mem());
+
+    const double fmin = open.begin()->f;
+
+    // (1+eps)-termination: the incumbent is already within the guarantee
+    // of everything that remains (optimal >= fmin).
+    if (d.incumbent_len <= (1.0 + eps) * fmin + 1e-9) {
+      const bool is_exact = d.incumbent_len <= fmin + 1e-9;
+      return d.finish(is_exact ? Termination::kOptimal
+                               : Termination::kBoundedOptimal,
+                      true, is_exact ? 1.0 : bound_factor, max_open,
+                      open_mem());
+    }
+
+    const double bound = (1.0 + eps) * fmin;
+
+    // Select min-h within the FOCAL prefix. Any member of FOCAL preserves
+    // the (1+eps) guarantee (Pearl & Kim: the secondary selection rule is
+    // free), so the scan is capped to keep selection O(1) amortized —
+    // beyond the cap the smallest-f member is as good a choice as any.
+    constexpr int kFocalScanCap = 64;
+    auto chosen = open.begin();
+    int scanned = 0;
+    for (auto it = open.begin(); it != open.end() && it->f <= bound + 1e-12 &&
+                                 scanned < kFocalScanCap;
+         ++it, ++scanned) {
+      const bool better =
+          it->h < chosen->h || (it->h == chosen->h && it->g > chosen->g);
+      if (better) chosen = it;
+    }
+    const FocalEntry e = *chosen;
+    open.erase(chosen);
+
+    const State& s = d.arena[e.index];
+    if (d.is_goal(s)) {
+      d.offer_goal(e.index);
+      const bool is_exact = e.f <= fmin + 1e-9 && d.config.h_weight == 1.0;
+      return d.finish(is_exact ? Termination::kOptimal
+                               : Termination::kBoundedOptimal,
+                      true, is_exact ? 1.0 : bound_factor, max_open,
+                      open_mem());
+    }
+
+    d.expander.expand(d.arena, d.seen, e.index, d.prune_bound(),
+                      [&](StateIndex idx, const State& child) {
+                        if (d.config.incumbent_updates && d.is_goal(child)) {
+                          d.offer_goal(idx);
+                          return;
+                        }
+                        open.insert({child.f(), child.g, child.h, idx});
+                      });
+    max_open = std::max(max_open, open.size());
+  }
+
+  return d.finish(Termination::kOptimal, d.config.h_weight == 1.0,
+                  d.config.h_weight == 1.0 ? 1.0 : bound_factor, max_open, 0);
+}
+
+}  // namespace
+
+SearchResult astar_schedule(const SearchProblem& problem,
+                            const SearchConfig& config) {
+  OPTSCHED_REQUIRE(config.epsilon >= 0.0, "epsilon must be >= 0");
+  OPTSCHED_REQUIRE(config.h_weight >= 1.0, "h_weight must be >= 1");
+  SearchDriver driver(problem, config);
+  return config.epsilon > 0.0 ? run_focal(driver) : run_astar(driver);
+}
+
+SearchResult astar_schedule(const dag::TaskGraph& graph,
+                            const machine::Machine& machine,
+                            const SearchConfig& config, CommMode comm) {
+  const SearchProblem problem(graph, machine, comm);
+  return astar_schedule(problem, config);
+}
+
+}  // namespace optsched::core

@@ -1,0 +1,66 @@
+// Serial A* and Aε* scheduling (paper §3.1, §3.2, §3.4).
+//
+// The search explores partial schedules best-first on f = g + h, with g the
+// partial schedule length and h the configured admissible heuristic. With
+// all pruning enabled this is the paper's "A*" column; PruneConfig::none()
+// gives its "A* full" column; SearchConfig::epsilon > 0 gives the Aε*
+// FOCAL variant with a (1+epsilon)-optimality guarantee.
+//
+// The search is *anytime*: it starts from the linear-time upper-bound
+// heuristic's schedule as incumbent, so even when an expansion or time
+// limit aborts the search a valid schedule (never worse than that
+// heuristic's) is returned with proved_optimal = false.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/expansion.hpp"
+#include "core/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace optsched::core {
+
+struct SearchStats {
+  std::uint64_t expanded = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t pruned_upper_bound = 0;
+  std::uint64_t skipped_equivalence = 0;
+  std::uint64_t skipped_isomorphism = 0;
+  std::size_t max_open_size = 0;
+  std::size_t peak_memory_bytes = 0;
+  double elapsed_seconds = 0.0;
+
+  void absorb(const ExpandStats& e) {
+    expanded += e.expanded;
+    generated += e.generated;
+    duplicates_dropped += e.duplicates_dropped;
+    pruned_upper_bound += e.pruned_upper_bound;
+    skipped_equivalence += e.skipped_equivalence;
+    skipped_isomorphism += e.skipped_isomorphism;
+  }
+};
+
+struct SearchResult {
+  sched::Schedule schedule;   ///< always a valid complete schedule
+  double makespan = 0.0;
+  bool proved_optimal = false;
+  /// Guaranteed makespan <= bound_factor * optimal (1.0 when optimal).
+  double bound_factor = 1.0;
+  Termination reason = Termination::kOptimal;
+  SearchStats stats;
+};
+
+/// Run the search on a prepared problem (reusable across configs/threads).
+SearchResult astar_schedule(const SearchProblem& problem,
+                            const SearchConfig& config = {});
+
+/// Convenience overload: builds the SearchProblem internally.
+SearchResult astar_schedule(const dag::TaskGraph& graph,
+                            const machine::Machine& machine,
+                            const SearchConfig& config = {},
+                            CommMode comm = CommMode::kUnitDistance);
+
+}  // namespace optsched::core

@@ -1,0 +1,136 @@
+#include "core/expansion.hpp"
+
+#include <algorithm>
+
+namespace optsched::core {
+
+const char* to_string(Termination t) {
+  switch (t) {
+    case Termination::kOptimal:
+      return "optimal";
+    case Termination::kBoundedOptimal:
+      return "bounded-optimal";
+    case Termination::kExpansionLimit:
+      return "expansion-limit";
+    case Termination::kTimeLimit:
+      return "time-limit";
+  }
+  return "?";
+}
+
+ExpansionContext::ExpansionContext(const SearchProblem& problem)
+    : problem_(&problem) {
+  const auto v = problem.num_nodes();
+  finish_.assign(v, 0.0);
+  proc_of_.assign(v, machine::kInvalidProc);
+  proc_ready_.assign(problem.num_procs(), 0.0);
+  busy_.assign(problem.num_procs(), false);
+  pending_parents_.assign(v, 0);
+  ready_.reserve(v);
+  chain_.reserve(v);
+  assignment_seq_.reserve(v);
+}
+
+double ExpansionContext::start_time(NodeId n, ProcId p) const {
+  const auto& graph = problem_->graph();
+  const auto& machine = problem_->machine();
+  double dat = 0.0;
+  for (const auto& [parent, cost] : graph.parents(n)) {
+    OPTSCHED_ASSERT(scheduled(parent));
+    dat = std::max(dat, finish_[parent] + machine.comm_delay(
+                                              cost, proc_of_[parent], p,
+                                              problem_->comm()));
+  }
+  return std::max(proc_ready_[p], dat);
+}
+
+void ExpansionContext::load(const StateArena& arena, StateIndex index) {
+  const auto& graph = problem_->graph();
+  const auto& machine = problem_->machine();
+
+  // Reset.
+  std::fill(proc_of_.begin(), proc_of_.end(), machine::kInvalidProc);
+  std::fill(proc_ready_.begin(), proc_ready_.end(), 0.0);
+  std::fill(busy_.begin(), busy_.end(), false);
+  g_ = 0.0;
+  nmax_ = dag::kInvalidNode;
+  depth_ = 0;
+  assignment_seq_.clear();
+
+  // Walk to the root, then replay forward.
+  chain_.clear();
+  for (StateIndex i = index; i != kNoParent; i = arena[i].parent) {
+    if (arena[i].is_root()) break;
+    chain_.push_back(i);
+  }
+  for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+    const State& s = arena[*it];
+    const double st = start_time(s.node, s.proc);
+    const double ft =
+        st + machine.exec_time(graph.weight(s.node), s.proc);
+    // Replay is deterministic: recomputed times must equal stored ones.
+    OPTSCHED_ASSERT(ft == s.finish);
+    finish_[s.node] = ft;
+    proc_of_[s.node] = s.proc;
+    proc_ready_[s.proc] = ft;
+    busy_[s.proc] = true;
+    assignment_seq_.emplace_back(s.node, s.proc);
+    ++depth_;
+  }
+  // g = max finish time; nmax = node attaining it (first in replay order
+  // on ties — deterministic, matching the child-construction rule).
+  for (const auto& [n, p] : assignment_seq_) {
+    (void)p;
+    if (finish_[n] > g_ || nmax_ == dag::kInvalidNode) {
+      g_ = finish_[n];
+      nmax_ = n;
+    }
+  }
+  OPTSCHED_ASSERT(depth_ == arena[index].depth);
+
+  // Ready list: unscheduled nodes whose parents are all scheduled, ordered
+  // by the paper's priority (descending b-level + t-level via rank).
+  for (NodeId n = 0; n < problem_->num_nodes(); ++n) {
+    std::uint32_t pending = 0;
+    if (proc_of_[n] == machine::kInvalidProc)
+      for (const auto& [parent, cost] : graph.parents(n)) {
+        (void)cost;
+        if (proc_of_[parent] == machine::kInvalidProc) ++pending;
+      }
+    pending_parents_[n] = pending;
+  }
+  ready_.clear();
+  for (NodeId n = 0; n < problem_->num_nodes(); ++n)
+    if (proc_of_[n] == machine::kInvalidProc && pending_parents_[n] == 0)
+      ready_.push_back(n);
+  std::sort(ready_.begin(), ready_.end(), [&](NodeId a, NodeId b) {
+    return problem_->priority_rank(a) < problem_->priority_rank(b);
+  });
+}
+
+Expander::Expander(const SearchProblem& problem, const SearchConfig& config)
+    : problem_(&problem), config_(config), ctx_(problem) {
+  h_scratch_.assign(problem.num_nodes(), 0.0);
+  proc_rep_.assign(problem.num_procs(), 0);
+  class_taken_.assign(problem.num_nodes(), false);
+}
+
+sched::Schedule reconstruct_schedule(const SearchProblem& problem,
+                                     const StateArena& arena,
+                                     StateIndex goal_index) {
+  // Collect assignments root -> goal, then replay them through Schedule.
+  std::vector<std::pair<NodeId, ProcId>> seq;
+  for (StateIndex i = goal_index; i != kNoParent; i = arena[i].parent) {
+    if (arena[i].is_root()) break;
+    seq.emplace_back(arena[i].node, arena[i].proc);
+  }
+  std::reverse(seq.begin(), seq.end());
+
+  sched::Schedule schedule(problem.graph(), problem.machine(), problem.comm());
+  for (const auto& [node, proc] : seq) schedule.append(node, proc);
+  OPTSCHED_ASSERT(schedule.complete());
+  OPTSCHED_ASSERT(schedule.makespan() == arena[goal_index].g);
+  return schedule;
+}
+
+}  // namespace optsched::core

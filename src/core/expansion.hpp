@@ -1,0 +1,250 @@
+// State expansion: rebuilding a state's schedule context from its parent
+// chain and generating successor states (paper §3.1's expansion operator
+// with §3.2's pruning techniques applied).
+//
+// States store only their last assignment (core/state.hpp); the full
+// partial-schedule context — per-node finish times and processors, per-
+// processor ready times, the ready list — is reconstructed here in
+// O(depth + e) by replaying the chain. The replay is deterministic, so the
+// recomputed times equal the stored ones exactly (asserted).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/heuristics.hpp"
+#include "core/problem.hpp"
+#include "core/signature.hpp"
+#include "core/state.hpp"
+#include "util/flat_set.hpp"
+
+namespace optsched::core {
+
+/// Counters accumulated across expansions (reported in SearchResult).
+struct ExpandStats {
+  std::uint64_t expanded = 0;          ///< states whose successors were built
+  std::uint64_t generated = 0;         ///< successor states stored
+  std::uint64_t duplicates_dropped = 0;///< successors already seen
+  std::uint64_t pruned_upper_bound = 0;
+  std::uint64_t skipped_equivalence = 0;  ///< ready nodes skipped (Def. 3)
+  std::uint64_t skipped_isomorphism = 0;  ///< processors skipped (Def. 2)
+
+  void merge(const ExpandStats& o) {
+    expanded += o.expanded;
+    generated += o.generated;
+    duplicates_dropped += o.duplicates_dropped;
+    pruned_upper_bound += o.pruned_upper_bound;
+    skipped_equivalence += o.skipped_equivalence;
+    skipped_isomorphism += o.skipped_isomorphism;
+  }
+};
+
+/// Reconstructed schedule context of one state. One instance per search
+/// thread; all storage is reused across load() calls.
+class ExpansionContext {
+ public:
+  explicit ExpansionContext(const SearchProblem& problem);
+
+  /// Rebuild the context for `arena[index]`.
+  void load(const StateArena& arena, StateIndex index);
+
+  const SearchProblem& problem() const noexcept { return *problem_; }
+
+  bool scheduled(NodeId n) const { return proc_of_[n] != machine::kInvalidProc; }
+  double finish_time(NodeId n) const { return finish_[n]; }
+  ProcId proc_of(NodeId n) const { return proc_of_[n]; }
+  double proc_ready(ProcId p) const { return proc_ready_[p]; }
+  const std::vector<bool>& busy() const noexcept { return busy_; }
+  double g() const noexcept { return g_; }
+  NodeId nmax() const noexcept { return nmax_; }
+  std::uint32_t depth() const noexcept { return depth_; }
+
+  /// Ready nodes in the paper's priority order (descending b+t level).
+  const std::vector<NodeId>& ready() const noexcept { return ready_; }
+
+  /// Earliest start of `n` on `p` given this context (append semantics).
+  double start_time(NodeId n, ProcId p) const;
+
+  ScheduleView view() const {
+    return {finish_.data(), proc_of_.data(), g_, nmax_, depth_};
+  }
+
+  /// Assignment sequence (root to this state) — for schedule reconstruction
+  /// and for serializing states across PPEs.
+  const std::vector<std::pair<NodeId, ProcId>>& assignments() const noexcept {
+    return assignment_seq_;
+  }
+
+ private:
+  friend class Expander;
+
+  const SearchProblem* problem_;
+  std::vector<double> finish_;
+  std::vector<ProcId> proc_of_;
+  std::vector<double> proc_ready_;
+  std::vector<bool> busy_;
+  std::vector<NodeId> ready_;
+  std::vector<std::uint32_t> pending_parents_;
+  std::vector<StateIndex> chain_;  // scratch for the parent walk
+  std::vector<std::pair<NodeId, ProcId>> assignment_seq_;
+  double g_ = 0.0;
+  NodeId nmax_ = dag::kInvalidNode;
+  std::uint32_t depth_ = 0;
+};
+
+/// Generates the successors of a state, applying the configured pruning.
+/// The same Expander instance must not be used concurrently; the parallel
+/// algorithm creates one per PPE.
+class Expander {
+ public:
+  Expander(const SearchProblem& problem, const SearchConfig& config);
+
+  /// Expand arena[index]. Every surviving successor is appended to `arena`
+  /// and reported through `emit(StateIndex, const State&)`. `seen` receives
+  /// the signatures of all surviving successors (duplicate filter).
+  /// `prune_bound` is the current upper-bound threshold (the incumbent
+  /// makespan, or the static U in paper-fidelity mode); children with
+  /// f >= bound (f > bound when strict_upper_bound) are discarded.
+  template <typename Emit>
+  void expand(StateArena& arena, util::FlatSet128& seen, StateIndex index,
+              double prune_bound, Emit&& emit);
+
+  ExpandStats& stats() noexcept { return stats_; }
+  const ExpandStats& stats() const noexcept { return stats_; }
+  const ExpansionContext& context() const noexcept { return ctx_; }
+
+ private:
+  /// Build the child state for (node -> proc) on top of the loaded context.
+  /// Returns false if the child was pruned.
+  template <typename Emit>
+  bool try_emit_child(StateArena& arena, util::FlatSet128& seen,
+                      StateIndex parent_index, NodeId node, ProcId proc,
+                      double prune_bound, Emit&& emit);
+
+  const SearchProblem* problem_;
+  SearchConfig config_;
+  ExpansionContext ctx_;
+  ExpandStats stats_;
+  std::vector<double> h_scratch_;
+  std::vector<ProcId> proc_rep_;
+  std::vector<bool> class_taken_;
+};
+
+// ---- implementation of the templated members ----------------------------
+
+template <typename Emit>
+void Expander::expand(StateArena& arena, util::FlatSet128& seen,
+                      StateIndex index, double prune_bound, Emit&& emit) {
+  ctx_.load(arena, index);
+  ++stats_.expanded;
+
+  const auto& autos = problem_->automorphisms();
+  const std::uint32_t p = problem_->num_procs();
+
+  // Processor isomorphism (Def. 2 / automorphism orbits): try only one
+  // representative per equivalence class of processors.
+  if (config_.prune.processor_isomorphism) {
+    autos.state_classes(ctx_.busy_, proc_rep_);
+  } else {
+    proc_rep_.resize(p);
+    for (ProcId q = 0; q < p; ++q) proc_rep_[q] = q;
+  }
+
+  // Node equivalence (Def. 3): among ready nodes of one equivalence class,
+  // expand only the first (equivalent nodes tie in priority and are
+  // ordered by id, so the first seen is the smallest id).
+  const auto& equiv = problem_->equivalence();
+  if (config_.prune.node_equivalence) {
+    class_taken_.assign(problem_->num_nodes(), false);
+  }
+
+  for (const NodeId n : ctx_.ready_) {
+    if (config_.prune.node_equivalence) {
+      const NodeId rep = equiv.representative(n);
+      if (class_taken_[rep]) {
+        ++stats_.skipped_equivalence;
+        continue;
+      }
+      class_taken_[rep] = true;
+    }
+    for (ProcId q = 0; q < p; ++q) {
+      if (proc_rep_[q] != q) {
+        ++stats_.skipped_isomorphism;
+        continue;
+      }
+      try_emit_child(arena, seen, index, n, q, prune_bound, emit);
+    }
+  }
+}
+
+template <typename Emit>
+bool Expander::try_emit_child(StateArena& arena, util::FlatSet128& seen,
+                              StateIndex parent_index, NodeId node,
+                              ProcId proc, double prune_bound, Emit&& emit) {
+  const State& parent = arena[parent_index];
+
+  const double st = ctx_.start_time(node, proc);
+  const double ft =
+      st + problem_->machine().exec_time(problem_->graph().weight(node), proc);
+  const double child_g = std::max(ctx_.g_, ft);
+
+  // Temporarily extend the context so the heuristic sees the child state.
+  const NodeId saved_nmax = ctx_.nmax_;
+  const double saved_g = ctx_.g_;
+  ctx_.finish_[node] = ft;
+  ctx_.proc_of_[node] = proc;
+  ctx_.g_ = child_g;
+  if (ft > saved_g || saved_nmax == dag::kInvalidNode) ctx_.nmax_ = node;
+  ctx_.depth_ += 1;
+
+  const double h =
+      evaluate_h(config_.h, *problem_, ctx_.view(), h_scratch_.data()) *
+      config_.h_weight;
+
+  // Restore the context before any early return.
+  ctx_.finish_[node] = 0.0;
+  ctx_.proc_of_[node] = machine::kInvalidProc;
+  ctx_.g_ = saved_g;
+  ctx_.nmax_ = saved_nmax;
+  ctx_.depth_ -= 1;
+
+  const double f = child_g + h;
+  if (config_.prune.upper_bound) {
+    const bool over = config_.prune.strict_upper_bound
+                          ? f > prune_bound + 1e-9
+                          : f >= prune_bound - 1e-9;
+    if (over) {
+      ++stats_.pruned_upper_bound;
+      return false;
+    }
+  }
+
+  const util::Key128 sig = extend_signature(parent.sig, node, proc, ft);
+  if (config_.prune.duplicate_detection && !seen.insert(sig)) {
+    ++stats_.duplicates_dropped;
+    return false;
+  }
+
+  State child;
+  child.sig = sig;
+  child.finish = ft;
+  child.g = child_g;
+  child.h = h;
+  child.parent = parent_index;
+  child.node = node;
+  child.proc = proc;
+  child.depth = parent.depth + 1;
+
+  const StateIndex idx = arena.add(child);
+  ++stats_.generated;
+  emit(idx, arena[idx]);
+  return true;
+}
+
+/// Rebuild the complete schedule a goal state denotes.
+sched::Schedule reconstruct_schedule(const SearchProblem& problem,
+                                     const StateArena& arena,
+                                     StateIndex goal_index);
+
+}  // namespace optsched::core

@@ -1,0 +1,104 @@
+#include "core/heuristics.hpp"
+
+#include <algorithm>
+
+namespace optsched::core {
+
+const char* to_string(HFunction h) {
+  switch (h) {
+    case HFunction::kZero:
+      return "h_zero";
+    case HFunction::kPaper:
+      return "h_paper";
+    case HFunction::kPath:
+      return "h_path";
+    case HFunction::kComposite:
+      return "h_composite";
+  }
+  return "?";
+}
+
+namespace {
+
+double h_paper(const SearchProblem& problem, const ScheduleView& view) {
+  const auto& graph = problem.graph();
+  const auto& sl = problem.levels().static_level;
+  const double scale = problem.sl_scale();
+
+  if (view.nmax == dag::kInvalidNode) {
+    // Empty schedule: any node's static level is a chain of work that must
+    // still execute sequentially, so max_n sl(n) lower-bounds the optimum.
+    double best = 0.0;
+    for (NodeId n = 0; n < problem.num_nodes(); ++n)
+      best = std::max(best, sl[n]);
+    return best * scale;
+  }
+  double best = 0.0;
+  for (const auto& [child, cost] : graph.children(view.nmax)) {
+    (void)cost;
+    if (view.proc_of[child] == machine::kInvalidProc)
+      best = std::max(best, sl[child]);
+  }
+  return best * scale;
+}
+
+// Topological earliest-start lower bound. For unscheduled nodes in
+// topological order:
+//   est(n) = max over parents m of
+//              m scheduled ? FT(m)                   (no comm: child may
+//                                                     share m's processor)
+//                          : est(m) + w(m)/max_speed
+// Then the goal cost is at least est(n) + sl(n)/max_speed for every
+// unscheduled n (the node still has its static-level chain ahead of it).
+double h_path(const SearchProblem& problem, const ScheduleView& view,
+              double* est) {
+  const auto& graph = problem.graph();
+  const auto& sl = problem.levels().static_level;
+  const double scale = problem.sl_scale();
+
+  double bound = view.g;
+  for (const NodeId n : graph.topo_order()) {
+    if (view.proc_of[n] != machine::kInvalidProc) continue;
+    double e = 0.0;
+    for (const auto& [parent, cost] : graph.parents(n)) {
+      (void)cost;
+      if (view.proc_of[parent] != machine::kInvalidProc)
+        e = std::max(e, view.finish_time[parent]);
+      else
+        e = std::max(e, est[parent] + graph.weight(parent) * scale);
+    }
+    est[n] = e;
+    bound = std::max(bound, e + sl[n] * scale);
+  }
+  return bound - view.g;
+}
+
+// Aggregate-work bound: the optimum is at least (total work)/(p * max
+// speed) regardless of the partial schedule; convert to an h by
+// subtracting g (clamped at 0).
+double h_load(const SearchProblem& problem, const ScheduleView& view) {
+  const double w = problem.graph().total_work() * problem.sl_scale();
+  const double bound = w / static_cast<double>(problem.num_procs());
+  return std::max(0.0, bound - view.g);
+}
+
+}  // namespace
+
+double evaluate_h(HFunction fn, const SearchProblem& problem,
+                  const ScheduleView& view, double* scratch) {
+  switch (fn) {
+    case HFunction::kZero:
+      return 0.0;
+    case HFunction::kPaper:
+      return h_paper(problem, view);
+    case HFunction::kPath:
+      return h_path(problem, view, scratch);
+    case HFunction::kComposite:
+      return std::max({h_paper(problem, view), h_path(problem, view, scratch),
+                       h_load(problem, view)});
+  }
+  OPTSCHED_ASSERT(false);
+  return 0.0;
+}
+
+}  // namespace optsched::core

@@ -1,0 +1,54 @@
+// Admissible heuristic functions h(s) for the A* search.
+//
+// The paper's h (Theorem 1) is deliberately cheap: with n_max the node
+// attaining g(s) = max finish time,
+//
+//     h(s) = max_{n_j in succ(n_max)} sl(n_j)
+//
+// i.e. the largest static level among n_max's (unscheduled) successors — a
+// lower bound on the work that must still execute after g(s). We provide it
+// alongside three other admissible bounds for the ablation study (bench
+// A2 in DESIGN.md):
+//
+//   kZero       h = 0 (uniform-cost search; the paper's "trivial" baseline)
+//   kPaper      the function above
+//   kPath       topological lower bound: earliest-start estimates for all
+//               unscheduled nodes ignoring communication and contention,
+//               h = max_n (est(n) + sl(n)) - g
+//   kComposite  max(kPaper, kPath, workload bound W/p) — the tightest
+//
+// On heterogeneous machines all static-level terms are scaled by
+// 1/max_speed so the bounds stay admissible.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace optsched::core {
+
+enum class HFunction : std::uint8_t {
+  kZero = 0,
+  kPaper = 1,
+  kPath = 2,
+  kComposite = 3,
+};
+
+const char* to_string(HFunction h);
+
+/// View of an expanded state's schedule context that the heuristics read.
+/// Filled by ExpansionContext (core/expansion.hpp).
+struct ScheduleView {
+  const double* finish_time;     ///< per node; valid where scheduled
+  const ProcId* proc_of;         ///< per node; kInvalidProc = unscheduled
+  double g;                      ///< max finish over scheduled nodes
+  NodeId nmax;                   ///< node attaining g (kInvalidNode if none)
+  std::uint32_t num_scheduled;
+};
+
+/// Evaluate the selected heuristic. `scratch` must hold >= num_nodes
+/// doubles (reused across calls to avoid per-expansion allocation).
+double evaluate_h(HFunction fn, const SearchProblem& problem,
+                  const ScheduleView& view, double* scratch);
+
+}  // namespace optsched::core

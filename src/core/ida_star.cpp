@@ -1,0 +1,262 @@
+#include "core/ida_star.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/timer.hpp"
+
+namespace optsched::core {
+
+namespace {
+
+/// Incremental depth-first schedule state with apply/undo.
+class DfsState {
+ public:
+  explicit DfsState(const SearchProblem& problem) : problem_(&problem) {
+    const auto v = problem.num_nodes();
+    finish_.assign(v, 0.0);
+    proc_of_.assign(v, machine::kInvalidProc);
+    proc_ready_.assign(problem.num_procs(), 0.0);
+    busy_count_.assign(problem.num_procs(), 0);
+    pending_.assign(v, 0);
+    for (NodeId n = 0; n < v; ++n)
+      pending_[n] = static_cast<std::uint32_t>(problem.graph().num_parents(n));
+    h_scratch_.assign(v, 0.0);
+  }
+
+  struct Undo {
+    NodeId node;
+    ProcId proc;
+    double prev_proc_ready;
+    double prev_g;
+    NodeId prev_nmax;
+  };
+
+  double start_time(NodeId n, ProcId p) const {
+    const auto& graph = problem_->graph();
+    double dat = 0.0;
+    for (const auto& [parent, cost] : graph.parents(n))
+      dat = std::max(dat, finish_[parent] +
+                              problem_->machine().comm_delay(
+                                  cost, proc_of_[parent], p, problem_->comm()));
+    return std::max(proc_ready_[p], dat);
+  }
+
+  Undo apply(NodeId n, ProcId p) {
+    const double st = start_time(n, p);
+    const double ft =
+        st + problem_->machine().exec_time(problem_->graph().weight(n), p);
+    Undo undo{n, p, proc_ready_[p], g_, nmax_};
+    finish_[n] = ft;
+    proc_of_[n] = p;
+    proc_ready_[p] = ft;
+    ++busy_count_[p];
+    if (ft > g_ || nmax_ == dag::kInvalidNode) {
+      g_ = std::max(g_, ft);
+      nmax_ = n;
+    }
+    for (const auto& [child, cost] : problem_->graph().children(n)) {
+      (void)cost;
+      --pending_[child];
+    }
+    ++depth_;
+    assignments_.emplace_back(n, p);
+    return undo;
+  }
+
+  void revert(const Undo& undo) {
+    for (const auto& [child, cost] : problem_->graph().children(undo.node)) {
+      (void)cost;
+      ++pending_[child];
+    }
+    finish_[undo.node] = 0.0;
+    proc_of_[undo.node] = machine::kInvalidProc;
+    proc_ready_[undo.proc] = undo.prev_proc_ready;
+    --busy_count_[undo.proc];
+    g_ = undo.prev_g;
+    nmax_ = undo.prev_nmax;
+    --depth_;
+    assignments_.pop_back();
+  }
+
+  void ready_nodes(std::vector<NodeId>& out) const {
+    out.clear();
+    for (NodeId n = 0; n < problem_->num_nodes(); ++n)
+      if (proc_of_[n] == machine::kInvalidProc && pending_[n] == 0)
+        out.push_back(n);
+    std::sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+      return problem_->priority_rank(a) < problem_->priority_rank(b);
+    });
+  }
+
+  std::vector<bool> busy_flags() const {
+    std::vector<bool> busy(problem_->num_procs());
+    for (ProcId p = 0; p < problem_->num_procs(); ++p)
+      busy[p] = busy_count_[p] > 0;
+    return busy;
+  }
+
+  double evaluate(HFunction fn) {
+    const ScheduleView view{finish_.data(), proc_of_.data(), g_, nmax_,
+                            depth_};
+    return evaluate_h(fn, *problem_, view, h_scratch_.data());
+  }
+
+  double g() const noexcept { return g_; }
+  std::uint32_t depth() const noexcept { return depth_; }
+  const std::vector<std::pair<NodeId, ProcId>>& assignments() const noexcept {
+    return assignments_;
+  }
+
+ private:
+  const SearchProblem* problem_;
+  std::vector<double> finish_;
+  std::vector<ProcId> proc_of_;
+  std::vector<double> proc_ready_;
+  std::vector<std::uint32_t> busy_count_;
+  std::vector<std::uint32_t> pending_;
+  std::vector<double> h_scratch_;
+  std::vector<std::pair<NodeId, ProcId>> assignments_;
+  double g_ = 0.0;
+  NodeId nmax_ = dag::kInvalidNode;
+  std::uint32_t depth_ = 0;
+};
+
+struct IdaDriver {
+  const SearchProblem& problem;
+  const SearchConfig& config;
+  DfsState dfs;
+  util::Timer timer;
+  SearchStats stats;
+  double threshold = 0.0;
+  double next_threshold = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<NodeId, ProcId>> best_assignments;
+  double best_len = std::numeric_limits<double>::infinity();
+  bool aborted = false;
+  Termination abort_reason = Termination::kOptimal;
+
+  IdaDriver(const SearchProblem& p, const SearchConfig& c)
+      : problem(p), config(c), dfs(p) {}
+
+  bool limits_hit() {
+    if (config.max_expansions && stats.expanded >= config.max_expansions) {
+      aborted = true;
+      abort_reason = Termination::kExpansionLimit;
+      return true;
+    }
+    if (config.time_budget_ms > 0 && timer.millis() >= config.time_budget_ms) {
+      aborted = true;
+      abort_reason = Termination::kTimeLimit;
+      return true;
+    }
+    return false;
+  }
+
+  /// Depth-first probe; returns true when a goal within `threshold` was
+  /// found (search can stop: the first goal found at the current threshold
+  /// is optimal because thresholds grow by the minimal overshoot).
+  bool probe() {
+    if (limits_hit()) return false;
+
+    if (dfs.depth() == problem.num_nodes()) {
+      best_assignments = dfs.assignments();
+      best_len = dfs.g();
+      return true;
+    }
+    ++stats.expanded;
+
+    std::vector<NodeId> ready;
+    dfs.ready_nodes(ready);
+
+    std::vector<ProcId> rep(problem.num_procs());
+    if (config.prune.processor_isomorphism) {
+      problem.automorphisms().state_classes(dfs.busy_flags(), rep);
+    } else {
+      for (ProcId p = 0; p < problem.num_procs(); ++p) rep[p] = p;
+    }
+
+    std::vector<bool> class_taken(problem.num_nodes(), false);
+    for (const NodeId n : ready) {
+      if (config.prune.node_equivalence) {
+        const NodeId r = problem.equivalence().representative(n);
+        if (class_taken[r]) {
+          ++stats.skipped_equivalence;
+          continue;
+        }
+        class_taken[r] = true;
+      }
+      for (ProcId p = 0; p < problem.num_procs(); ++p) {
+        if (rep[p] != p) {
+          ++stats.skipped_isomorphism;
+          continue;
+        }
+        const auto undo = dfs.apply(n, p);
+        ++stats.generated;
+        const double f = dfs.g() + dfs.evaluate(config.h);
+        const bool over_ub =
+            config.prune.upper_bound &&
+            (config.prune.strict_upper_bound
+                 ? f > problem.upper_bound() + 1e-9
+                 : f >= problem.upper_bound() - 1e-9);
+        if (over_ub) {
+          ++stats.pruned_upper_bound;
+        } else if (f > threshold + 1e-9) {
+          next_threshold = std::min(next_threshold, f);
+        } else if (probe()) {
+          dfs.revert(undo);
+          return true;
+        }
+        dfs.revert(undo);
+        if (aborted) return false;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SearchResult ida_star_schedule(const SearchProblem& problem,
+                               const SearchConfig& config) {
+  OPTSCHED_REQUIRE(config.epsilon == 0.0 && config.h_weight == 1.0,
+                   "ida_star_schedule supports exact search only");
+  IdaDriver driver(problem, config);
+
+  // Initial threshold: f of the empty schedule.
+  driver.threshold = driver.dfs.evaluate(config.h);
+  bool found = false;
+  while (!found && !driver.aborted) {
+    driver.next_threshold = std::numeric_limits<double>::infinity();
+    found = driver.probe();
+    if (!found && !driver.aborted) {
+      if (!std::isfinite(driver.next_threshold)) break;  // space exhausted
+      driver.threshold = driver.next_threshold;
+    }
+  }
+
+  sched::Schedule schedule(problem.graph(), problem.machine(), problem.comm());
+  if (found) {
+    for (const auto& [n, p] : driver.best_assignments) schedule.append(n, p);
+  } else {
+    schedule = problem.upper_bound_schedule();
+  }
+  sched::validate(schedule);
+
+  SearchResult result{std::move(schedule), 0.0, !driver.aborted, 1.0,
+                      driver.aborted ? driver.abort_reason
+                                     : Termination::kOptimal,
+                      driver.stats};
+  result.makespan = result.schedule.makespan();
+  result.stats.elapsed_seconds = driver.timer.seconds();
+  return result;
+}
+
+SearchResult ida_star_schedule(const dag::TaskGraph& graph,
+                               const machine::Machine& machine,
+                               const SearchConfig& config, CommMode comm) {
+  const SearchProblem problem(graph, machine, comm);
+  return ida_star_schedule(problem, config);
+}
+
+}  // namespace optsched::core

@@ -1,0 +1,122 @@
+// OPEN list: 4-ary min-heap keyed on (f, -g) with lazy deletion.
+//
+// The heap stores (f, g, state index) triples; staleness (states already
+// expanded, or superseded by the incumbent bound) is filtered at pop time
+// by the caller. A 4-ary layout halves tree depth versus binary and keeps
+// sift-down children on one cache line — this heap and the CLOSED set are
+// the two hottest data structures in the search (see bench_micro).
+//
+// Tie-breaking on larger g prefers deeper states among equal-f candidates,
+// which reaches goal states sooner without affecting optimality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/state.hpp"
+
+namespace optsched::core {
+
+struct OpenEntry {
+  double f;
+  double g;
+  StateIndex index;
+};
+
+class OpenList {
+ public:
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  void push(const OpenEntry& e) {
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+  }
+
+  const OpenEntry& top() const {
+    OPTSCHED_ASSERT(!heap_.empty());
+    return heap_[0];
+  }
+
+  OpenEntry pop() {
+    OPTSCHED_ASSERT(!heap_.empty());
+    const OpenEntry result = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return result;
+  }
+
+  void clear() noexcept { heap_.clear(); }
+
+  /// Remove every entry with f >= bound (incumbent pruning after a goal or
+  /// a tightened upper bound). Rebuilds the heap in O(n).
+  void prune_at_least(double bound) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i)
+      if (heap_[i].f < bound) heap_[kept++] = heap_[i];
+    heap_.resize(kept);
+    for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
+  }
+
+  /// Extract up to `count` entries that are *not* the current best — used by
+  /// the parallel algorithm's load sharing (donating its best state would
+  /// stall the donor). Entries are removed from this heap.
+  std::vector<OpenEntry> extract_surplus(std::size_t count);
+
+  std::size_t memory_bytes() const noexcept {
+    return heap_.capacity() * sizeof(OpenEntry);
+  }
+
+ private:
+  static bool before(const OpenEntry& a, const OpenEntry& b) noexcept {
+    if (a.f != b.f) return a.f < b.f;
+    return a.g > b.g;
+  }
+
+  void sift_up(std::size_t i) {
+    const OpenEntry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const OpenEntry e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first_child = (i << 2) + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + 4, n);
+      for (std::size_t c = first_child + 1; c < last_child; ++c)
+        if (before(heap_[c], heap_[best])) best = c;
+      if (!before(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  std::vector<OpenEntry> heap_;
+};
+
+inline std::vector<OpenEntry> OpenList::extract_surplus(std::size_t count) {
+  std::vector<OpenEntry> result;
+  if (heap_.size() <= 1 || count == 0) return result;
+  count = std::min(count, heap_.size() - 1);
+  // Take from the *back* of the array: cheap to remove and biased toward
+  // worse states, so the donor keeps its promising frontier. The receiver
+  // re-heapifies on insert.
+  for (std::size_t k = 0; k < count; ++k) {
+    result.push_back(heap_.back());
+    heap_.pop_back();
+  }
+  return result;
+}
+
+}  // namespace optsched::core

@@ -1,0 +1,38 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sched/list_scheduler.hpp"
+
+namespace optsched::core {
+
+SearchProblem::SearchProblem(const dag::TaskGraph& graph,
+                             const machine::Machine& machine, CommMode comm)
+    : graph_(&graph),
+      machine_(&machine),
+      comm_(comm),
+      levels_(dag::compute_levels(graph)),
+      equiv_(graph),
+      autos_(machine) {
+  OPTSCHED_REQUIRE(graph.finalized(), "SearchProblem requires finalize()");
+  sl_scale_ = 1.0 / machine.max_speed();
+
+  // Paper §3.2: ready nodes are considered in decreasing b-level + t-level.
+  std::vector<NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const double pa = levels_.priority(a), pb = levels_.priority(b);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  priority_rank_.assign(graph.num_nodes(), 0);
+  for (std::uint32_t r = 0; r < order.size(); ++r)
+    priority_rank_[order[r]] = r;
+
+  ub_ = std::make_shared<const sched::Schedule>(
+      sched::upper_bound_schedule(graph, machine, comm));
+  ub_len_ = ub_->makespan();
+}
+
+}  // namespace optsched::core

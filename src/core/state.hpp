@@ -1,0 +1,75 @@
+// Search states and the state arena.
+//
+// A state is one assignment step: "schedule `node` on `proc`", chained to
+// its parent state. The full partial schedule a state denotes is recovered
+// by walking the parent chain and replaying the assignments (O(depth) with
+// a small constant — see core/expansion.hpp), so a state itself stays at
+// ~56 bytes regardless of graph size. The paper identifies memory as the
+// binding resource for A*; this layout keeps millions of states resident.
+//
+// States are immutable once created and live in an arena (std::deque gives
+// stable addresses and index-based parent links that serialize trivially
+// for the parallel algorithm's state transfers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "dag/graph.hpp"
+#include "machine/machine.hpp"
+#include "util/flat_set.hpp"
+
+namespace optsched::core {
+
+using StateIndex = std::uint32_t;
+inline constexpr StateIndex kNoParent = static_cast<StateIndex>(-1);
+
+struct State {
+  util::Key128 sig;          ///< order-independent partial-schedule identity
+  double finish = 0.0;       ///< finish time of `node`
+  double g = 0.0;            ///< max finish time over scheduled nodes
+  double h = 0.0;            ///< admissible estimate of remaining length
+  StateIndex parent = kNoParent;
+  dag::NodeId node = dag::kInvalidNode;
+  machine::ProcId proc = machine::kInvalidProc;
+  std::uint32_t depth = 0;   ///< number of scheduled nodes
+
+  double f() const noexcept { return g + h; }
+  bool is_root() const noexcept { return parent == kNoParent && depth == 0; }
+};
+
+class StateArena {
+ public:
+  StateIndex add(const State& s) {
+    const auto idx = static_cast<StateIndex>(states_.size());
+    states_.push_back(s);
+    return idx;
+  }
+
+  const State& operator[](StateIndex i) const {
+    OPTSCHED_ASSERT(i < states_.size());
+    return states_[i];
+  }
+
+  /// Mutable access — used only to patch the heuristic value of imported
+  /// states after replay (parallel transfers); search states are otherwise
+  /// immutable.
+  State& at(StateIndex i) {
+    OPTSCHED_ASSERT(i < states_.size());
+    return states_[i];
+  }
+
+  std::size_t size() const noexcept { return states_.size(); }
+
+  std::size_t memory_bytes() const noexcept {
+    return states_.size() * sizeof(State);
+  }
+
+ private:
+  std::deque<State> states_;
+};
+
+/// Root (empty-schedule) state.
+State make_root_state();
+
+}  // namespace optsched::core

@@ -1,0 +1,69 @@
+#include "dag/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dag/levels.hpp"
+
+namespace optsched::dag {
+
+GraphStats analyze(const TaskGraph& graph) {
+  OPTSCHED_REQUIRE(graph.finalized(), "analyze requires finalize()");
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  s.total_work = graph.total_work();
+  s.total_comm =
+      graph.mean_communication_cost() * static_cast<double>(graph.num_edges());
+  s.ccr = graph.ccr();
+  s.avg_degree = s.num_nodes
+                     ? static_cast<double>(s.num_edges) /
+                           static_cast<double>(s.num_nodes)
+                     : 0.0;
+
+  const Levels lv = compute_levels(graph);
+  s.cp_length = lv.cp_length;
+
+  // Topological "ASAP level" of each node: longest chain (in hops) from an
+  // entry; level widths give the parallelism profile.
+  std::vector<std::size_t> level(graph.num_nodes(), 0);
+  std::size_t depth = 0;
+  for (const NodeId n : graph.topo_order()) {
+    for (const auto& [parent, cost] : graph.parents(n)) {
+      (void)cost;
+      level[n] = std::max(level[n], level[parent] + 1);
+    }
+    depth = std::max(depth, level[n] + 1);
+  }
+  s.depth = depth;
+  s.level_widths.assign(depth, 0);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) ++s.level_widths[level[n]];
+  s.max_width = *std::max_element(s.level_widths.begin(),
+                                  s.level_widths.end());
+
+  // CP node-work: max static level over entries (no edge costs).
+  s.cp_work = 0.0;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n)
+    s.cp_work = std::max(s.cp_work, lv.static_level[n]);
+  s.max_speedup = s.cp_work > 0 ? s.total_work / s.cp_work : 1.0;
+  return s;
+}
+
+std::string format_stats(const TaskGraph& graph, const GraphStats& s) {
+  std::ostringstream out;
+  out << "task graph";
+  if (!graph.name(0).empty()) out << " (" << graph.name(0) << "...)";
+  out << ": " << s.num_nodes << " tasks, " << s.num_edges << " edges\n"
+      << "  total work " << s.total_work << ", CCR " << s.ccr
+      << ", critical path " << s.cp_length << " (work-only " << s.cp_work
+      << ")\n"
+      << "  depth " << s.depth << ", max width " << s.max_width
+      << ", avg out-degree " << s.avg_degree << "\n"
+      << "  ideal max speedup (work/CP) " << s.max_speedup << "\n"
+      << "  parallelism profile:";
+  for (const auto w : s.level_widths) out << " " << w;
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace optsched::dag

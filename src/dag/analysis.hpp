@@ -1,0 +1,38 @@
+// Workload analysis: structural metrics of a task graph that predict
+// scheduling behaviour — depth, width, parallelism profile, speedup
+// bounds. Used by the examples to characterize workloads and by benches to
+// annotate tables; also a convenient sanity layer over generated graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace optsched::dag {
+
+struct GraphStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  double total_work = 0.0;
+  double total_comm = 0.0;
+  double ccr = 0.0;
+  double cp_length = 0.0;          ///< critical path (with edge costs)
+  double cp_work = 0.0;            ///< critical path, node weights only
+  std::size_t depth = 0;           ///< longest chain (node count)
+  std::size_t max_width = 0;       ///< widest topological level
+  double avg_degree = 0.0;         ///< mean out-degree
+  /// Upper bound on achievable speedup: total work / CP node-work
+  /// (communication-free, infinitely many processors).
+  double max_speedup = 0.0;
+  /// Number of tasks per topological level (the parallelism profile).
+  std::vector<std::size_t> level_widths;
+};
+
+/// Compute all metrics in O(v + e).
+GraphStats analyze(const TaskGraph& graph);
+
+/// Multi-line human-readable report.
+std::string format_stats(const TaskGraph& graph, const GraphStats& stats);
+
+}  // namespace optsched::dag

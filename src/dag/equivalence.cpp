@@ -1,0 +1,58 @@
+#include "dag/equivalence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace optsched::dag {
+
+namespace {
+
+// Canonical key for a node: weight plus its (sorted) parent and child
+// adjacency including edge costs. CSR adjacency is already sorted by
+// neighbour id, so spans can be compared directly.
+struct NodeKey {
+  double weight;
+  std::vector<Adjacent> parents;
+  std::vector<Adjacent> children;
+
+  friend bool operator<(const NodeKey& a, const NodeKey& b) {
+    auto lex = [](const std::vector<Adjacent>& x,
+                  const std::vector<Adjacent>& y) {
+      return std::lexicographical_compare(
+          x.begin(), x.end(), y.begin(), y.end(),
+          [](const Adjacent& p, const Adjacent& q) {
+            return p.node != q.node ? p.node < q.node : p.cost < q.cost;
+          });
+    };
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.parents != b.parents) return lex(a.parents, b.parents);
+    if (a.children != b.children) return lex(a.children, b.children);
+    return false;
+  }
+};
+
+}  // namespace
+
+NodeEquivalence::NodeEquivalence(const TaskGraph& graph) {
+  OPTSCHED_REQUIRE(graph.finalized(), "NodeEquivalence requires finalize()");
+  const std::size_t v = graph.num_nodes();
+  rep_.assign(v, kInvalidNode);
+  members_.assign(v, {});
+
+  std::map<NodeKey, NodeId> first_seen;
+  for (NodeId n = 0; n < v; ++n) {
+    NodeKey key;
+    key.weight = graph.weight(n);
+    const auto ps = graph.parents(n);
+    const auto cs = graph.children(n);
+    key.parents.assign(ps.begin(), ps.end());
+    key.children.assign(cs.begin(), cs.end());
+    const auto [it, inserted] = first_seen.try_emplace(std::move(key), n);
+    rep_[n] = it->second;
+    if (inserted) ++num_classes_;
+    members_[it->second].push_back(n);
+  }
+}
+
+}  // namespace optsched::dag

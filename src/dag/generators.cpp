@@ -1,0 +1,242 @@
+#include "dag/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace optsched::dag {
+
+namespace {
+
+/// Integer draw from U{1, 2*mean - 1} (mean exactly `mean` for mean >= 1).
+double uniform_with_mean(util::Rng& rng, double mean) {
+  const auto hi = std::max<std::int64_t>(1, static_cast<std::int64_t>(2 * mean) - 1);
+  return static_cast<double>(rng.uniform_i64(1, hi));
+}
+
+}  // namespace
+
+TaskGraph random_dag(const RandomDagParams& p) {
+  OPTSCHED_REQUIRE(p.num_nodes >= 1, "random_dag requires num_nodes >= 1");
+  OPTSCHED_REQUIRE(p.ccr >= 0.0, "random_dag requires ccr >= 0");
+  util::Rng rng(p.seed);
+  TaskGraph g;
+  const std::uint32_t v = p.num_nodes;
+  for (std::uint32_t i = 0; i < v; ++i)
+    g.add_node(uniform_with_mean(rng, p.mean_comp));
+
+  const double mean_children =
+      p.mean_children > 0 ? p.mean_children
+                          : std::max(1.0, static_cast<double>(v) / 10.0);
+  const double mean_comm = p.mean_comp * p.ccr;
+
+  // Paper §4.1: beginning from the first node, draw the number of children
+  // from a uniform distribution with mean v/10 and wire them to randomly
+  // chosen later nodes (preserving acyclicity by construction).
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t i = 0; i + 1 < v; ++i) {
+    const auto later = v - i - 1;
+    auto want = static_cast<std::uint32_t>(uniform_with_mean(rng, mean_children));
+    want = std::min(want, later);
+    // Sample `want` distinct successors from {i+1, ..., v-1}.
+    candidates.clear();
+    for (std::uint32_t j = i + 1; j < v; ++j) candidates.push_back(j);
+    for (std::uint32_t k = 0; k < want; ++k) {
+      const auto pick =
+          k + static_cast<std::uint32_t>(
+                  rng.uniform_u64(0, candidates.size() - 1 - k));
+      std::swap(candidates[k], candidates[pick]);
+      const double comm = p.ccr == 0.0 ? 0.0 : uniform_with_mean(rng, mean_comm);
+      g.add_edge(i, candidates[k], comm);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph gaussian_elimination(std::uint32_t m, double comp, double comm) {
+  OPTSCHED_REQUIRE(m >= 2, "gaussian_elimination requires matrix_dim >= 2");
+  TaskGraph g;
+  // pivot[k]: pivot task of column k (k = 0..m-2);
+  // update[k][j]: update of column j in sweep k (j = k+1..m-1).
+  std::vector<NodeId> pivot(m - 1);
+  std::vector<std::vector<NodeId>> update(m - 1);
+  for (std::uint32_t k = 0; k + 1 < m; ++k) {
+    pivot[k] = g.add_node(comp, "piv" + std::to_string(k));
+    update[k].resize(m);
+    for (std::uint32_t j = k + 1; j < m; ++j)
+      update[k][j] = g.add_node(
+          comp, "upd" + std::to_string(k) + "_" + std::to_string(j));
+  }
+  for (std::uint32_t k = 0; k + 1 < m; ++k) {
+    for (std::uint32_t j = k + 1; j < m; ++j) {
+      g.add_edge(pivot[k], update[k][j], comm);   // pivot row broadcast
+      if (k + 1 < m - 1 && j >= k + 1) {
+        if (j == k + 1) {
+          // The next pivot depends on this column's update.
+          g.add_edge(update[k][j], pivot[k + 1], comm);
+        } else {
+          // The next sweep's update of column j depends on this one.
+          g.add_edge(update[k][j], update[k + 1][j], comm);
+        }
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph fft(std::uint32_t points, double comp, double comm) {
+  OPTSCHED_REQUIRE(points >= 2 && (points & (points - 1)) == 0,
+                   "fft requires a power-of-two point count >= 2");
+  const auto ranks = static_cast<std::uint32_t>(std::round(std::log2(points)));
+  TaskGraph g;
+  std::vector<std::vector<NodeId>> stage(ranks + 1,
+                                         std::vector<NodeId>(points));
+  for (std::uint32_t r = 0; r <= ranks; ++r)
+    for (std::uint32_t i = 0; i < points; ++i)
+      stage[r][i] = g.add_node(
+          comp, "fft" + std::to_string(r) + "_" + std::to_string(i));
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const std::uint32_t span = points >> (r + 1);
+    for (std::uint32_t i = 0; i < points; ++i) {
+      const std::uint32_t partner = i ^ span;
+      g.add_edge(stage[r][i], stage[r + 1][i], comm);
+      g.add_edge(stage[r][i], stage[r + 1][partner], comm);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph fork_join(std::uint32_t width, double comp, double comm) {
+  OPTSCHED_REQUIRE(width >= 1, "fork_join requires width >= 1");
+  TaskGraph g;
+  const NodeId fork = g.add_node(comp, "fork");
+  const NodeId join = g.add_node(comp, "join");
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const NodeId mid = g.add_node(comp, "work" + std::to_string(i));
+    g.add_edge(fork, mid, comm);
+    g.add_edge(mid, join, comm);
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph out_tree(std::uint32_t branching, std::uint32_t depth, double comp,
+                   double comm) {
+  OPTSCHED_REQUIRE(branching >= 1 && depth >= 1, "out_tree needs b,d >= 1");
+  TaskGraph g;
+  std::vector<NodeId> level{g.add_node(comp, "root")};
+  for (std::uint32_t d = 1; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (const NodeId parent : level)
+      for (std::uint32_t b = 0; b < branching; ++b) {
+        const NodeId child = g.add_node(comp);
+        g.add_edge(parent, child, comm);
+        next.push_back(child);
+      }
+    level = std::move(next);
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph in_tree(std::uint32_t branching, std::uint32_t depth, double comp,
+                  double comm) {
+  OPTSCHED_REQUIRE(branching >= 1 && depth >= 1, "in_tree needs b,d >= 1");
+  // Build the mirror of out_tree: leaves first, edges child -> parent.
+  TaskGraph g;
+  std::vector<std::vector<NodeId>> levels(depth);
+  std::size_t width = 1;
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    levels[d].resize(width);
+    width *= branching;
+  }
+  // Allocate nodes bottom level last so ids follow a topological order of
+  // the reduction (deepest level = entries).
+  for (std::uint32_t d = depth; d-- > 0;)
+    for (auto& id : levels[d]) id = g.add_node(comp);
+  for (std::uint32_t d = 0; d + 1 < depth; ++d)
+    for (std::size_t i = 0; i < levels[d + 1].size(); ++i)
+      g.add_edge(levels[d + 1][i], levels[d][i / branching], comm);
+  g.finalize();
+  return g;
+}
+
+TaskGraph layered(std::uint32_t layers, std::uint32_t width, double comp,
+                  double comm) {
+  OPTSCHED_REQUIRE(layers >= 1 && width >= 1, "layered needs l,w >= 1");
+  TaskGraph g;
+  std::vector<NodeId> prev, cur;
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    cur.clear();
+    for (std::uint32_t i = 0; i < width; ++i)
+      cur.push_back(
+          g.add_node(comp, "L" + std::to_string(l) + "_" + std::to_string(i)));
+    for (const NodeId a : prev)
+      for (const NodeId b : cur) g.add_edge(a, b, comm);
+    prev = cur;
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph diamond(std::uint32_t half_depth, double comp, double comm) {
+  OPTSCHED_REQUIRE(half_depth >= 1, "diamond needs half_depth >= 1");
+  TaskGraph g;
+  // Widths 1, 2, ..., half_depth, ..., 2, 1; consecutive rows wired by
+  // the standard diamond stencil (each node feeds its one or two
+  // neighbours in the next row).
+  std::vector<std::vector<NodeId>> rows;
+  const std::uint32_t total_rows = 2 * half_depth - 1;
+  for (std::uint32_t r = 0; r < total_rows; ++r) {
+    const std::uint32_t w =
+        r < half_depth ? r + 1 : total_rows - r;
+    rows.emplace_back();
+    for (std::uint32_t i = 0; i < w; ++i) rows.back().push_back(g.add_node(comp));
+  }
+  for (std::uint32_t r = 0; r + 1 < total_rows; ++r) {
+    const auto& a = rows[r];
+    const auto& b = rows[r + 1];
+    if (b.size() > a.size()) {
+      // expanding: node i feeds i and i+1
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        g.add_edge(a[i], b[i], comm);
+        g.add_edge(a[i], b[i + 1], comm);
+      }
+    } else {
+      // contracting: node i feeds i-1 and i
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) g.add_edge(a[i], b[i - 1], comm);
+        if (i < b.size()) g.add_edge(a[i], b[i], comm);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph chain(std::uint32_t length, double comp, double comm) {
+  OPTSCHED_REQUIRE(length >= 1, "chain needs length >= 1");
+  TaskGraph g;
+  NodeId prev = g.add_node(comp);
+  for (std::uint32_t i = 1; i < length; ++i) {
+    const NodeId cur = g.add_node(comp);
+    g.add_edge(prev, cur, comm);
+    prev = cur;
+  }
+  g.finalize();
+  return g;
+}
+
+TaskGraph independent_tasks(std::uint32_t count, double comp) {
+  OPTSCHED_REQUIRE(count >= 1, "independent_tasks needs count >= 1");
+  TaskGraph g;
+  for (std::uint32_t i = 0; i < count; ++i) g.add_node(comp);
+  g.finalize();
+  return g;
+}
+
+}  // namespace optsched::dag

@@ -1,0 +1,71 @@
+// Task-graph workload generators.
+//
+// `random_dag` reproduces the paper's §4.1 recipe exactly; the structured
+// generators (Gaussian elimination, FFT, fork-join, trees, layered, diamond,
+// stencil) model the application DAGs that motivate the scheduling problem
+// and are used by the examples and property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/graph.hpp"
+#include "util/rng.hpp"
+
+namespace optsched::dag {
+
+/// Parameters of the paper's random-graph recipe (§4.1):
+///   * computation cost of each node ~ uniform with mean `mean_comp` (40),
+///   * number of children of each node ~ uniform with mean v/10 (the graph
+///     connectivity grows with its size),
+///   * communication cost of each edge ~ uniform with mean `mean_comp*ccr`.
+/// Uniform-with-mean-m draws are integers from U{1, 2m-1} (mean exactly m),
+/// keeping all costs positive integers as in the paper's examples.
+struct RandomDagParams {
+  std::uint32_t num_nodes = 20;
+  double ccr = 1.0;
+  double mean_comp = 40.0;
+  /// Mean out-degree; <= 0 selects the paper's v/10 rule.
+  double mean_children = -1.0;
+  std::uint64_t seed = 1;
+};
+
+TaskGraph random_dag(const RandomDagParams& params);
+
+/// Gaussian elimination on an m x m matrix: the classic column-sweep DAG
+/// with one pivot task per column and update tasks below it.
+/// v = m(m+1)/2 - 1 nodes.
+TaskGraph gaussian_elimination(std::uint32_t matrix_dim, double comp = 40.0,
+                               double comm = 40.0);
+
+/// Radix-2 FFT butterfly DAG over `points` inputs (power of two):
+/// log2(points)+1 ranks of `points` nodes with the butterfly wiring.
+TaskGraph fft(std::uint32_t points, double comp = 40.0, double comm = 40.0);
+
+/// Fork-join: entry -> `width` independent middle tasks -> exit.
+TaskGraph fork_join(std::uint32_t width, double comp = 40.0,
+                    double comm = 40.0);
+
+/// Complete out-tree (root at top) of the given branching factor and depth.
+TaskGraph out_tree(std::uint32_t branching, std::uint32_t depth,
+                   double comp = 40.0, double comm = 40.0);
+
+/// Complete in-tree (reduction) of the given branching factor and depth.
+TaskGraph in_tree(std::uint32_t branching, std::uint32_t depth,
+                  double comp = 40.0, double comm = 40.0);
+
+/// `layers` fully-connected consecutive ranks of `width` nodes each
+/// (a pipelined stencil / wavefront skeleton).
+TaskGraph layered(std::uint32_t layers, std::uint32_t width,
+                  double comp = 40.0, double comm = 40.0);
+
+/// Diamond (split/merge) DAG of the given depth: widths 1,2,...,k,...,2,1.
+TaskGraph diamond(std::uint32_t half_depth, double comp = 40.0,
+                  double comm = 40.0);
+
+/// A chain of `length` tasks (purely sequential program).
+TaskGraph chain(std::uint32_t length, double comp = 40.0, double comm = 40.0);
+
+/// `count` independent tasks (embarrassingly parallel program).
+TaskGraph independent_tasks(std::uint32_t count, double comp = 40.0);
+
+}  // namespace optsched::dag

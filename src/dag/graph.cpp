@@ -1,0 +1,134 @@
+#include "dag/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optsched::dag {
+
+NodeId TaskGraph::add_node(double weight, std::string name) {
+  OPTSCHED_REQUIRE(!finalized_, "add_node after finalize()");
+  OPTSCHED_REQUIRE(std::isfinite(weight) && weight >= 0.0,
+                   "node weight must be finite and non-negative");
+  const auto id = static_cast<NodeId>(weights_.size());
+  weights_.push_back(weight);
+  if (name.empty()) name = "n" + std::to_string(id + 1);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void TaskGraph::add_edge(NodeId src, NodeId dst, double cost) {
+  OPTSCHED_REQUIRE(!finalized_, "add_edge after finalize()");
+  OPTSCHED_REQUIRE(src < weights_.size() && dst < weights_.size(),
+                   "edge endpoint out of range");
+  OPTSCHED_REQUIRE(src != dst, "self-edges are not allowed in a DAG");
+  OPTSCHED_REQUIRE(std::isfinite(cost) && cost >= 0.0,
+                   "edge cost must be finite and non-negative");
+  raw_edges_.push_back({src, dst, cost});
+}
+
+void TaskGraph::finalize() {
+  OPTSCHED_REQUIRE(!finalized_, "finalize() called twice");
+  OPTSCHED_REQUIRE(!weights_.empty(), "graph has no nodes");
+
+  const std::size_t v = weights_.size();
+
+  // Reject duplicate edges (ambiguous communication cost).
+  {
+    auto sorted = raw_edges_;
+    std::sort(sorted.begin(), sorted.end(), [](const RawEdge& a, const RawEdge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+      OPTSCHED_REQUIRE(sorted[i].src != sorted[i - 1].src ||
+                           sorted[i].dst != sorted[i - 1].dst,
+                       "duplicate edge in task graph");
+  }
+
+  // Build CSR adjacency (children and parents), sorted by neighbour id so
+  // equality of adjacency lists can be tested directly (node equivalence).
+  child_off_.assign(v + 1, 0);
+  parent_off_.assign(v + 1, 0);
+  for (const auto& e : raw_edges_) {
+    ++child_off_[e.src + 1];
+    ++parent_off_[e.dst + 1];
+  }
+  for (std::size_t i = 0; i < v; ++i) {
+    child_off_[i + 1] += child_off_[i];
+    parent_off_[i + 1] += parent_off_[i];
+  }
+  children_.resize(raw_edges_.size());
+  parents_.resize(raw_edges_.size());
+  {
+    auto cpos = child_off_;
+    auto ppos = parent_off_;
+    for (const auto& e : raw_edges_) {
+      children_[cpos[e.src]++] = {e.dst, e.cost};
+      parents_[ppos[e.dst]++] = {e.src, e.cost};
+    }
+  }
+  for (std::size_t n = 0; n < v; ++n) {
+    std::sort(children_.begin() + static_cast<std::ptrdiff_t>(child_off_[n]),
+              children_.begin() + static_cast<std::ptrdiff_t>(child_off_[n + 1]),
+              [](const Adjacent& a, const Adjacent& b) { return a.node < b.node; });
+    std::sort(parents_.begin() + static_cast<std::ptrdiff_t>(parent_off_[n]),
+              parents_.begin() + static_cast<std::ptrdiff_t>(parent_off_[n + 1]),
+              [](const Adjacent& a, const Adjacent& b) { return a.node < b.node; });
+  }
+
+  // Kahn's algorithm: topological order + cycle detection. A min-id frontier
+  // keeps the order deterministic across platforms.
+  std::vector<std::size_t> indegree(v, 0);
+  for (const auto& e : raw_edges_) ++indegree[e.dst];
+  std::vector<NodeId> frontier;
+  for (NodeId n = 0; n < v; ++n)
+    if (indegree[n] == 0) frontier.push_back(n);
+  topo_.clear();
+  topo_.reserve(v);
+  while (!frontier.empty()) {
+    const auto it = std::min_element(frontier.begin(), frontier.end());
+    const NodeId n = *it;
+    frontier.erase(it);
+    topo_.push_back(n);
+    for (std::size_t k = child_off_[n]; k < child_off_[n + 1]; ++k) {
+      const NodeId c = children_[k].node;
+      if (--indegree[c] == 0) frontier.push_back(c);
+    }
+  }
+  OPTSCHED_REQUIRE(topo_.size() == v, "task graph contains a cycle");
+
+  entries_.clear();
+  exits_.clear();
+  total_work_ = 0.0;
+  total_comm_ = 0.0;
+  for (NodeId n = 0; n < v; ++n) {
+    if (parent_off_[n + 1] == parent_off_[n]) entries_.push_back(n);
+    if (child_off_[n + 1] == child_off_[n]) exits_.push_back(n);
+    total_work_ += weights_[n];
+  }
+  for (const auto& e : raw_edges_) total_comm_ += e.cost;
+  edge_count_ = raw_edges_.size();
+  raw_edges_.clear();
+  raw_edges_.shrink_to_fit();
+  finalized_ = true;
+}
+
+TaskGraph paper_figure1() {
+  TaskGraph g;
+  const NodeId n1 = g.add_node(2, "n1");
+  const NodeId n2 = g.add_node(3, "n2");
+  const NodeId n3 = g.add_node(3, "n3");
+  const NodeId n4 = g.add_node(4, "n4");
+  const NodeId n5 = g.add_node(5, "n5");
+  const NodeId n6 = g.add_node(2, "n6");
+  g.add_edge(n1, n2, 1);
+  g.add_edge(n1, n3, 1);
+  g.add_edge(n1, n4, 2);
+  g.add_edge(n2, n5, 1);
+  g.add_edge(n3, n5, 1);
+  g.add_edge(n4, n6, 4);
+  g.add_edge(n5, n6, 5);
+  g.finalize();
+  return g;
+}
+
+}  // namespace optsched::dag

@@ -1,0 +1,145 @@
+// Node- and edge-weighted directed acyclic task graph (paper §2).
+//
+// A TaskGraph models a parallel program: node weights are computation costs
+// w(n_i), edge weights are communication costs c(n_i, n_j). The graph is
+// built incrementally (add_node / add_edge) and then finalized, which
+// validates it (acyclic, ids in range, finite non-negative costs), computes
+// a topological order, and freezes CSR-style parent/child adjacency for
+// O(1) traversal during search.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace optsched::dag {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// One adjacency entry: the neighbouring node and the communication cost of
+/// the connecting edge.
+struct Adjacent {
+  NodeId node = kInvalidNode;
+  double cost = 0.0;
+
+  friend bool operator==(const Adjacent&, const Adjacent&) = default;
+};
+
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Add a task with computation cost `weight`; returns its id (dense,
+  /// starting at 0). Optional human-readable name for Gantt/DOT output.
+  NodeId add_node(double weight, std::string name = "");
+
+  /// Add a precedence edge src -> dst with communication cost `cost`.
+  void add_edge(NodeId src, NodeId dst, double cost);
+
+  /// Validate and freeze the graph. Throws util::Error on cycles,
+  /// self-edges, duplicate edges, or non-finite/negative costs.
+  void finalize();
+
+  bool finalized() const noexcept { return finalized_; }
+
+  std::size_t num_nodes() const noexcept { return weights_.size(); }
+  std::size_t num_edges() const noexcept { return edge_count_; }
+
+  double weight(NodeId n) const {
+    OPTSCHED_ASSERT(n < num_nodes());
+    return weights_[n];
+  }
+
+  const std::string& name(NodeId n) const {
+    OPTSCHED_ASSERT(n < num_nodes());
+    return names_[n];
+  }
+
+  std::span<const Adjacent> children(NodeId n) const {
+    OPTSCHED_ASSERT(finalized_ && n < num_nodes());
+    return {children_.data() + child_off_[n], child_off_[n + 1] - child_off_[n]};
+  }
+
+  std::span<const Adjacent> parents(NodeId n) const {
+    OPTSCHED_ASSERT(finalized_ && n < num_nodes());
+    return {parents_.data() + parent_off_[n], parent_off_[n + 1] - parent_off_[n]};
+  }
+
+  std::size_t num_children(NodeId n) const { return children(n).size(); }
+  std::size_t num_parents(NodeId n) const { return parents(n).size(); }
+
+  bool is_entry(NodeId n) const { return num_parents(n) == 0; }
+  bool is_exit(NodeId n) const { return num_children(n) == 0; }
+
+  /// Nodes in a topological order (stable: ties broken by node id).
+  std::span<const NodeId> topo_order() const {
+    OPTSCHED_ASSERT(finalized_);
+    return topo_;
+  }
+
+  std::span<const NodeId> entry_nodes() const {
+    OPTSCHED_ASSERT(finalized_);
+    return entries_;
+  }
+
+  std::span<const NodeId> exit_nodes() const {
+    OPTSCHED_ASSERT(finalized_);
+    return exits_;
+  }
+
+  /// Sum of all computation costs (a trivial 1-processor schedule length).
+  double total_work() const {
+    OPTSCHED_ASSERT(finalized_);
+    return total_work_;
+  }
+
+  double mean_computation_cost() const {
+    OPTSCHED_ASSERT(finalized_);
+    return num_nodes() ? total_work_ / static_cast<double>(num_nodes()) : 0.0;
+  }
+
+  double mean_communication_cost() const {
+    OPTSCHED_ASSERT(finalized_);
+    return num_edges() ? total_comm_ / static_cast<double>(num_edges()) : 0.0;
+  }
+
+  /// Communication-to-computation ratio of this graph (paper §2).
+  double ccr() const {
+    OPTSCHED_ASSERT(finalized_);
+    return mean_computation_cost() > 0
+               ? mean_communication_cost() / mean_computation_cost()
+               : 0.0;
+  }
+
+ private:
+  struct RawEdge {
+    NodeId src;
+    NodeId dst;
+    double cost;
+  };
+
+  bool finalized_ = false;
+  std::vector<double> weights_;
+  std::vector<std::string> names_;
+  std::vector<RawEdge> raw_edges_;
+  std::size_t edge_count_ = 0;
+  double total_work_ = 0.0;
+  double total_comm_ = 0.0;
+
+  // CSR adjacency, valid after finalize().
+  std::vector<std::size_t> child_off_, parent_off_;
+  std::vector<Adjacent> children_, parents_;
+  std::vector<NodeId> topo_, entries_, exits_;
+};
+
+/// The 6-node example DAG of the paper's Figure 1(a). Edge costs are
+/// reconstructed from the published t-level/b-level/static-level table
+/// (Figure 2): (n1,n2)=1, (n1,n3)=1, (n1,n4)=2, (n2,n5)=1, (n3,n5)=1,
+/// (n4,n6)=4, (n5,n6)=5. Node ids here are zero-based (paper n1 == node 0).
+TaskGraph paper_figure1();
+
+}  // namespace optsched::dag

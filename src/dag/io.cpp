@@ -1,0 +1,122 @@
+#include "dag/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace optsched::dag {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& msg) {
+  throw util::Error("task graph parse error at line " + std::to_string(line) +
+                    ": " + msg);
+}
+
+}  // namespace
+
+TaskGraph read_text(std::istream& in) {
+  TaskGraph g;
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t declared_nodes = 0;
+  std::size_t created_nodes = 0;
+  bool saw_nodes = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "nodes") {
+      if (saw_nodes) parse_error(lineno, "duplicate 'nodes' directive");
+      if (!(ls >> declared_nodes) || declared_nodes == 0)
+        parse_error(lineno, "'nodes' expects a positive count");
+      saw_nodes = true;
+    } else if (directive == "node") {
+      if (!saw_nodes) parse_error(lineno, "'node' before 'nodes'");
+      std::size_t id;
+      double weight;
+      if (!(ls >> id >> weight))
+        parse_error(lineno, "'node' expects: node <id> <weight> [name]");
+      if (id != created_nodes)
+        parse_error(lineno, "node ids must be dense and in order (expected " +
+                                std::to_string(created_nodes) + ")");
+      if (id >= declared_nodes)
+        parse_error(lineno, "node id exceeds declared node count");
+      std::string name;
+      ls >> name;  // optional
+      try {
+        g.add_node(weight, name);
+      } catch (const util::Error& e) {
+        parse_error(lineno, e.what());
+      }
+      ++created_nodes;
+    } else if (directive == "edge") {
+      std::size_t src, dst;
+      double cost;
+      if (!(ls >> src >> dst >> cost))
+        parse_error(lineno, "'edge' expects: edge <src> <dst> <cost>");
+      if (src >= created_nodes || dst >= created_nodes)
+        parse_error(lineno, "edge endpoint not yet declared");
+      try {
+        g.add_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst), cost);
+      } catch (const util::Error& e) {
+        parse_error(lineno, e.what());
+      }
+    } else {
+      parse_error(lineno, "unknown directive '" + directive + "'");
+    }
+  }
+
+  if (!saw_nodes) throw util::Error("task graph file has no 'nodes' directive");
+  if (created_nodes != declared_nodes)
+    throw util::Error("task graph declares " + std::to_string(declared_nodes) +
+                      " nodes but defines " + std::to_string(created_nodes));
+  try {
+    g.finalize();
+  } catch (const util::Error& e) {
+    throw util::Error(std::string("task graph invalid: ") + e.what());
+  }
+  return g;
+}
+
+TaskGraph read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  OPTSCHED_REQUIRE(in.good(), "cannot open task graph file: " + path);
+  return read_text(in);
+}
+
+void write_text(const TaskGraph& g, std::ostream& out) {
+  OPTSCHED_REQUIRE(g.finalized(), "write_text requires a finalized graph");
+  out << "# optsched task graph: " << g.num_nodes() << " nodes, "
+      << g.num_edges() << " edges, CCR " << g.ccr() << "\n";
+  out << "nodes " << g.num_nodes() << "\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    out << "node " << n << " " << g.weight(n) << " " << g.name(n) << "\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n))
+      out << "edge " << n << " " << child << " " << cost << "\n";
+}
+
+void write_text_file(const TaskGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  OPTSCHED_REQUIRE(out.good(), "cannot open output file: " + path);
+  write_text(g, out);
+}
+
+void write_dot(const TaskGraph& g, std::ostream& out) {
+  OPTSCHED_REQUIRE(g.finalized(), "write_dot requires a finalized graph");
+  out << "digraph taskgraph {\n  rankdir=TB;\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    out << "  n" << n << " [label=\"" << g.name(n) << " (" << g.weight(n)
+        << ")\"];\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n))
+      out << "  n" << n << " -> n" << child << " [label=\"" << cost << "\"];\n";
+  out << "}\n";
+}
+
+}  // namespace optsched::dag

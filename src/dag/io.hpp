@@ -1,0 +1,32 @@
+// Task-graph serialization.
+//
+// Text format (one directive per line, '#' comments):
+//
+//   nodes <v>
+//   node <id> <weight> [name]
+//   edge <src> <dst> <cost>
+//
+// plus Graphviz DOT export for visual inspection of generated workloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/graph.hpp"
+
+namespace optsched::dag {
+
+/// Parse a graph from the text format. Throws util::Error with a
+/// line-numbered message on malformed input.
+TaskGraph read_text(std::istream& in);
+TaskGraph read_text_file(const std::string& path);
+
+/// Serialize a finalized graph to the text format (round-trips exactly for
+/// integer-valued costs).
+void write_text(const TaskGraph& graph, std::ostream& out);
+void write_text_file(const TaskGraph& graph, const std::string& path);
+
+/// Graphviz DOT with node labels "name (w)" and edge labels "c".
+void write_dot(const TaskGraph& graph, std::ostream& out);
+
+}  // namespace optsched::dag

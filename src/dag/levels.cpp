@@ -1,0 +1,71 @@
+#include "dag/levels.hpp"
+
+#include <algorithm>
+
+namespace optsched::dag {
+
+Levels compute_levels(const TaskGraph& graph) {
+  OPTSCHED_REQUIRE(graph.finalized(), "compute_levels requires finalize()");
+  const std::size_t v = graph.num_nodes();
+  Levels lv;
+  lv.t_level.assign(v, 0.0);
+  lv.b_level.assign(v, 0.0);
+  lv.static_level.assign(v, 0.0);
+
+  // Forward sweep for t-levels.
+  for (const NodeId n : graph.topo_order()) {
+    double t = 0.0;
+    for (const auto& [parent, cost] : graph.parents(n))
+      t = std::max(t, lv.t_level[parent] + graph.weight(parent) + cost);
+    lv.t_level[n] = t;
+  }
+
+  // Backward sweep for b-levels and static levels.
+  const auto topo = graph.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    double b = 0.0, s = 0.0;
+    for (const auto& [child, cost] : graph.children(n)) {
+      b = std::max(b, cost + lv.b_level[child]);
+      s = std::max(s, lv.static_level[child]);
+    }
+    lv.b_level[n] = graph.weight(n) + b;
+    lv.static_level[n] = graph.weight(n) + s;
+  }
+
+  lv.cp_length = 0.0;
+  for (const NodeId n : graph.entry_nodes())
+    lv.cp_length = std::max(lv.cp_length, lv.b_level[n]);
+  return lv;
+}
+
+std::vector<NodeId> critical_path(const TaskGraph& graph, const Levels& lv) {
+  OPTSCHED_REQUIRE(graph.finalized(), "critical_path requires finalize()");
+  // Start from the smallest-id entry node whose b-level equals the CP
+  // length, then repeatedly follow the child that continues the path.
+  NodeId current = kInvalidNode;
+  for (const NodeId n : graph.entry_nodes())
+    if (lv.b_level[n] == lv.cp_length) {
+      current = n;
+      break;
+    }
+  OPTSCHED_ASSERT(current != kInvalidNode);
+
+  std::vector<NodeId> path{current};
+  while (!graph.is_exit(current)) {
+    NodeId next = kInvalidNode;
+    for (const auto& [child, cost] : graph.children(current)) {
+      if (lv.b_level[current] ==
+          graph.weight(current) + cost + lv.b_level[child]) {
+        next = child;
+        break;
+      }
+    }
+    OPTSCHED_ASSERT(next != kInvalidNode);
+    path.push_back(next);
+    current = next;
+  }
+  return path;
+}
+
+}  // namespace optsched::dag

@@ -1,0 +1,45 @@
+// Node level attributes (paper §3.2, "Priority Assignment").
+//
+//  * t-level(n): length of the longest path from an entry node to n,
+//    *excluding* w(n) but including the edge costs along the path — a lower
+//    bound on n's earliest possible start time.
+//  * b-level(n): length of the longest path from n to an exit node,
+//    *including* w(n) and edge costs.
+//  * static level sl(n): b-level computed without edge costs — the quantity
+//    the paper's heuristic function h(s) uses.
+//
+// All three are computed in O(v + e) by one forward and one backward sweep
+// over the topological order. The critical path (CP) is the longest path in
+// the graph; its length equals max_n b-level(n) and a node lies on a CP iff
+// t-level(n) + b-level(n) == CP length.
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.hpp"
+
+namespace optsched::dag {
+
+struct Levels {
+  std::vector<double> t_level;
+  std::vector<double> b_level;
+  std::vector<double> static_level;
+  double cp_length = 0.0;
+
+  /// Priority used by the paper's search to order ready nodes: the node
+  /// with the *largest* b-level + t-level is considered first.
+  double priority(NodeId n) const { return b_level[n] + t_level[n]; }
+
+  bool on_critical_path(NodeId n) const {
+    return t_level[n] + b_level[n] == cp_length;
+  }
+};
+
+/// Compute all level attributes. The graph must be finalized.
+Levels compute_levels(const TaskGraph& graph);
+
+/// Extract one critical path (entry -> exit node sequence). Deterministic:
+/// smallest-id tie-breaking.
+std::vector<NodeId> critical_path(const TaskGraph& graph, const Levels& levels);
+
+}  // namespace optsched::dag

@@ -1,0 +1,103 @@
+#include "dag/stg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace optsched::dag {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& msg) {
+  throw util::Error("STG parse error at line " + std::to_string(line) + ": " +
+                    msg);
+}
+
+}  // namespace
+
+TaskGraph read_stg(std::istream& in, const StgOptions& options) {
+  OPTSCHED_REQUIRE(options.ccr >= 0.0, "STG ccr must be >= 0");
+  std::string line;
+  std::size_t lineno = 0;
+
+  // First significant line: the task count.
+  std::size_t declared = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (!(ls >> declared) || declared == 0)
+      parse_error(lineno, "expected a positive task count");
+    break;
+  }
+  OPTSCHED_REQUIRE(declared > 0, "STG file has no task count line");
+
+  struct Row {
+    double cost;
+    std::vector<std::size_t> preds;
+  };
+  std::vector<Row> rows;
+  rows.reserve(declared);
+
+  while (rows.size() < declared && std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::size_t id, npred;
+    double cost;
+    if (!(ls >> id >> cost >> npred))
+      parse_error(lineno, "expected: id cost #preds pred...");
+    if (id != rows.size())
+      parse_error(lineno, "task ids must be dense and in order (expected " +
+                              std::to_string(rows.size()) + ")");
+    if (cost < 0) parse_error(lineno, "negative processing time");
+    Row row;
+    row.cost = cost;
+    for (std::size_t k = 0; k < npred; ++k) {
+      std::size_t pred;
+      if (!(ls >> pred)) parse_error(lineno, "missing predecessor id");
+      if (pred >= id)
+        parse_error(lineno, "predecessor must precede the task");
+      row.preds.push_back(pred);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.size() != declared)
+    throw util::Error("STG file declares " + std::to_string(declared) +
+                      " tasks but defines " + std::to_string(rows.size()));
+
+  // Mean computation cost drives the synthesized comm-cost mean.
+  double total = 0;
+  for (const auto& r : rows) total += r.cost;
+  const double mean_comp =
+      rows.empty() ? 0.0 : total / static_cast<double>(rows.size());
+  const double mean_comm = mean_comp * options.ccr;
+  util::Rng rng(options.seed);
+
+  TaskGraph g;
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    g.add_node(rows[i].cost, "t" + std::to_string(i));
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (const std::size_t pred : rows[i].preds) {
+      double comm = 0.0;
+      if (options.ccr > 0.0 && mean_comm >= 0.5) {
+        const auto hi = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(2 * mean_comm) - 1);
+        comm = static_cast<double>(rng.uniform_i64(1, hi));
+      }
+      g.add_edge(static_cast<NodeId>(pred), static_cast<NodeId>(i), comm);
+    }
+  g.finalize();
+  return g;
+}
+
+TaskGraph read_stg_file(const std::string& path, const StgOptions& options) {
+  std::ifstream in(path);
+  OPTSCHED_REQUIRE(in.good(), "cannot open STG file: " + path);
+  return read_stg(in, options);
+}
+
+}  // namespace optsched::dag

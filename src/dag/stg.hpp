@@ -1,0 +1,35 @@
+// Reader for the Standard Task Graph Set (STG) format from Kasahara's
+// group — whose branch-and-bound work [9] the paper builds on. STG files
+// describe precedence-constrained task sets *without* communication costs:
+//
+//   <number-of-tasks>
+//   <task-id> <processing-time> <#predecessors> <pred-1> ... <pred-k>
+//   ...
+//
+// ('#'-prefixed trailer lines are comments/metadata.) Since the paper's
+// model is communication-aware, the reader can synthesize edge costs to a
+// requested CCR: costs are drawn from U{1, 2*mean-1} with mean
+// mean_comp * ccr, deterministically from `seed` — the same recipe as the
+// §4.1 random workloads. ccr = 0 reproduces the original STG semantics.
+//
+// STG's dummy entry/exit nodes (zero-cost first and last tasks) are kept:
+// they are honest zero-weight tasks and do not affect schedule length.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/graph.hpp"
+
+namespace optsched::dag {
+
+struct StgOptions {
+  double ccr = 0.0;        ///< synthesized communication-to-computation ratio
+  std::uint64_t seed = 1;  ///< seed for synthesized edge costs
+};
+
+TaskGraph read_stg(std::istream& in, const StgOptions& options = {});
+TaskGraph read_stg_file(const std::string& path,
+                        const StgOptions& options = {});
+
+}  // namespace optsched::dag

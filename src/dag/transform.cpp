@@ -1,0 +1,35 @@
+#include "dag/transform.hpp"
+
+#include <cmath>
+
+namespace optsched::dag {
+
+TaskGraph reverse(const TaskGraph& g) {
+  OPTSCHED_REQUIRE(g.finalized(), "reverse requires finalize()");
+  TaskGraph out;
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    out.add_node(g.weight(n), g.name(n));
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n))
+      out.add_edge(child, n, cost);
+  out.finalize();
+  return out;
+}
+
+TaskGraph scaled(const TaskGraph& g, double comp_scale, double comm_scale) {
+  OPTSCHED_REQUIRE(g.finalized(), "scaled requires finalize()");
+  OPTSCHED_REQUIRE(std::isfinite(comp_scale) && comp_scale > 0,
+                   "comp_scale must be positive and finite");
+  OPTSCHED_REQUIRE(std::isfinite(comm_scale) && comm_scale > 0,
+                   "comm_scale must be positive and finite");
+  TaskGraph out;
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    out.add_node(g.weight(n) * comp_scale, g.name(n));
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n))
+      out.add_edge(n, child, cost * comm_scale);
+  out.finalize();
+  return out;
+}
+
+}  // namespace optsched::dag

@@ -1,0 +1,24 @@
+// Graph transformations.
+//
+// `reverse` flips every edge (and keeps costs): scheduling the reversed
+// DAG is the time-mirror of scheduling the original, so the two have
+// identical optimal makespans on any machine with symmetric communication
+// — a strong whole-stack invariant exercised by the property tests.
+//
+// `scaled` multiplies all node and/or edge costs by constants: optimal
+// makespans scale linearly with a uniform cost scale, another invariant.
+#pragma once
+
+#include "dag/graph.hpp"
+
+namespace optsched::dag {
+
+/// The edge-reversed graph. Node ids and weights are preserved.
+TaskGraph reverse(const TaskGraph& graph);
+
+/// Copy with node weights scaled by `comp_scale` and edge costs scaled by
+/// `comm_scale` (both must be positive and finite).
+TaskGraph scaled(const TaskGraph& graph, double comp_scale,
+                 double comm_scale);
+
+}  // namespace optsched::dag

@@ -1,0 +1,191 @@
+#include "machine/automorphism.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace optsched::machine {
+
+AutomorphismGroup::AutomorphismGroup(const Machine& machine,
+                                     std::size_t max_perms)
+    : num_procs_(machine.num_procs()) {
+  if (machine.fully_connected_topology() && machine.homogeneous()) {
+    fully_symmetric_ = true;
+  } else {
+    enumerate(machine, max_perms);
+  }
+
+  // Weak-rule classes: processors with equal speed and equal neighbour sets
+  // (the paper's Definition 2 condition (i)). Used only if enumeration was
+  // capped; also handy for tests.
+  std::map<std::pair<double, std::vector<ProcId>>, std::uint32_t> seen;
+  weak_class_.assign(num_procs_, 0);
+  for (ProcId p = 0; p < num_procs_; ++p) {
+    auto ns = machine.neighbors(p);
+    std::pair<double, std::vector<ProcId>> key{machine.speed(p),
+                                               {ns.begin(), ns.end()}};
+    const auto [it, inserted] = seen.try_emplace(std::move(key), p);
+    (void)inserted;
+    weak_class_[p] = it->second;
+  }
+}
+
+void AutomorphismGroup::enumerate(const Machine& machine,
+                                  std::size_t max_perms) {
+  const std::uint32_t p = machine.num_procs();
+
+  // Backtracking search over vertex mappings. Candidate filtering by
+  // (speed, degree); adjacency consistency checked incrementally against
+  // all previously mapped vertices.
+  std::vector<ProcId> mapping(p, kInvalidProc);
+  std::vector<bool> used(p, false);
+
+  auto compatible = [&](ProcId a, ProcId b) {
+    return machine.speed(a) == machine.speed(b) &&
+           machine.neighbors(a).size() == machine.neighbors(b).size();
+  };
+
+  struct Frame {
+    ProcId vertex;
+    ProcId next_candidate;
+  };
+
+  // Recursive lambda via explicit stack to avoid deep recursion.
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    // Undo the previous candidate at this depth, if any.
+    if (mapping[f.vertex] != kInvalidProc) {
+      used[mapping[f.vertex]] = false;
+      mapping[f.vertex] = kInvalidProc;
+    }
+    // Find the next viable candidate for this vertex.
+    ProcId cand = f.next_candidate;
+    bool advanced = false;
+    for (; cand < p; ++cand) {
+      if (used[cand] || !compatible(f.vertex, cand)) continue;
+      // Adjacency consistency with all already-mapped vertices.
+      bool ok = true;
+      for (ProcId v = 0; v < f.vertex && ok; ++v)
+        if (machine.adjacent(f.vertex, v) !=
+            machine.adjacent(cand, mapping[v]))
+          ok = false;
+      if (!ok) continue;
+      // Accept candidate.
+      mapping[f.vertex] = cand;
+      used[cand] = true;
+      f.next_candidate = cand + 1;
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      stack.pop_back();
+      continue;
+    }
+    if (f.vertex + 1 == p) {
+      perms_.push_back(mapping);
+      if (perms_.size() > max_perms) {
+        perms_.clear();
+        capped_ = true;
+        return;
+      }
+      // Stay at this depth; next loop iteration will undo and advance.
+    } else {
+      stack.push_back({static_cast<ProcId>(f.vertex + 1), 0});
+    }
+  }
+  OPTSCHED_ASSERT(!perms_.empty());  // identity is always an automorphism
+}
+
+void AutomorphismGroup::state_classes(const std::vector<bool>& busy,
+                                      std::vector<ProcId>& rep) const {
+  OPTSCHED_ASSERT(busy.size() == num_procs_);
+  rep.resize(num_procs_);
+  for (ProcId i = 0; i < num_procs_; ++i) rep[i] = i;
+
+  if (fully_symmetric_) {
+    // All empty processors share the smallest empty processor as rep.
+    ProcId first_empty = kInvalidProc;
+    for (ProcId i = 0; i < num_procs_; ++i)
+      if (!busy[i]) {
+        if (first_empty == kInvalidProc) first_empty = i;
+        rep[i] = first_empty;
+      }
+    return;
+  }
+
+  if (capped_) {
+    // Weak rule: empty processors with equal (speed, neighbour set), but
+    // only when all their neighbours are also empty — this matches the
+    // paper's strong Definition 2 (both processors empty with equal
+    // neighbour sets implies swapping them leaves the schedule unchanged
+    // only if no scheduled task communicates over distinguishing links;
+    // requiring empty neighbourhoods makes the rule unconditionally sound
+    // under the hop-scaled model too).
+    auto neighbourhood_empty = [&](ProcId i) {
+      // Conservative: only merge if every other busy processor sees both at
+      // equal... the weak_class_ already requires *identical* neighbour
+      // sets, which makes the two processors indistinguishable to every
+      // other processor; emptiness of the pair suffices.
+      return !busy[i];
+    };
+    std::vector<ProcId> first_of_class(num_procs_, kInvalidProc);
+    for (ProcId i = 0; i < num_procs_; ++i) {
+      if (busy[i]) continue;
+      if (!neighbourhood_empty(i)) continue;
+      const auto cls = weak_class_[i];
+      if (first_of_class[cls] == kInvalidProc)
+        first_of_class[cls] = i;
+      else
+        rep[i] = first_of_class[cls];
+    }
+    return;
+  }
+
+  // Exact rule: union empty processors i ~ pi(i) for every automorphism pi
+  // that fixes all busy processors pointwise.
+  std::vector<ProcId> parent(num_procs_);
+  for (ProcId i = 0; i < num_procs_; ++i) parent[i] = i;
+  auto find = [&](ProcId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](ProcId a, ProcId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[b] = a;
+  };
+
+  for (const auto& pi : perms_) {
+    bool fixes_busy = true;
+    for (ProcId i = 0; i < num_procs_ && fixes_busy; ++i)
+      if (busy[i] && pi[i] != i) fixes_busy = false;
+    if (!fixes_busy) continue;
+    for (ProcId i = 0; i < num_procs_; ++i)
+      if (!busy[i] && !busy[pi[i]]) unite(i, pi[i]);
+  }
+  for (ProcId i = 0; i < num_procs_; ++i) rep[i] = find(i);
+}
+
+std::vector<std::vector<ProcId>> AutomorphismGroup::orbits() const {
+  std::vector<ProcId> rep;
+  state_classes(std::vector<bool>(num_procs_, false), rep);
+  std::vector<std::vector<ProcId>> result;
+  std::vector<std::int64_t> index_of(num_procs_, -1);
+  for (ProcId i = 0; i < num_procs_; ++i) {
+    const ProcId r = rep[i];
+    if (index_of[r] < 0) {
+      index_of[r] = static_cast<std::int64_t>(result.size());
+      result.emplace_back();
+    }
+    result[static_cast<std::size_t>(index_of[r])].push_back(i);
+  }
+  return result;
+}
+
+}  // namespace optsched::machine

@@ -1,0 +1,74 @@
+// Processor-graph automorphisms for exact processor-isomorphism pruning
+// (paper §3.2, Definition 2, strengthened).
+//
+// The paper merges search states that assign a ready node to "isomorphic"
+// processors: two *empty* processors that play identical roles in the
+// topology. Its Definition 2 uses a sufficient condition (equal neighbour
+// sets). We compute the full automorphism group of the processor graph
+// (speeds included as vertex colours) once, which gives the exact rule:
+//
+//   empty processors i and j are interchangeable in state s iff some
+//   automorphism fixes every *busy* processor pointwise and maps i to j.
+//
+// Complete homogeneous graphs have p! automorphisms, so they short-circuit
+// to "all empty processors are equivalent" without enumeration; all other
+// practical topologies (rings, meshes, hypercubes, stars, chains) have tiny
+// groups (<= 2^d * d! for a d-cube) that we enumerate by backtracking. If a
+// pathological graph exceeds `max_perms`, we fall back to the paper's weak
+// rule (identical neighbour sets), which is always sound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.hpp"
+
+namespace optsched::machine {
+
+class AutomorphismGroup {
+ public:
+  /// Enumerate the automorphism group of `machine`'s processor graph.
+  /// `max_perms` caps enumeration (fallback to the weak rule beyond it).
+  explicit AutomorphismGroup(const Machine& machine,
+                             std::size_t max_perms = 100000);
+
+  /// True when the machine is a homogeneous complete graph: every pair of
+  /// empty processors is equivalent, no permutation table needed.
+  bool fully_symmetric() const noexcept { return fully_symmetric_; }
+
+  /// Enumerated automorphisms (identity included). Empty when
+  /// fully_symmetric() or when enumeration hit the cap.
+  const std::vector<std::vector<ProcId>>& permutations() const noexcept {
+    return perms_;
+  }
+
+  bool enumeration_capped() const noexcept { return capped_; }
+
+  /// Partition processors into equivalence classes for a search state.
+  /// `busy[p]` marks processors holding at least one task. On return,
+  /// `representative[p]` is the smallest processor equivalent to p given
+  /// that all busy processors must stay fixed; a processor should be tried
+  /// by the expansion iff representative[p] == p.
+  ///
+  /// Busy processors are always their own representative (their contents
+  /// distinguish them). For empty processors the orbit is computed under
+  /// the subgroup stabilizing the busy set pointwise.
+  void state_classes(const std::vector<bool>& busy,
+                     std::vector<ProcId>& representative) const;
+
+  /// Orbits of the full group (used by tests and the machine report).
+  std::vector<std::vector<ProcId>> orbits() const;
+
+ private:
+  void enumerate(const Machine& machine, std::size_t max_perms);
+
+  std::uint32_t num_procs_ = 0;
+  bool fully_symmetric_ = false;
+  bool capped_ = false;
+  std::vector<std::vector<ProcId>> perms_;
+  // Weak-rule fallback data: canonical id of each processor's
+  // (speed, sorted neighbour set) signature.
+  std::vector<std::uint32_t> weak_class_;
+};
+
+}  // namespace optsched::machine

@@ -1,0 +1,143 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace optsched::machine {
+
+Machine::Machine(std::vector<std::vector<ProcId>> adjacency,
+                 std::vector<double> speeds, std::string topology_name)
+    : adj_(std::move(adjacency)), speeds_(std::move(speeds)),
+      name_(std::move(topology_name)) {
+  const std::size_t p = adj_.size();
+  OPTSCHED_REQUIRE(p >= 1, "machine needs at least one processor");
+  if (speeds_.empty()) speeds_.assign(p, 1.0);
+  OPTSCHED_REQUIRE(speeds_.size() == p,
+                   "speeds must be empty or one per processor");
+  for (const double s : speeds_)
+    OPTSCHED_REQUIRE(std::isfinite(s) && s > 0.0,
+                     "processor speeds must be finite and positive");
+
+  // Canonicalize adjacency: sorted, deduplicated, symmetric, no self-loops.
+  for (std::size_t i = 0; i < p; ++i) {
+    for (const ProcId j : adj_[i]) {
+      OPTSCHED_REQUIRE(j < p, "adjacency index out of range");
+      OPTSCHED_REQUIRE(j != i, "self-loop in processor graph");
+    }
+    std::sort(adj_[i].begin(), adj_[i].end());
+    adj_[i].erase(std::unique(adj_[i].begin(), adj_[i].end()), adj_[i].end());
+  }
+  for (ProcId i = 0; i < p; ++i)
+    for (const ProcId j : adj_[i])
+      OPTSCHED_REQUIRE(std::binary_search(adj_[j].begin(), adj_[j].end(), i),
+                       "processor graph adjacency must be symmetric");
+
+  homogeneous_ = std::all_of(speeds_.begin(), speeds_.end(),
+                             [&](double s) { return s == speeds_[0]; });
+  max_speed_ = *std::max_element(speeds_.begin(), speeds_.end());
+  complete_ = true;
+  for (std::size_t i = 0; i < p && complete_; ++i)
+    complete_ = adj_[i].size() == p - 1;
+
+  compute_hops();
+}
+
+bool Machine::adjacent(ProcId a, ProcId b) const {
+  OPTSCHED_ASSERT(a < num_procs() && b < num_procs());
+  return std::binary_search(adj_[a].begin(), adj_[a].end(), b);
+}
+
+void Machine::compute_hops() {
+  const std::uint32_t p = num_procs();
+  constexpr auto kUnreachable = static_cast<std::uint32_t>(-1);
+  hops_.assign(static_cast<std::size_t>(p) * p, kUnreachable);
+  for (ProcId s = 0; s < p; ++s) {
+    auto* row = &hops_[static_cast<std::size_t>(s) * p];
+    row[s] = 0;
+    std::deque<ProcId> queue{s};
+    while (!queue.empty()) {
+      const ProcId u = queue.front();
+      queue.pop_front();
+      for (const ProcId w : adj_[u])
+        if (row[w] == kUnreachable) {
+          row[w] = row[u] + 1;
+          queue.push_back(w);
+        }
+    }
+    for (ProcId t = 0; t < p; ++t)
+      OPTSCHED_REQUIRE(row[t] != kUnreachable,
+                       "processor graph must be connected");
+  }
+}
+
+Machine Machine::fully_connected(std::uint32_t p, std::vector<double> speeds) {
+  OPTSCHED_REQUIRE(p >= 1, "need p >= 1");
+  std::vector<std::vector<ProcId>> adj(p);
+  for (ProcId i = 0; i < p; ++i)
+    for (ProcId j = 0; j < p; ++j)
+      if (i != j) adj[i].push_back(j);
+  return Machine(std::move(adj), std::move(speeds), "clique" + std::to_string(p));
+}
+
+Machine Machine::ring(std::uint32_t p) {
+  OPTSCHED_REQUIRE(p >= 1, "need p >= 1");
+  if (p <= 3) return fully_connected(p, {});  // ring of <= 3 is complete
+  std::vector<std::vector<ProcId>> adj(p);
+  for (ProcId i = 0; i < p; ++i) {
+    adj[i].push_back((i + 1) % p);
+    adj[i].push_back((i + p - 1) % p);
+  }
+  return Machine(std::move(adj), {}, "ring" + std::to_string(p));
+}
+
+Machine Machine::chain(std::uint32_t p) {
+  OPTSCHED_REQUIRE(p >= 1, "need p >= 1");
+  std::vector<std::vector<ProcId>> adj(p);
+  for (ProcId i = 0; i + 1 < p; ++i) {
+    adj[i].push_back(i + 1);
+    adj[i + 1].push_back(i);
+  }
+  return Machine(std::move(adj), {}, "chain" + std::to_string(p));
+}
+
+Machine Machine::mesh(std::uint32_t rows, std::uint32_t cols) {
+  OPTSCHED_REQUIRE(rows >= 1 && cols >= 1, "need rows, cols >= 1");
+  const std::uint32_t p = rows * cols;
+  std::vector<std::vector<ProcId>> adj(p);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r)
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (r + 1 < rows) {
+        adj[id(r, c)].push_back(id(r + 1, c));
+        adj[id(r + 1, c)].push_back(id(r, c));
+      }
+      if (c + 1 < cols) {
+        adj[id(r, c)].push_back(id(r, c + 1));
+        adj[id(r, c + 1)].push_back(id(r, c));
+      }
+    }
+  return Machine(std::move(adj), {},
+                 "mesh" + std::to_string(rows) + "x" + std::to_string(cols));
+}
+
+Machine Machine::hypercube(std::uint32_t dimension) {
+  OPTSCHED_REQUIRE(dimension >= 1 && dimension <= 16, "need 1 <= dim <= 16");
+  const std::uint32_t p = 1u << dimension;
+  std::vector<std::vector<ProcId>> adj(p);
+  for (ProcId i = 0; i < p; ++i)
+    for (std::uint32_t d = 0; d < dimension; ++d) adj[i].push_back(i ^ (1u << d));
+  return Machine(std::move(adj), {}, "hypercube" + std::to_string(dimension));
+}
+
+Machine Machine::star(std::uint32_t p) {
+  OPTSCHED_REQUIRE(p >= 2, "star needs p >= 2");
+  std::vector<std::vector<ProcId>> adj(p);
+  for (ProcId i = 1; i < p; ++i) {
+    adj[0].push_back(i);
+    adj[i].push_back(0);
+  }
+  return Machine(std::move(adj), {}, "star" + std::to_string(p));
+}
+
+}  // namespace optsched::machine

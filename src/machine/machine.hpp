@@ -1,0 +1,104 @@
+// Target multiprocessor model (paper §2).
+//
+// Processors (TPEs) may be heterogeneous in speed; they are connected by an
+// interconnection topology with homogeneous links (every message travels at
+// the same speed on every link). Communication between tasks on the same
+// processor is free. The default communication model charges an edge's cost
+// c(n_i, n_j) whenever the endpoints are on different processors, exactly as
+// in the paper's examples; an optional hop-scaled model multiplies by the
+// topology distance for sparse networks (the model Chen & Yu's underestimate
+// matches paths against).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace optsched::machine {
+
+using ProcId = std::uint32_t;
+inline constexpr ProcId kInvalidProc = static_cast<ProcId>(-1);
+
+enum class CommMode {
+  kUnitDistance,  ///< cross-processor cost = c(edge)          (paper default)
+  kHopScaled,     ///< cross-processor cost = c(edge) * hops   (extension)
+};
+
+class Machine {
+ public:
+  /// Build a machine from an explicit undirected adjacency. `speeds` may be
+  /// empty (homogeneous unit speed) or one entry per processor.
+  Machine(std::vector<std::vector<ProcId>> adjacency,
+          std::vector<double> speeds = {}, std::string topology_name = "custom");
+
+  // -- Standard topologies ------------------------------------------------
+  static Machine fully_connected(std::uint32_t p, std::vector<double> speeds = {});
+  static Machine ring(std::uint32_t p);
+  static Machine chain(std::uint32_t p);
+  static Machine mesh(std::uint32_t rows, std::uint32_t cols);
+  static Machine hypercube(std::uint32_t dimension);
+  static Machine star(std::uint32_t p);  ///< processor 0 is the hub
+
+  /// The 3-processor ring of the paper's Figure 1(b).
+  static Machine paper_ring3() { return ring(3); }
+
+  std::uint32_t num_procs() const noexcept { return static_cast<std::uint32_t>(adj_.size()); }
+
+  double speed(ProcId p) const {
+    OPTSCHED_ASSERT(p < num_procs());
+    return speeds_[p];
+  }
+
+  bool homogeneous() const noexcept { return homogeneous_; }
+  double max_speed() const noexcept { return max_speed_; }
+
+  /// Execution time of a task with computation cost `weight` on `p`.
+  double exec_time(double weight, ProcId p) const { return weight / speed(p); }
+
+  /// Fastest possible execution time of `weight` on any processor
+  /// (used by admissible lower bounds).
+  double min_exec_time(double weight) const { return weight / max_speed_; }
+
+  std::span<const ProcId> neighbors(ProcId p) const {
+    OPTSCHED_ASSERT(p < num_procs());
+    return adj_[p];
+  }
+
+  bool adjacent(ProcId a, ProcId b) const;
+
+  /// Hop count of the shortest path between two processors (0 for a == b).
+  std::uint32_t hop_distance(ProcId a, ProcId b) const {
+    OPTSCHED_ASSERT(a < num_procs() && b < num_procs());
+    return hops_[a * num_procs() + b];
+  }
+
+  /// Whether the topology is a complete graph (enables the cheap
+  /// all-idle-processors-equivalent isomorphism rule).
+  bool fully_connected_topology() const noexcept { return complete_; }
+
+  const std::string& topology_name() const noexcept { return name_; }
+
+  /// Communication delay for an edge of cost `c` from a task on `from` to a
+  /// task on `to` under the given model.
+  double comm_delay(double c, ProcId from, ProcId to, CommMode mode) const {
+    if (from == to) return 0.0;
+    if (mode == CommMode::kUnitDistance) return c;
+    return c * static_cast<double>(hop_distance(from, to));
+  }
+
+ private:
+  void compute_hops();
+
+  std::vector<std::vector<ProcId>> adj_;
+  std::vector<double> speeds_;
+  std::vector<std::uint32_t> hops_;  // row-major num_procs x num_procs
+  bool homogeneous_ = true;
+  bool complete_ = false;
+  double max_speed_ = 1.0;
+  std::string name_;
+};
+
+}  // namespace optsched::machine

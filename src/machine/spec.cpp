@@ -1,0 +1,84 @@
+#include "machine/spec.hpp"
+
+#include <sstream>
+
+namespace optsched::machine {
+
+namespace {
+
+std::uint32_t parse_count(const std::string& text, const std::string& spec) {
+  try {
+    const unsigned long value = std::stoul(text);
+    OPTSCHED_REQUIRE(value >= 1 && value <= 1024,
+                     "machine size out of range in spec '" + spec + "'");
+    return static_cast<std::uint32_t>(value);
+  } catch (const util::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw util::Error("malformed machine size in spec '" + spec + "'");
+  }
+}
+
+std::vector<double> parse_speeds(const std::string& text,
+                                 const std::string& spec) {
+  std::vector<double> speeds;
+  std::stringstream ss(text);
+  for (std::string tok; std::getline(ss, tok, ',');) {
+    try {
+      speeds.push_back(std::stod(tok));
+    } catch (const std::exception&) {
+      throw util::Error("malformed speed list in spec '" + spec + "'");
+    }
+  }
+  OPTSCHED_REQUIRE(!speeds.empty(),
+                   "empty speed list in spec '" + spec + "'");
+  return speeds;
+}
+
+}  // namespace
+
+Machine machine_from_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  OPTSCHED_REQUIRE(colon != std::string::npos,
+                   "machine spec '" + spec +
+                       "' must be kind:size (e.g. clique:4, ring:8, "
+                       "mesh:2x3, hypercube:3, star:5, chain:4)");
+  const std::string kind = spec.substr(0, colon);
+  std::string rest = spec.substr(colon + 1);
+
+  std::vector<double> speeds;
+  const auto at = rest.find('@');
+  if (at != std::string::npos) {
+    speeds = parse_speeds(rest.substr(at + 1), spec);
+    rest = rest.substr(0, at);
+  }
+
+  Machine machine = [&]() -> Machine {
+    if (kind == "clique")
+      return Machine::fully_connected(parse_count(rest, spec), speeds);
+    OPTSCHED_REQUIRE(speeds.empty(),
+                     "speed lists are only supported for clique machines");
+    if (kind == "ring") return Machine::ring(parse_count(rest, spec));
+    if (kind == "chain") return Machine::chain(parse_count(rest, spec));
+    if (kind == "star") return Machine::star(parse_count(rest, spec));
+    if (kind == "hypercube")
+      return Machine::hypercube(parse_count(rest, spec));
+    if (kind == "mesh") {
+      const auto x = rest.find('x');
+      OPTSCHED_REQUIRE(x != std::string::npos,
+                       "mesh spec expects RxC, e.g. mesh:2x3");
+      return Machine::mesh(parse_count(rest.substr(0, x), spec),
+                           parse_count(rest.substr(x + 1), spec));
+    }
+    throw util::Error("unknown machine kind '" + kind + "' in spec '" + spec +
+                      "'");
+  }();
+
+  if (kind == "clique" && !speeds.empty())
+    OPTSCHED_REQUIRE(speeds.size() == machine.num_procs(),
+                     "speed list length must equal processor count in '" +
+                         spec + "'");
+  return machine;
+}
+
+}  // namespace optsched::machine

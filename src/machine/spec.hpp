@@ -1,0 +1,17 @@
+// Machine construction from compact spec strings — "clique:4", "ring:8",
+// "mesh:2x3", "hypercube:3", "star:5", "chain:4" — optionally with
+// per-processor speeds appended: "clique:3@1,2,4". Used by the CLI and the
+// bench harnesses; kept in the library so it is testable.
+#pragma once
+
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace optsched::machine {
+
+/// Parse a machine spec. Throws util::Error with a helpful message on any
+/// malformed input.
+Machine machine_from_spec(const std::string& spec);
+
+}  // namespace optsched::machine

@@ -1,0 +1,55 @@
+#include "parallel/mailbox.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace optsched::par {
+
+MailboxNetwork::MailboxNetwork(std::uint32_t num_ppes, Topology topology)
+    : num_ppes_(num_ppes),
+      mailboxes_(num_ppes),
+      neighbors_(num_ppes) {
+  OPTSCHED_REQUIRE(num_ppes >= 1, "need at least one PPE");
+  if (num_ppes == 1) return;
+
+  switch (topology) {
+    case Topology::kRing:
+      for (std::uint32_t i = 0; i < num_ppes_; ++i) {
+        neighbors_[i].push_back((i + 1) % num_ppes_);
+        if (num_ppes_ > 2)
+          neighbors_[i].push_back((i + num_ppes_ - 1) % num_ppes_);
+      }
+      break;
+    case Topology::kMesh: {
+      // Near-square mesh, row-major (the Paragon's layout).
+      auto cols = static_cast<std::uint32_t>(
+          std::ceil(std::sqrt(static_cast<double>(num_ppes_))));
+      const std::uint32_t rows = (num_ppes_ + cols - 1) / cols;
+      auto id = [cols](std::uint32_t r, std::uint32_t c) {
+        return r * cols + c;
+      };
+      for (std::uint32_t r = 0; r < rows; ++r)
+        for (std::uint32_t c = 0; c < cols; ++c) {
+          const std::uint32_t i = id(r, c);
+          if (i >= num_ppes_) continue;
+          if (c + 1 < cols && id(r, c + 1) < num_ppes_) {
+            neighbors_[i].push_back(id(r, c + 1));
+            neighbors_[id(r, c + 1)].push_back(i);
+          }
+          if (r + 1 < rows && id(r + 1, c) < num_ppes_) {
+            neighbors_[i].push_back(id(r + 1, c));
+            neighbors_[id(r + 1, c)].push_back(i);
+          }
+        }
+      break;
+    }
+    case Topology::kFullyConnected:
+      for (std::uint32_t i = 0; i < num_ppes_; ++i)
+        for (std::uint32_t j = 0; j < num_ppes_; ++j)
+          if (i != j) neighbors_[i].push_back(j);
+      break;
+  }
+}
+
+}  // namespace optsched::par

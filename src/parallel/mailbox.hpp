@@ -1,0 +1,118 @@
+// Mailboxes: the message-passing substrate for the parallel A*.
+//
+// The paper runs on the Intel Paragon, where PPEs exchange small messages
+// (partial node assignments and costs) over a mesh. We reproduce the
+// communication structure with one mutex-protected mailbox per PPE thread:
+// a PPE only ever posts to the mailboxes of its topological neighbours,
+// exactly like the Paragon implementation, and the global in-flight counter
+// supports sound distributed-termination detection (a PPE wakes *before*
+// the counter drops, so "all idle and nothing in flight" is stable).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "machine/machine.hpp"
+
+namespace optsched::par {
+
+/// A transferred search state: the assignment sequence from the root.
+/// The receiver replays it to rebuild times, signature and cost — the
+/// same few dozen bytes the Paragon implementation shipped.
+struct StateMsg {
+  std::vector<std::pair<dag::NodeId, machine::ProcId>> assignments;
+  double f = 0.0;  ///< sender's f value (receiver recomputes and asserts)
+};
+
+struct Message {
+  std::vector<StateMsg> states;
+  std::uint32_t from = 0;
+};
+
+class Mailbox {
+ public:
+  void post(Message msg) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_one();
+  }
+
+  std::optional<Message> try_take() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  /// Blocking take with a timeout (used by idle PPEs so termination checks
+  /// keep running).
+  std::optional<Message> take_for(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    return msg;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// The PPE interconnect: one mailbox per PPE plus the neighbour lists of
+/// the chosen PPE topology.
+class MailboxNetwork {
+ public:
+  enum class Topology { kRing, kMesh, kFullyConnected };
+
+  MailboxNetwork(std::uint32_t num_ppes, Topology topology);
+
+  std::uint32_t size() const noexcept { return num_ppes_; }
+
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t ppe) const {
+    return neighbors_[ppe];
+  }
+
+  /// Post a message; the global in-flight counter is incremented before
+  /// the post and must be decremented by the receiver *after* it has
+  /// marked itself busy (see termination discussion above).
+  void send(std::uint32_t to, Message msg) {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    mailboxes_[to].post(std::move(msg));
+  }
+
+  Mailbox& mailbox(std::uint32_t ppe) { return mailboxes_[ppe]; }
+
+  void acknowledge_receipt() {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  bool anything_in_flight() const {
+    return in_flight_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  std::uint32_t num_ppes_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::vector<std::uint32_t>> neighbors_;
+  std::atomic<std::int64_t> in_flight_{0};
+};
+
+}  // namespace optsched::par

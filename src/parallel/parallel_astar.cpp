@@ -1,0 +1,642 @@
+#include "parallel/parallel_astar.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "core/open_list.hpp"
+#include "core/signature.hpp"
+#include "util/timer.hpp"
+
+namespace optsched::par {
+
+using core::Expander;
+using core::kNoParent;
+using core::OpenEntry;
+using core::OpenList;
+using core::SearchProblem;
+using core::State;
+using core::StateArena;
+using core::StateIndex;
+using dag::NodeId;
+using machine::ProcId;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-PPE OPEN list: a 4-ary heap for exact A*, an ordered set with the
+/// FOCAL selection rule for Aε* (mirroring the serial implementations so
+/// measured speedups compare like with like).
+class PpeOpen {
+ public:
+  explicit PpeOpen(double epsilon) : eps_(epsilon) {}
+
+  bool empty() const {
+    return eps_ > 0 ? set_.empty() : heap_.empty();
+  }
+
+  std::size_t size() const {
+    return eps_ > 0 ? set_.size() : heap_.size();
+  }
+
+  double min_f() const {
+    if (empty()) return kInf;
+    return eps_ > 0 ? set_.begin()->f : heap_.top().f;
+  }
+
+  void push(double f, double g, double h, StateIndex idx) {
+    if (eps_ > 0)
+      set_.insert({f, g, h, idx});
+    else
+      heap_.push({f, g, idx});
+  }
+
+  /// Remove and return the next state to expand (A*: min (f, -g);
+  /// Aε*: min h within the f <= (1+eps)*fmin prefix, scan capped — any
+  /// FOCAL member preserves the guarantee; see core/astar.cpp).
+  StateIndex pop_best() {
+    OPTSCHED_ASSERT(!empty());
+    if (eps_ == 0) return heap_.pop().index;
+    constexpr int kFocalScanCap = 64;
+    const double bound = (1.0 + eps_) * set_.begin()->f + 1e-12;
+    auto chosen = set_.begin();
+    int scanned = 0;
+    for (auto it = set_.begin();
+         it != set_.end() && it->f <= bound && scanned < kFocalScanCap;
+         ++it, ++scanned) {
+      const bool better =
+          it->h < chosen->h || (it->h == chosen->h && it->g > chosen->g);
+      if (better) chosen = it;
+    }
+    const StateIndex idx = chosen->index;
+    set_.erase(chosen);
+    return idx;
+  }
+
+  /// Remove up to `count` entries biased away from the best (load sharing).
+  std::vector<StateIndex> extract_surplus(std::size_t count) {
+    std::vector<StateIndex> out;
+    if (eps_ == 0) {
+      for (const auto& e : heap_.extract_surplus(count))
+        out.push_back(e.index);
+      return out;
+    }
+    while (out.size() < count && set_.size() > 1) {
+      auto last = std::prev(set_.end());
+      out.push_back(last->index);
+      set_.erase(last);
+    }
+    return out;
+  }
+
+  void clear() {
+    heap_.clear();
+    set_.clear();
+  }
+
+ private:
+  struct Entry {
+    double f, g, h;
+    StateIndex index;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.f != b.f) return a.f < b.f;
+      if (a.g != b.g) return a.g > b.g;
+      return a.index < b.index;
+    }
+  };
+
+  double eps_;
+  OpenList heap_;
+  std::set<Entry> set_;
+};
+
+struct alignas(64) PpeStatus {
+  std::atomic<double> min_f{kInf};
+  std::atomic<std::uint64_t> open_size{0};
+  std::atomic<bool> idle{false};
+};
+
+struct Shared {
+  Shared(const SearchProblem& p, const ParallelConfig& c)
+      : problem(p),
+        config(c),
+        net(c.num_ppes, c.topology),
+        status(std::make_unique<PpeStatus[]>(c.num_ppes)) {
+    incumbent_len.store(p.upper_bound());
+    incumbent_exact = p.upper_bound();
+  }
+
+  const SearchProblem& problem;
+  const ParallelConfig& config;
+  MailboxNetwork net;
+  std::unique_ptr<PpeStatus[]> status;
+
+  std::atomic<double> incumbent_len;  ///< hot-path read for pruning
+  std::mutex incumbent_mu;
+  double incumbent_exact;             ///< guarded by incumbent_mu
+  std::vector<std::pair<NodeId, ProcId>> incumbent_seq;  ///< ditto
+
+  std::atomic<bool> done{false};
+  std::atomic<int> abort_reason{0};  ///< 0 none, 1 expansions, 2 time
+  std::atomic<std::uint64_t> total_expanded{0};
+  std::atomic<std::uint64_t> messages_sent{0};
+  std::atomic<std::uint64_t> states_transferred{0};
+  std::atomic<std::uint64_t> comm_rounds{0};
+  util::Timer timer;
+
+  /// Register a complete schedule; keeps the best across all PPEs.
+  void offer_incumbent(double len,
+                       std::vector<std::pair<NodeId, ProcId>> seq) {
+    const std::lock_guard<std::mutex> lock(incumbent_mu);
+    if (len < incumbent_exact - 1e-12) {
+      incumbent_exact = len;
+      incumbent_seq = std::move(seq);
+      incumbent_len.store(len, std::memory_order_release);
+      if (config.naive_termination) done.store(true);
+    }
+  }
+
+  double incumbent() const {
+    return incumbent_len.load(std::memory_order_acquire);
+  }
+};
+
+class Ppe {
+ public:
+  Ppe(Shared& shared, std::uint32_t id)
+      : shared_(shared),
+        id_(id),
+        expander_(shared.problem, shared.config.search),
+        seen_(1 << 10),
+        open_(shared.config.search.epsilon) {}
+
+  void run();
+
+  const core::ExpandStats& stats() const { return expander_.stats(); }
+
+ private:
+  bool exact() const { return shared_.config.search.epsilon == 0.0; }
+
+  /// Is this PPE's frontier unable to improve on the incumbent?
+  bool dominated() const {
+    const double inc = shared_.incumbent();
+    const double fmin = open_.min_f();
+    if (exact()) return fmin >= inc - 1e-9;
+    return inc <= (1.0 + shared_.config.search.epsilon) * fmin + 1e-9;
+  }
+
+  double prune_bound() const {
+    if (shared_.config.search.prune.strict_upper_bound)
+      return shared_.problem.upper_bound();
+    return shared_.incumbent();
+  }
+
+  void publish() {
+    shared_.status[id_].min_f.store(open_.min_f(), std::memory_order_release);
+    shared_.status[id_].open_size.store(open_.size(),
+                                        std::memory_order_release);
+  }
+
+  std::vector<std::pair<NodeId, ProcId>> assignment_sequence(StateIndex idx) {
+    std::vector<std::pair<NodeId, ProcId>> seq;
+    for (StateIndex i = idx; i != kNoParent; i = arena_[i].parent) {
+      if (arena_[i].is_root()) break;
+      seq.emplace_back(arena_[i].node, arena_[i].proc);
+    }
+    std::reverse(seq.begin(), seq.end());
+    return seq;
+  }
+
+  /// Push one freshly generated state, routing goals to the incumbent.
+  void accept_child(StateIndex idx, const State& child) {
+    if (child.depth == shared_.problem.num_nodes()) {
+      shared_.offer_incumbent(child.g, assignment_sequence(idx));
+      return;
+    }
+    open_.push(child.f(), child.g, child.h, idx);
+  }
+
+  /// Rebuild a transferred state in the local arena; always enqueued
+  /// (dropping a received state could orphan it — see header comment).
+  void import_state(const StateMsg& msg);
+
+  void drain_mailbox(std::chrono::microseconds wait);
+  void communicate();
+  void initial_distribution();
+  bool check_limits();
+
+  Shared& shared_;
+  std::uint32_t id_;
+  Expander expander_;
+  StateArena arena_;
+  util::FlatSet128 seen_;
+  PpeOpen open_;
+  std::uint32_t round_ = 0;
+  std::uint64_t period_counter_ = 0;
+  std::uint32_t rr_cursor_ = 0;  ///< round-robin pointer for load sharing
+};
+
+void Ppe::import_state(const StateMsg& msg) {
+  const auto& problem = shared_.problem;
+  const auto& graph = problem.graph();
+  const auto& machine = problem.machine();
+
+  // Replay the assignment sequence, creating the chain of states locally.
+  std::vector<double> finish(graph.num_nodes(), 0.0);
+  std::vector<ProcId> proc_of(graph.num_nodes(), machine::kInvalidProc);
+  std::vector<double> proc_ready(machine.num_procs(), 0.0);
+
+  StateIndex parent = kNoParent;
+  util::Key128 sig = core::root_signature();
+  double g = 0.0;
+  std::uint32_t depth = 0;
+
+  // The chain needs a local root to anchor replay for future expansions.
+  State root;
+  root.sig = sig;
+  root.parent = kNoParent;
+  parent = arena_.add(root);
+
+  State last{};
+  for (const auto& [node, proc] : msg.assignments) {
+    double dat = 0.0;
+    for (const auto& [par, cost] : graph.parents(node))
+      dat = std::max(dat, finish[par] + machine.comm_delay(
+                                            cost, proc_of[par], proc,
+                                            problem.comm()));
+    const double st = std::max(proc_ready[proc], dat);
+    const double ft = st + machine.exec_time(graph.weight(node), proc);
+    finish[node] = ft;
+    proc_of[node] = proc;
+    proc_ready[proc] = ft;
+    g = std::max(g, ft);
+    sig = core::extend_signature(sig, node, proc, ft);
+    ++depth;
+
+    State s;
+    s.sig = sig;
+    s.finish = ft;
+    s.g = g;
+    s.h = 0.0;  // interior-chain h is never read; the final h is below
+    s.parent = parent;
+    s.node = node;
+    s.proc = proc;
+    s.depth = depth;
+    parent = arena_.add(s);
+    last = s;
+  }
+  OPTSCHED_ASSERT(depth == msg.assignments.size());
+
+  if (depth == shared_.problem.num_nodes()) {
+    shared_.offer_incumbent(g, msg.assignments);
+    return;
+  }
+
+  // Recompute h for the transferred frontier state. msg.f lower-bounds the
+  // recomputed f only up to the sender's h function, which is identical —
+  // so the values must agree.
+  core::ExpansionContext ctx(problem);
+  ctx.load(arena_, parent);
+  std::vector<double> scratch(graph.num_nodes(), 0.0);
+  const double h =
+      core::evaluate_h(shared_.config.search.h, problem, ctx.view(),
+                       scratch.data()) *
+      shared_.config.search.h_weight;
+  arena_.at(parent).h = h;  // so re-sharing this state sends the right f
+  OPTSCHED_ASSERT(std::abs((g + h) - msg.f) < 1e-6);
+
+  seen_.insert(sig);  // best effort; duplicates tolerated by design
+  open_.push(g + h, g, h, parent);
+}
+
+void Ppe::drain_mailbox(std::chrono::microseconds wait) {
+  auto& box = shared_.net.mailbox(id_);
+  bool first = true;
+  while (true) {
+    std::optional<Message> msg =
+        first && wait.count() > 0 ? box.take_for(wait) : box.try_take();
+    if (!msg) break;
+    first = false;
+    // Mark busy *before* acknowledging so the termination detector never
+    // sees "all idle, nothing in flight" while a message is half-processed.
+    shared_.status[id_].idle.store(false, std::memory_order_release);
+    for (const auto& s : msg->states) import_state(s);
+    shared_.net.acknowledge_receipt();
+  }
+}
+
+void Ppe::communicate() {
+  publish();
+  shared_.comm_rounds.fetch_add(1, std::memory_order_relaxed);
+
+  const auto& neighbors = shared_.net.neighbors(id_);
+  if (neighbors.empty() || open_.empty()) {
+    drain_mailbox(std::chrono::microseconds(0));
+    return;
+  }
+
+  // Neighbourhood election (paper: "vote and elect the best cost state,
+  // which is then expanded by all the participating PPEs; the resulting
+  // new states then go to each neighbouring PPE in a RR fashion"). The
+  // owner of the locally best state expands it and scatters the children
+  // round-robin over the neighbourhood, which realizes the same data flow
+  // without duplicating the expansion on every participant.
+  const double my_fmin = open_.min_f();
+  bool i_am_best = true;
+  for (const auto nb : neighbors)
+    if (shared_.status[nb].min_f.load(std::memory_order_acquire) <
+        my_fmin - 1e-12)
+      i_am_best = false;
+
+  if (i_am_best && !dominated()) {
+    const StateIndex best = open_.pop_best();
+    std::vector<StateIndex> children;
+    expander_.expand(arena_, seen_, best, prune_bound(),
+                     [&](StateIndex idx, const State& child) {
+                       if (child.depth == shared_.problem.num_nodes()) {
+                         shared_.offer_incumbent(child.g,
+                                                 assignment_sequence(idx));
+                         return;
+                       }
+                       children.push_back(idx);
+                     });
+    shared_.total_expanded.fetch_add(1, std::memory_order_relaxed);
+    // Scatter children: self first, then neighbours round-robin.
+    std::uint32_t cursor = 0;
+    std::vector<std::vector<StateMsg>> outbound(neighbors.size());
+    for (const StateIndex idx : children) {
+      if (cursor == 0) {
+        const State& c = arena_[idx];
+        open_.push(c.f(), c.g, c.h, idx);
+      } else {
+        const State& c = arena_[idx];
+        outbound[cursor - 1].push_back({assignment_sequence(idx), c.f()});
+      }
+      cursor = (cursor + 1) % (static_cast<std::uint32_t>(neighbors.size()) + 1);
+    }
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      if (outbound[k].empty()) continue;
+      shared_.states_transferred.fetch_add(outbound[k].size(),
+                                           std::memory_order_relaxed);
+      shared_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+      shared_.net.send(neighbors[k], {std::move(outbound[k]), id_});
+    }
+  }
+
+  // Round-robin load sharing toward the neighbourhood average (§3.3).
+  std::uint64_t total = open_.size();
+  std::vector<std::uint64_t> nb_sizes(neighbors.size());
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    nb_sizes[k] =
+        shared_.status[neighbors[k]].open_size.load(std::memory_order_acquire);
+    total += nb_sizes[k];
+  }
+  const std::uint64_t average = total / (neighbors.size() + 1);
+  if (open_.size() > average + 1) {
+    std::size_t surplus = open_.size() - average;
+    std::vector<std::uint32_t> deficit;
+    for (std::size_t k = 0; k < neighbors.size(); ++k)
+      if (nb_sizes[k] < average) deficit.push_back(neighbors[k]);
+    if (!deficit.empty()) {
+      const auto extracted =
+          open_.extract_surplus(std::min<std::size_t>(surplus, 256));
+      std::vector<std::vector<StateMsg>> outbound(deficit.size());
+      for (const StateIndex idx : extracted) {
+        const State& s = arena_[idx];
+        outbound[rr_cursor_ % deficit.size()].push_back(
+            {assignment_sequence(idx), s.f()});
+        ++rr_cursor_;
+      }
+      for (std::size_t k = 0; k < deficit.size(); ++k) {
+        if (outbound[k].empty()) continue;
+        shared_.states_transferred.fetch_add(outbound[k].size(),
+                                             std::memory_order_relaxed);
+        shared_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+        shared_.net.send(deficit[k], {std::move(outbound[k]), id_});
+      }
+    }
+  }
+
+  drain_mailbox(std::chrono::microseconds(0));
+  publish();
+}
+
+void Ppe::initial_distribution() {
+  // Every PPE deterministically expands from the initial state until at
+  // least q candidate states exist (or the space is exhausted), then takes
+  // its share by the paper's interleaving — identical computation on every
+  // PPE, so no startup messages are needed.
+  const std::uint32_t q = shared_.config.num_ppes;
+
+  State root;
+  root.sig = core::root_signature();
+  root.parent = kNoParent;
+  const StateIndex root_idx = arena_.add(root);
+  seen_.insert(root.sig);
+
+  OpenList frontier;
+  frontier.push({arena_[root_idx].f(), 0.0, root_idx});
+  while (!frontier.empty() && frontier.size() < q) {
+    const OpenEntry e = frontier.pop();
+    if (arena_[e.index].depth == shared_.problem.num_nodes()) {
+      shared_.offer_incumbent(arena_[e.index].g,
+                              assignment_sequence(e.index));
+      continue;
+    }
+    expander_.expand(arena_, seen_, e.index, prune_bound(),
+                     [&](StateIndex idx, const State& child) {
+                       if (child.depth == shared_.problem.num_nodes()) {
+                         shared_.offer_incumbent(child.g,
+                                                 assignment_sequence(idx));
+                         return;
+                       }
+                       frontier.push({child.f(), child.g, idx});
+                     });
+  }
+
+  // Deterministic total order: (f, -g, arena index).
+  std::vector<OpenEntry> entries;
+  while (!frontier.empty()) entries.push_back(frontier.pop());
+
+  // Interleaved hand-out: 1st -> PPE 0, 2nd -> PPE q-1, 3rd -> PPE 1,
+  // 4th -> PPE q-2, ...; extras round-robin (paper §3.3 case analysis).
+  for (std::size_t j = 0; j < entries.size(); ++j) {
+    std::uint32_t owner;
+    if (j < q) {
+      owner = (j % 2 == 0) ? static_cast<std::uint32_t>(j / 2)
+                           : q - 1 - static_cast<std::uint32_t>(j / 2);
+    } else {
+      owner = static_cast<std::uint32_t>(j - q) % q;
+    }
+    if (owner == id_) {
+      const State& s = arena_[entries[j].index];
+      open_.push(s.f(), s.g, s.h, entries[j].index);
+    }
+  }
+  publish();
+}
+
+bool Ppe::check_limits() {
+  const auto& cfg = shared_.config.search;
+  if (cfg.max_expansions &&
+      shared_.total_expanded.load(std::memory_order_relaxed) >=
+          cfg.max_expansions) {
+    shared_.abort_reason.store(1);
+    shared_.done.store(true);
+    return true;
+  }
+  if (cfg.time_budget_ms > 0 &&
+      shared_.timer.millis() >= cfg.time_budget_ms) {
+    shared_.abort_reason.store(2);
+    shared_.done.store(true);
+    return true;
+  }
+  return false;
+}
+
+void Ppe::run() {
+  initial_distribution();
+
+  const std::uint32_t v = shared_.problem.num_nodes();
+  auto period_for_round = [&](std::uint32_t round) {
+    const std::uint32_t shifted = round + 1 >= 31 ? 0u : (v >> (round + 1));
+    return std::max(shifted, shared_.config.min_period);
+  };
+  std::uint64_t period = period_for_round(round_);
+  std::uint64_t limit_check = 0;
+
+  while (!shared_.done.load(std::memory_order_acquire)) {
+    if ((++limit_check & 0x3f) == 0 && check_limits()) break;
+
+    // Fast-drop a fully dominated frontier (everything >= incumbent).
+    if (!open_.empty() && dominated()) open_.clear();
+
+    if (open_.empty()) {
+      shared_.status[id_].idle.store(true, std::memory_order_release);
+      publish();
+      drain_mailbox(std::chrono::microseconds(200));
+      if (!open_.empty()) {
+        shared_.status[id_].idle.store(false, std::memory_order_release);
+        continue;
+      }
+      // Sound termination: all PPEs idle and nothing in flight.
+      bool all_idle = true;
+      for (std::uint32_t i = 0; i < shared_.config.num_ppes; ++i)
+        if (!shared_.status[i].idle.load(std::memory_order_acquire)) {
+          all_idle = false;
+          break;
+        }
+      if (all_idle && !shared_.net.anything_in_flight())
+        shared_.done.store(true, std::memory_order_release);
+      continue;
+    }
+
+    shared_.status[id_].idle.store(false, std::memory_order_release);
+    const StateIndex idx = open_.pop_best();
+    const State& s = arena_[idx];
+
+    if (s.depth == v) {
+      shared_.offer_incumbent(s.g, assignment_sequence(idx));
+      continue;
+    }
+    if (exact() && s.f() >= shared_.incumbent() - 1e-9) continue;  // stale
+
+    expander_.expand(arena_, seen_, idx, prune_bound(),
+                     [&](StateIndex child_idx, const State& child) {
+                       accept_child(child_idx, child);
+                     });
+    shared_.total_expanded.fetch_add(1, std::memory_order_relaxed);
+
+    if (++period_counter_ >= period) {
+      period_counter_ = 0;
+      communicate();
+      ++round_;
+      period = period_for_round(round_);
+    }
+  }
+  shared_.status[id_].idle.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+ParallelResult parallel_astar_schedule(const SearchProblem& problem,
+                                       const ParallelConfig& config) {
+  OPTSCHED_REQUIRE(config.num_ppes >= 1, "need at least one PPE");
+  OPTSCHED_REQUIRE(config.search.h_weight >= 1.0, "h_weight must be >= 1");
+  OPTSCHED_REQUIRE(config.search.epsilon >= 0.0, "epsilon must be >= 0");
+
+  Shared shared(problem, config);
+  std::vector<std::unique_ptr<Ppe>> ppes;
+  ppes.reserve(config.num_ppes);
+  for (std::uint32_t i = 0; i < config.num_ppes; ++i)
+    ppes.push_back(std::make_unique<Ppe>(shared, i));
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(config.num_ppes);
+    for (auto& ppe : ppes)
+      threads.emplace_back([&ppe] { ppe->run(); });
+    for (auto& t : threads) t.join();
+  }
+
+  // Assemble the result from the shared incumbent.
+  ParallelResult out{
+      core::SearchResult{sched::Schedule(problem.graph(), problem.machine(),
+                                         problem.comm()),
+                         0.0, false, 1.0, core::Termination::kOptimal, {}},
+      {}};
+  {
+    const std::lock_guard<std::mutex> lock(shared.incumbent_mu);
+    if (shared.incumbent_seq.empty()) {
+      out.result.schedule = problem.upper_bound_schedule();
+    } else {
+      for (const auto& [n, p] : shared.incumbent_seq)
+        out.result.schedule.append(n, p);
+    }
+  }
+  sched::validate(out.result.schedule);
+  out.result.makespan = out.result.schedule.makespan();
+
+  const int abort_reason = shared.abort_reason.load();
+  const double eps = config.search.epsilon;
+  if (abort_reason == 1) {
+    out.result.reason = core::Termination::kExpansionLimit;
+  } else if (abort_reason == 2) {
+    out.result.reason = core::Termination::kTimeLimit;
+  } else if (config.naive_termination) {
+    // First-goal termination has no quality guarantee (kept for fidelity).
+    out.result.reason = core::Termination::kBoundedOptimal;
+    out.result.proved_optimal = false;
+    out.result.bound_factor = kInf;
+  } else {
+    const bool exact = eps == 0.0 && config.search.h_weight == 1.0;
+    out.result.proved_optimal = true;
+    out.result.bound_factor =
+        exact ? 1.0 : (1.0 + eps) * std::max(1.0, config.search.h_weight);
+    out.result.reason = exact ? core::Termination::kOptimal
+                              : core::Termination::kBoundedOptimal;
+  }
+
+  for (const auto& ppe : ppes) {
+    out.result.stats.absorb(ppe->stats());
+    out.par_stats.expanded_per_ppe.push_back(ppe->stats().expanded);
+  }
+  out.result.stats.elapsed_seconds = shared.timer.seconds();
+  out.par_stats.messages_sent = shared.messages_sent.load();
+  out.par_stats.states_transferred = shared.states_transferred.load();
+  out.par_stats.comm_rounds = shared.comm_rounds.load();
+  return out;
+}
+
+ParallelResult parallel_astar_schedule(const dag::TaskGraph& graph,
+                                       const machine::Machine& machine,
+                                       const ParallelConfig& config) {
+  const SearchProblem problem(graph, machine);
+  return parallel_astar_schedule(problem, config);
+}
+
+}  // namespace optsched::par

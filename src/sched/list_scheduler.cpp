@@ -1,0 +1,173 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace optsched::sched {
+
+double earliest_start(const Schedule& s, NodeId n, ProcId p, bool insertion) {
+  const double dat = s.data_available_time(n, p);
+  if (!insertion) return std::max(dat, s.proc_ready_time(p));
+
+  const double exec = s.machine().exec_time(s.graph().weight(n), p);
+  const auto& slots = s.proc_slots(p);
+  double cursor = dat;
+  for (const auto& slot : slots) {
+    if (cursor + exec <= slot.start + 1e-12) return cursor;  // fits in gap
+    cursor = std::max(cursor, slot.finish);
+  }
+  return cursor;
+}
+
+namespace {
+
+struct ReadyTracker {
+  explicit ReadyTracker(const dag::TaskGraph& g) : graph(&g) {
+    pending_parents.resize(g.num_nodes());
+    for (dag::NodeId n = 0; n < g.num_nodes(); ++n) {
+      pending_parents[n] = g.num_parents(n);
+      if (pending_parents[n] == 0) ready.push_back(n);
+    }
+  }
+
+  void mark_scheduled(dag::NodeId n) {
+    ready.erase(std::find(ready.begin(), ready.end(), n));
+    for (const auto& [child, cost] : graph->children(n)) {
+      (void)cost;
+      if (--pending_parents[child] == 0) ready.push_back(child);
+    }
+  }
+
+  const dag::TaskGraph* graph;
+  std::vector<std::size_t> pending_parents;
+  std::vector<dag::NodeId> ready;
+};
+
+double priority_value(Priority priority, const dag::Levels& lv, NodeId n) {
+  switch (priority) {
+    case Priority::kStaticLevel:
+      return lv.static_level[n];
+    case Priority::kBLevel:
+      return lv.b_level[n];
+    case Priority::kTLevelPlusBLevel:
+      return lv.b_level[n] + lv.t_level[n];
+    case Priority::kAlap:
+      // ALAP is minimized, so negate to reuse the max-selection loop.
+      return -(lv.cp_length - lv.b_level[n]);
+  }
+  OPTSCHED_ASSERT(false);
+  return 0.0;
+}
+
+}  // namespace
+
+Schedule list_schedule(const dag::TaskGraph& graph,
+                       const machine::Machine& machine,
+                       const ListConfig& config) {
+  OPTSCHED_REQUIRE(graph.finalized(), "list_schedule requires finalize()");
+  const dag::Levels lv = dag::compute_levels(graph);
+  Schedule s(graph, machine, config.comm);
+  ReadyTracker tracker(graph);
+
+  while (!tracker.ready.empty()) {
+    // Highest priority ready node; ties broken by smaller id (deterministic).
+    NodeId best = tracker.ready.front();
+    double best_pri = priority_value(config.priority, lv, best);
+    for (const NodeId n : tracker.ready) {
+      const double pri = priority_value(config.priority, lv, n);
+      if (pri > best_pri || (pri == best_pri && n < best)) {
+        best = n;
+        best_pri = pri;
+      }
+    }
+
+    // Pick the processor by the configured rule.
+    ProcId best_proc = 0;
+    double best_metric = std::numeric_limits<double>::infinity();
+    double best_start = 0.0;
+    for (ProcId p = 0; p < machine.num_procs(); ++p) {
+      const double st = earliest_start(s, best, p, config.insertion);
+      const double metric = config.proc_rule == ProcRule::kEarliestStart
+                                ? st
+                                : st + machine.exec_time(graph.weight(best), p);
+      if (metric < best_metric) {
+        best_metric = metric;
+        best_proc = p;
+        best_start = st;
+      }
+    }
+
+    if (config.insertion)
+      s.place(best, best_proc, best_start);
+    else
+      s.append(best, best_proc);
+    tracker.mark_scheduled(best);
+  }
+  return s;
+}
+
+Schedule upper_bound_schedule(const dag::TaskGraph& graph,
+                              const machine::Machine& machine, CommMode comm) {
+  ListConfig cfg;
+  cfg.priority = Priority::kBLevel;
+  cfg.proc_rule = ProcRule::kEarliestStart;
+  cfg.insertion = false;
+  cfg.comm = comm;
+  return list_schedule(graph, machine, cfg);
+}
+
+Schedule hlfet(const dag::TaskGraph& graph, const machine::Machine& machine,
+               CommMode comm) {
+  ListConfig cfg;
+  cfg.priority = Priority::kStaticLevel;
+  cfg.proc_rule = ProcRule::kEarliestStart;
+  cfg.comm = comm;
+  return list_schedule(graph, machine, cfg);
+}
+
+Schedule mcp(const dag::TaskGraph& graph, const machine::Machine& machine,
+             CommMode comm) {
+  ListConfig cfg;
+  cfg.priority = Priority::kAlap;
+  cfg.proc_rule = ProcRule::kEarliestFinish;
+  cfg.insertion = true;
+  cfg.comm = comm;
+  return list_schedule(graph, machine, cfg);
+}
+
+Schedule etf(const dag::TaskGraph& graph, const machine::Machine& machine,
+             CommMode comm) {
+  OPTSCHED_REQUIRE(graph.finalized(), "etf requires finalize()");
+  const dag::Levels lv = dag::compute_levels(graph);
+  Schedule s(graph, machine, comm);
+  ReadyTracker tracker(graph);
+
+  while (!tracker.ready.empty()) {
+    NodeId best_node = dag::kInvalidNode;
+    ProcId best_proc = 0;
+    double best_st = std::numeric_limits<double>::infinity();
+    double best_sl = -1.0;
+    for (const NodeId n : tracker.ready) {
+      for (ProcId p = 0; p < machine.num_procs(); ++p) {
+        const double st = earliest_start(s, n, p, /*insertion=*/false);
+        const bool better =
+            st < best_st ||
+            (st == best_st && lv.static_level[n] > best_sl) ||
+            (st == best_st && lv.static_level[n] == best_sl &&
+             n < best_node);
+        if (better) {
+          best_node = n;
+          best_proc = p;
+          best_st = st;
+          best_sl = lv.static_level[n];
+        }
+      }
+    }
+    s.append(best_node, best_proc);
+    tracker.mark_scheduled(best_node);
+  }
+  return s;
+}
+
+}  // namespace optsched::sched

@@ -1,0 +1,67 @@
+// Polynomial-time list-scheduling heuristics.
+//
+// These serve three roles in the reproduction:
+//  1. the paper's linear-time upper-bound heuristic (§3.2 "Upper-Bound
+//     Solution Cost", after Kwok/Ahmad/Gu FAST [14]): schedule a priority
+//     list node by node onto the processor allowing the earliest start;
+//  2. comparison baselines in examples/benches (HLFET, MCP, ETF flavours);
+//  3. the reference point for Aε*'s measured deviation from optimal.
+#pragma once
+
+#include "dag/levels.hpp"
+#include "sched/schedule.hpp"
+
+namespace optsched::sched {
+
+/// Static node priority used to order the list.
+enum class Priority {
+  kStaticLevel,      ///< sl(n)                 (HLFET)
+  kBLevel,           ///< b-level(n)            (paper's upper-bound list)
+  kTLevelPlusBLevel, ///< b-level + t-level     (the search's ready ordering)
+  kAlap,             ///< ascending ALAP = CP - b-level   (MCP)
+};
+
+/// Processor choice for the selected node.
+enum class ProcRule {
+  kEarliestStart,   ///< min start time (paper's upper-bound heuristic)
+  kEarliestFinish,  ///< min finish time (differs on heterogeneous machines)
+};
+
+struct ListConfig {
+  Priority priority = Priority::kBLevel;
+  ProcRule proc_rule = ProcRule::kEarliestStart;
+  bool insertion = false;  ///< allow placing tasks into idle gaps
+  CommMode comm = CommMode::kUnitDistance;
+};
+
+/// Generic ready-list scheduler: repeatedly pick the ready node with the
+/// best priority (ties by smaller id) and place it per the config.
+Schedule list_schedule(const dag::TaskGraph& graph,
+                       const machine::Machine& machine,
+                       const ListConfig& config = {});
+
+/// The paper's upper-bound heuristic: decreasing b-level, earliest start,
+/// no insertion. The resulting makespan is the search's pruning bound U.
+Schedule upper_bound_schedule(const dag::TaskGraph& graph,
+                              const machine::Machine& machine,
+                              CommMode comm = CommMode::kUnitDistance);
+
+/// Highest Level First with Estimated Times (static levels, append).
+Schedule hlfet(const dag::TaskGraph& graph, const machine::Machine& machine,
+               CommMode comm = CommMode::kUnitDistance);
+
+/// Modified Critical Path flavour: ALAP priorities with insertion.
+Schedule mcp(const dag::TaskGraph& graph, const machine::Machine& machine,
+             CommMode comm = CommMode::kUnitDistance);
+
+/// Earliest Task First: dynamically pick the (ready node, processor) pair
+/// with the globally smallest start time; ties by higher static level.
+Schedule etf(const dag::TaskGraph& graph, const machine::Machine& machine,
+             CommMode comm = CommMode::kUnitDistance);
+
+/// Earliest start time for `n` on `p` honouring `insertion` (idle-gap
+/// search). Exposed for tests and for the ETF scheduler.
+double earliest_start(const Schedule& schedule, NodeId n, ProcId p,
+                      bool insertion);
+
+}  // namespace optsched::sched

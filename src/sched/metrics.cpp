@@ -1,0 +1,73 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace optsched::sched {
+
+ScheduleMetrics compute_metrics(const Schedule& s) {
+  OPTSCHED_REQUIRE(s.complete(), "compute_metrics requires a complete schedule");
+  const auto& g = s.graph();
+  const auto& m = s.machine();
+
+  ScheduleMetrics out;
+  out.makespan = s.makespan();
+  out.busy_time.assign(m.num_procs(), 0.0);
+
+  for (machine::ProcId p = 0; p < m.num_procs(); ++p) {
+    for (const Slot& slot : s.proc_slots(p))
+      out.busy_time[p] += slot.finish - slot.start;
+    out.total_work += out.busy_time[p];
+    if (!s.proc_slots(p).empty()) ++out.procs_used;
+  }
+  out.total_idle =
+      out.makespan * static_cast<double>(m.num_procs()) - out.total_work;
+  out.utilization =
+      out.makespan > 0
+          ? out.total_work / (out.makespan * static_cast<double>(m.num_procs()))
+          : 0.0;
+
+  // Serial reference: all work on the fastest processor.
+  const double serial = g.total_work() / m.max_speed();
+  out.speedup = out.makespan > 0 ? serial / out.makespan : 0.0;
+  out.efficiency =
+      out.procs_used > 0 ? out.speedup / static_cast<double>(out.procs_used)
+                         : 0.0;
+
+  double max_busy = 0.0, sum_busy = 0.0;
+  for (machine::ProcId p = 0; p < m.num_procs(); ++p)
+    if (!s.proc_slots(p).empty()) {
+      max_busy = std::max(max_busy, out.busy_time[p]);
+      sum_busy += out.busy_time[p];
+    }
+  const double mean_busy =
+      out.procs_used ? sum_busy / static_cast<double>(out.procs_used) : 0.0;
+  out.load_imbalance = mean_busy > 0 ? max_busy / mean_busy : 1.0;
+
+  std::size_t cut = 0;
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n))
+      if (s.placement(n).proc != s.placement(child).proc) {
+        out.comm_volume += cost;
+        ++cut;
+      }
+  out.cut_edge_fraction =
+      g.num_edges() ? static_cast<double>(cut) /
+                          static_cast<double>(g.num_edges())
+                    : 0.0;
+  return out;
+}
+
+std::string format_metrics(const ScheduleMetrics& x) {
+  std::ostringstream out;
+  out << "makespan " << x.makespan << ", speedup " << x.speedup
+      << " on " << x.procs_used << " procs (efficiency " << x.efficiency
+      << ")\n"
+      << "utilization " << x.utilization << ", idle " << x.total_idle
+      << ", load imbalance " << x.load_imbalance << "\n"
+      << "communication: volume " << x.comm_volume << ", cut edges "
+      << x.cut_edge_fraction * 100 << "%\n";
+  return out.str();
+}
+
+}  // namespace optsched::sched

@@ -1,0 +1,41 @@
+// Schedule quality metrics beyond the makespan: processor utilization,
+// idle time, communication volume, load balance, and speedup/efficiency
+// relative to the serial execution. What a user quoting "optimal" numbers
+// in a paper or dashboard actually reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace optsched::sched {
+
+struct ScheduleMetrics {
+  double makespan = 0.0;
+  double total_work = 0.0;           ///< sum of execution times as placed
+  double total_idle = 0.0;           ///< sum over procs of (makespan - busy)
+  std::uint32_t procs_used = 0;
+  /// total busy time / (makespan * num_procs) in [0, 1].
+  double utilization = 0.0;
+  /// serial time (all work on the fastest processor) / makespan.
+  double speedup = 0.0;
+  /// speedup / procs_used in (0, 1].
+  double efficiency = 0.0;
+  /// max proc busy time / mean busy time over used procs (1.0 = balanced).
+  double load_imbalance = 1.0;
+  /// Sum of edge costs actually paid (endpoints on different processors).
+  double comm_volume = 0.0;
+  /// Fraction of edges crossing processors.
+  double cut_edge_fraction = 0.0;
+  /// Per-processor busy time.
+  std::vector<double> busy_time;
+};
+
+/// Compute metrics for a complete schedule.
+ScheduleMetrics compute_metrics(const Schedule& schedule);
+
+/// Multi-line human-readable report.
+std::string format_metrics(const ScheduleMetrics& metrics);
+
+}  // namespace optsched::sched

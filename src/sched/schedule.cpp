@@ -1,0 +1,133 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace optsched::sched {
+
+Schedule::Schedule(const dag::TaskGraph& graph, const machine::Machine& machine,
+                   CommMode comm)
+    : graph_(&graph), machine_(&machine), comm_(comm) {
+  OPTSCHED_REQUIRE(graph.finalized(), "Schedule requires a finalized graph");
+  placements_.assign(graph.num_nodes(), Placement{});
+  slots_.assign(machine.num_procs(), {});
+  proc_ready_.assign(machine.num_procs(), 0.0);
+}
+
+double Schedule::data_available_time(NodeId n, ProcId p) const {
+  OPTSCHED_ASSERT(n < graph_->num_nodes() && p < machine_->num_procs());
+  double dat = 0.0;
+  for (const auto& [parent, cost] : graph_->parents(n)) {
+    const Placement& pp = placements_[parent];
+    OPTSCHED_ASSERT(pp.assigned());
+    dat = std::max(dat, pp.finish +
+                            machine_->comm_delay(cost, pp.proc, p, comm_));
+  }
+  return dat;
+}
+
+double Schedule::append(NodeId n, ProcId p) {
+  OPTSCHED_ASSERT(n < graph_->num_nodes() && p < machine_->num_procs());
+  OPTSCHED_ASSERT(!placements_[n].assigned());
+  const double start = std::max(proc_ready_[p], data_available_time(n, p));
+  const double finish = start + machine_->exec_time(graph_->weight(n), p);
+  placements_[n] = {p, start, finish};
+  slots_[p].push_back({n, start, finish});
+  proc_ready_[p] = finish;
+  makespan_ = std::max(makespan_, finish);
+  ++num_scheduled_;
+  return finish;
+}
+
+void Schedule::place(NodeId n, ProcId p, double start) {
+  OPTSCHED_ASSERT(n < graph_->num_nodes() && p < machine_->num_procs());
+  OPTSCHED_ASSERT(!placements_[n].assigned());
+  OPTSCHED_ASSERT(std::isfinite(start) && start >= 0.0);
+  const double finish = start + machine_->exec_time(graph_->weight(n), p);
+  placements_[n] = {p, start, finish};
+  auto& list = slots_[p];
+  const Slot slot{n, start, finish};
+  list.insert(std::upper_bound(list.begin(), list.end(), slot,
+                               [](const Slot& a, const Slot& b) {
+                                 return a.start < b.start;
+                               }),
+              slot);
+  proc_ready_[p] = std::max(proc_ready_[p], finish);
+  makespan_ = std::max(makespan_, finish);
+  ++num_scheduled_;
+}
+
+std::uint32_t Schedule::procs_used() const {
+  std::uint32_t used = 0;
+  for (const auto& list : slots_)
+    if (!list.empty()) ++used;
+  return used;
+}
+
+void validate(const Schedule& s) {
+  const auto& g = s.graph();
+  const auto& m = s.machine();
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    OPTSCHED_REQUIRE(s.scheduled(n),
+                     "schedule incomplete: task " + g.name(n) + " unplaced");
+
+  for (ProcId p = 0; p < m.num_procs(); ++p) {
+    const auto& list = s.proc_slots(p);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const auto& slot = list[i];
+      const double exec = m.exec_time(g.weight(slot.node), p);
+      OPTSCHED_REQUIRE(std::abs((slot.finish - slot.start) - exec) < 1e-9,
+                       "task " + g.name(slot.node) +
+                           " duration does not match its execution time");
+      if (i > 0)
+        OPTSCHED_REQUIRE(list[i - 1].finish <= slot.start + 1e-9,
+                         "tasks " + g.name(list[i - 1].node) + " and " +
+                             g.name(slot.node) + " overlap on processor " +
+                             std::to_string(p));
+    }
+  }
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const Placement& pn = s.placement(n);
+    for (const auto& [parent, cost] : g.parents(n)) {
+      const Placement& pp = s.placement(parent);
+      const double earliest =
+          pp.finish + m.comm_delay(cost, pp.proc, pn.proc, s.comm_mode());
+      OPTSCHED_REQUIRE(
+          pn.start >= earliest - 1e-9,
+          "precedence violation: " + g.name(n) + " starts before data from " +
+              g.name(parent) + " can arrive");
+    }
+  }
+}
+
+std::string render_gantt(const Schedule& s, std::size_t width) {
+  const auto& g = s.graph();
+  const auto& m = s.machine();
+  const double span = std::max(s.makespan(), 1e-9);
+  const double scale = static_cast<double>(width) / span;
+
+  std::ostringstream out;
+  out << "makespan = " << s.makespan() << "\n";
+  for (ProcId p = 0; p < m.num_procs(); ++p) {
+    out << "PE" << p << " |";
+    std::string row(width, ' ');
+    for (const auto& slot : s.proc_slots(p)) {
+      auto a = static_cast<std::size_t>(slot.start * scale);
+      auto b = static_cast<std::size_t>(slot.finish * scale);
+      a = std::min(a, width - 1);
+      b = std::min(std::max(b, a + 1), width);
+      const std::string& label = g.name(slot.node);
+      for (std::size_t i = a; i < b; ++i) {
+        const std::size_t k = i - a;
+        row[i] = k < label.size() ? label[k] : '=';
+      }
+    }
+    out << row << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace optsched::sched

@@ -1,0 +1,104 @@
+// Schedule container and construction semantics (paper §2).
+//
+// A Schedule maps every task to a (processor, start time, finish time)
+// placement. It can be built two ways:
+//
+//  * `append(node, proc)` — the search/list-scheduler semantics: the node is
+//    placed after the last task already on `proc`, starting at
+//    max(processor ready time, data-available time). Every feasible schedule
+//    normalizes to this form without increasing its length, which is why
+//    searching append-order/assignment pairs is complete (see DESIGN.md §1).
+//  * `place(node, proc, start)` — raw placement for insertion-based
+//    heuristics (e.g. MCP); validity is checked by sched::validate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "machine/machine.hpp"
+
+namespace optsched::sched {
+
+using dag::NodeId;
+using machine::CommMode;
+using machine::ProcId;
+
+struct Placement {
+  ProcId proc = machine::kInvalidProc;
+  double start = -1.0;
+  double finish = -1.0;
+
+  bool assigned() const noexcept { return proc != machine::kInvalidProc; }
+};
+
+/// One scheduled task on a processor's timeline.
+struct Slot {
+  NodeId node;
+  double start;
+  double finish;
+};
+
+class Schedule {
+ public:
+  Schedule(const dag::TaskGraph& graph, const machine::Machine& machine,
+           CommMode comm = CommMode::kUnitDistance);
+
+  const dag::TaskGraph& graph() const noexcept { return *graph_; }
+  const machine::Machine& machine() const noexcept { return *machine_; }
+  CommMode comm_mode() const noexcept { return comm_; }
+
+  bool scheduled(NodeId n) const { return placements_[n].assigned(); }
+  const Placement& placement(NodeId n) const { return placements_[n]; }
+
+  std::size_t num_scheduled() const noexcept { return num_scheduled_; }
+  bool complete() const noexcept {
+    return num_scheduled_ == graph_->num_nodes();
+  }
+
+  /// Finish time of the last task currently on `p` (0 if none).
+  double proc_ready_time(ProcId p) const { return proc_ready_[p]; }
+
+  /// Earliest time all of n's input data can be available on processor `p`
+  /// (parents must all be scheduled).
+  double data_available_time(NodeId n, ProcId p) const;
+
+  /// Append `n` to processor `p` (see class comment); returns finish time.
+  /// All parents of n must already be scheduled.
+  double append(NodeId n, ProcId p);
+
+  /// Raw placement at an explicit start time (for insertion heuristics).
+  /// Keeps per-processor slot lists sorted by start time.
+  void place(NodeId n, ProcId p, double start);
+
+  /// max finish time over scheduled tasks (the schedule length once
+  /// complete; the paper's g(s) for partial schedules).
+  double makespan() const noexcept { return makespan_; }
+
+  /// Tasks on processor `p` ordered by start time.
+  const std::vector<Slot>& proc_slots(ProcId p) const { return slots_[p]; }
+
+  /// Processors with at least one task.
+  std::uint32_t procs_used() const;
+
+ private:
+  const dag::TaskGraph* graph_;
+  const machine::Machine* machine_;
+  CommMode comm_;
+  std::vector<Placement> placements_;
+  std::vector<std::vector<Slot>> slots_;
+  std::vector<double> proc_ready_;
+  std::size_t num_scheduled_ = 0;
+  double makespan_ = 0.0;
+};
+
+/// Validate a (complete) schedule: every task placed exactly once, no
+/// overlap on any processor, and every task starts no earlier than each
+/// parent's finish plus the communication delay. Throws util::Error with a
+/// precise message on the first violation.
+void validate(const Schedule& schedule);
+
+/// ASCII Gantt chart (one row per processor) for reports and examples.
+std::string render_gantt(const Schedule& schedule, std::size_t width = 72);
+
+}  // namespace optsched::sched

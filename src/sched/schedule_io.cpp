@@ -1,0 +1,87 @@
+#include "sched/schedule_io.hpp"
+
+#include <sstream>
+
+namespace optsched::sched {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& msg) {
+  throw util::Error("schedule parse error at line " + std::to_string(line) +
+                    ": " + msg);
+}
+
+}  // namespace
+
+void write_schedule(const Schedule& s, std::ostream& out) {
+  const auto& g = s.graph();
+  OPTSCHED_REQUIRE(s.complete(), "write_schedule requires a complete schedule");
+  out << "schedule " << g.num_nodes() << " " << s.machine().num_procs() << " "
+      << s.makespan() << "\n";
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n) {
+    const Placement& p = s.placement(n);
+    out << "task " << n << " " << p.proc << " " << p.start << " " << p.finish
+        << " " << g.name(n) << "\n";
+  }
+}
+
+Schedule read_schedule(const dag::TaskGraph& graph,
+                       const machine::Machine& machine, std::istream& in,
+                       CommMode comm) {
+  Schedule s(graph, machine, comm);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;
+    if (directive == "schedule") {
+      std::size_t tasks, procs;
+      double makespan;
+      if (!(ls >> tasks >> procs >> makespan))
+        parse_error(lineno, "'schedule' expects: tasks procs makespan");
+      if (tasks != graph.num_nodes())
+        parse_error(lineno, "task count does not match the graph");
+      if (procs != machine.num_procs())
+        parse_error(lineno, "processor count does not match the machine");
+      saw_header = true;
+    } else if (directive == "task") {
+      if (!saw_header) parse_error(lineno, "'task' before 'schedule'");
+      std::size_t node, proc;
+      double start, finish;
+      if (!(ls >> node >> proc >> start >> finish))
+        parse_error(lineno, "'task' expects: node proc start finish [name]");
+      if (node >= graph.num_nodes())
+        parse_error(lineno, "node id out of range");
+      if (proc >= machine.num_procs())
+        parse_error(lineno, "processor id out of range");
+      if (s.scheduled(static_cast<dag::NodeId>(node)))
+        parse_error(lineno, "task placed twice");
+      s.place(static_cast<dag::NodeId>(node),
+              static_cast<machine::ProcId>(proc), start);
+      const double actual = s.placement(static_cast<dag::NodeId>(node)).finish;
+      if (std::abs(actual - finish) > 1e-6)
+        parse_error(lineno, "finish time inconsistent with execution time");
+    } else {
+      parse_error(lineno, "unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_header) throw util::Error("schedule file has no header");
+  validate(s);
+  return s;
+}
+
+void write_schedule_csv(const Schedule& s, std::ostream& out) {
+  const auto& g = s.graph();
+  out << "node,name,proc,start,finish\n";
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n) {
+    const Placement& p = s.placement(n);
+    out << n << "," << g.name(n) << "," << p.proc << "," << p.start << ","
+        << p.finish << "\n";
+  }
+}
+
+}  // namespace optsched::sched

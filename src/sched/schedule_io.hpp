@@ -1,0 +1,32 @@
+// Schedule serialization: a stable text format for downstream tooling
+// (plotters, trace replayers) and for regression-diffing schedules across
+// library versions.
+//
+//   schedule <num_tasks> <num_procs> <makespan>
+//   task <node> <proc> <start> <finish> [name]
+//
+// plus CSV export (one row per task) for spreadsheets/pandas.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace optsched::sched {
+
+/// Write the stable text format (sorted by node id; round-trips exactly
+/// for integer-valued times).
+void write_schedule(const Schedule& schedule, std::ostream& out);
+
+/// Parse a schedule produced by write_schedule against the same graph and
+/// machine. Throws util::Error with a line-numbered message on malformed
+/// input, and validates the result (precedence, overlap) before returning.
+Schedule read_schedule(const dag::TaskGraph& graph,
+                       const machine::Machine& machine, std::istream& in,
+                       CommMode comm = CommMode::kUnitDistance);
+
+/// CSV: node,name,proc,start,finish
+void write_schedule_csv(const Schedule& schedule, std::ostream& out);
+
+}  // namespace optsched::sched

@@ -1,0 +1,42 @@
+// Lightweight contract checking for optsched.
+//
+// OPTSCHED_ASSERT is active in all build types: the library's invariants are
+// cheap relative to state expansion, and search-code bugs silently produce
+// *suboptimal* (not crashing) schedules, which is far worse than an abort.
+// Errors caused by caller input throw optsched::util::Error instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace optsched::util {
+
+/// Exception thrown for invalid caller-supplied input (malformed graphs,
+/// out-of-range parameters, unparsable files). Internal invariant failures
+/// use OPTSCHED_ASSERT and abort.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "optsched: assertion failed: %s (%s:%d)\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace optsched::util
+
+#define OPTSCHED_ASSERT(expr)                                       \
+  do {                                                              \
+    if (!(expr)) ::optsched::util::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+/// Throw util::Error with a message when a caller-input check fails.
+#define OPTSCHED_REQUIRE(expr, msg)                   \
+  do {                                                \
+    if (!(expr)) throw ::optsched::util::Error(msg);  \
+  } while (0)

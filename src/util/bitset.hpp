@@ -1,0 +1,114 @@
+// Dynamic bitset with a single-word fast path.
+//
+// Search states track which DAG nodes are scheduled. The paper's workloads
+// have v <= 32, so the common case is one 64-bit word held inline; larger
+// graphs spill to heap storage transparently. The interface is the small
+// subset the search needs (set/test/count/iterate), kept allocation-free on
+// the fast path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace optsched::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  explicit DynamicBitset(std::size_t nbits) : nbits_(nbits) {
+    if (nbits_ > 64) words_.assign(word_count(), 0);
+  }
+
+  std::size_t size() const noexcept { return nbits_; }
+
+  bool test(std::size_t i) const noexcept {
+    OPTSCHED_ASSERT(i < nbits_);
+    if (nbits_ <= 64) return (inline_word_ >> i) & 1ULL;
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) noexcept {
+    OPTSCHED_ASSERT(i < nbits_);
+    if (nbits_ <= 64) {
+      inline_word_ |= 1ULL << i;
+    } else {
+      words_[i >> 6] |= 1ULL << (i & 63);
+    }
+  }
+
+  void reset(std::size_t i) noexcept {
+    OPTSCHED_ASSERT(i < nbits_);
+    if (nbits_ <= 64) {
+      inline_word_ &= ~(1ULL << i);
+    } else {
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+  }
+
+  void clear() noexcept {
+    inline_word_ = 0;
+    for (auto& w : words_) w = 0;
+  }
+
+  std::size_t count() const noexcept {
+    if (nbits_ <= 64) return static_cast<std::size_t>(popcount(inline_word_));
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(popcount(w));
+    return total;
+  }
+
+  bool all() const noexcept { return count() == nbits_; }
+  bool none() const noexcept { return count() == 0; }
+  bool any() const noexcept { return !none(); }
+
+  bool operator==(const DynamicBitset& other) const noexcept {
+    if (nbits_ != other.nbits_) return false;
+    if (nbits_ <= 64) return inline_word_ == other.inline_word_;
+    return words_ == other.words_;
+  }
+
+  /// Call fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    if (nbits_ <= 64) {
+      for_each_in_word(inline_word_, 0, fn);
+      return;
+    }
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+      for_each_in_word(words_[wi], wi << 6, fn);
+  }
+
+  /// Order-insensitive 64-bit hash of the contents.
+  std::uint64_t hash() const noexcept {
+    if (nbits_ <= 64) return splitmix64(inline_word_ ^ nbits_);
+    std::uint64_t h = splitmix64(nbits_);
+    for (auto w : words_) h = splitmix64(h ^ w);
+    return h;
+  }
+
+ private:
+  static int popcount(std::uint64_t w) noexcept {
+    return __builtin_popcountll(w);
+  }
+
+  template <typename Fn>
+  static void for_each_in_word(std::uint64_t w, std::size_t base, Fn&& fn) {
+    while (w != 0) {
+      const int bit = __builtin_ctzll(w);
+      fn(base + static_cast<std::size_t>(bit));
+      w &= w - 1;
+    }
+  }
+
+  std::size_t word_count() const noexcept { return (nbits_ + 63) >> 6; }
+
+  std::size_t nbits_ = 0;
+  std::uint64_t inline_word_ = 0;      // used when nbits_ <= 64
+  std::vector<std::uint64_t> words_;   // used when nbits_ > 64
+};
+
+}  // namespace optsched::util

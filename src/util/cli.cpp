@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace optsched::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+Cli& Cli::describe(const std::string& name, const std::string& help) {
+  described_.emplace_back(name, help);
+  return *this;
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects an integer, got '" + it->second +
+                "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects a number, got '" + it->second +
+                "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Cli::maybe_print_help(const std::string& program_summary) const {
+  if (!has("help")) return false;
+  std::printf("%s\n\n%s\n\nFlags:\n", program_.c_str(),
+              program_summary.c_str());
+  for (const auto& [name, help] : described_)
+    std::printf("  --%-18s %s\n", name.c_str(), help.c_str());
+  std::printf("  --%-18s %s\n", "help", "show this message");
+  return true;
+}
+
+void Cli::validate() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (name == "help") continue;
+    bool known = false;
+    for (const auto& [dname, dhelp] : described_) {
+      (void)dhelp;
+      if (dname == name) {
+        known = true;
+        break;
+      }
+    }
+    OPTSCHED_REQUIRE(known, "unknown flag --" + name);
+  }
+}
+
+}  // namespace optsched::util

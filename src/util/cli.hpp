@@ -1,0 +1,43 @@
+// Minimal command-line flag parser shared by benches and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Unknown
+// flags raise util::Error so typos in bench invocations fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optsched::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Declare a flag so it shows up in help and passes the unknown-flag check.
+  Cli& describe(const std::string& name, const std::string& help);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Print usage built from describe() calls; returns true if --help given.
+  bool maybe_print_help(const std::string& program_summary) const;
+
+  /// Throw util::Error if any parsed flag was never describe()d.
+  void validate() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> described_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace optsched::util

@@ -1,0 +1,100 @@
+// Open-addressing hash set of 128-bit keys.
+//
+// The A* CLOSED/SEEN structure stores one 128-bit signature per generated
+// state; it is the hottest container in the search after the OPEN heap.
+// std::unordered_set's node allocations dominate at millions of inserts, so
+// we use a flat power-of-two table with linear probing and a max load factor
+// of 0.7. Zero (0,0) is reserved as the empty sentinel; real signatures are
+// never (0,0) by construction (core/signature.hpp mixes in a nonzero salt).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace optsched::util {
+
+struct Key128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Key128& a, const Key128& b) noexcept {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  bool is_zero() const noexcept { return lo == 0 && hi == 0; }
+};
+
+class FlatSet128 {
+ public:
+  explicit FlatSet128(std::size_t expected = 16) { rehash(capacity_for(expected)); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Insert key; returns true if newly inserted, false if already present.
+  /// Keys equal to the zero sentinel are rejected via assertion.
+  bool insert(const Key128& key) {
+    OPTSCHED_ASSERT(!key.is_zero());
+    if ((size_ + 1) * 10 >= slots_.size() * 7) rehash(slots_.size() * 2);
+    std::size_t i = index_of(key);
+    while (true) {
+      Key128& slot = slots_[i];
+      if (slot.is_zero()) {
+        slot = key;
+        ++size_;
+        return true;
+      }
+      if (slot == key) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool contains(const Key128& key) const noexcept {
+    std::size_t i = index_of(key);
+    while (true) {
+      const Key128& slot = slots_[i];
+      if (slot.is_zero()) return false;
+      if (slot == key) return true;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void clear() {
+    for (auto& s : slots_) s = Key128{};
+    size_ = 0;
+  }
+
+  /// Approximate heap footprint in bytes (for memory reporting).
+  std::size_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(Key128);
+  }
+
+ private:
+  static std::size_t capacity_for(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap * 7 < expected * 10) cap <<= 1;
+    return cap;
+  }
+
+  std::size_t index_of(const Key128& key) const noexcept {
+    return static_cast<std::size_t>(splitmix64(key.lo ^ (key.hi * 0x9ddfea08eb382d69ULL))) & mask_;
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Key128> old = std::move(slots_);
+    slots_.assign(new_cap, Key128{});
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (const auto& k : old)
+      if (!k.is_zero()) insert(k);
+  }
+
+  std::vector<Key128> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace optsched::util

@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+namespace optsched::util {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  OPTSCHED_ASSERT(lo <= hi);
+  const std::uint64_t range = hi - lo;
+  if (range == ~0ULL) return (*this)();
+  const std::uint64_t bound = range + 1;
+  // Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace optsched::util

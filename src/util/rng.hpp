@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic parts of optsched (workload generators, tie-breaking) are
+// seeded explicitly so every experiment in EXPERIMENTS.md is reproducible
+// bit-for-bit. We use splitmix64 for seeding/hash mixing and xoshiro256**
+// as the workhorse generator (fast, 256-bit state, passes BigCrush).
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace optsched::util {
+
+/// One round of the splitmix64 mixing function. Also used as the hash mixer
+/// for state signatures (core/signature.hpp).
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // Expand the 64-bit seed through splitmix64 as recommended upstream.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses Lemire's unbiased method.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive (signed convenience).
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+    OPTSCHED_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng split() noexcept {
+    return Rng(splitmix64((*this)()) ^ 0xa0761d6478bd642fULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace optsched::util

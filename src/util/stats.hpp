@@ -1,0 +1,46 @@
+// Streaming statistics accumulator (Welford) used by benches to report
+// mean/min/max/stddev across repetitions and random seeds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace optsched::util {
+
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace optsched::util

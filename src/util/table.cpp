@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace optsched::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  OPTSCHED_REQUIRE(!header_.empty(), "Table requires at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty())
+    OPTSCHED_ASSERT(rows_.back().size() == header_.size());
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  OPTSCHED_ASSERT(!rows_.empty() && rows_.back().size() < header_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  OPTSCHED_ASSERT(row < rows_.size() && col < rows_[row].size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  if (!title.empty()) os << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      os << std::setw(static_cast<int>(width[c])) << v;
+      os << (c + 1 == header_.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << r[c] << (c + 1 == r.size() ? "\n" : ",");
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (seconds < 1e-3) {
+    os << std::setprecision(1) << seconds * 1e6 << "us";
+  } else if (seconds < 1.0) {
+    os << std::setprecision(2) << seconds * 1e3 << "ms";
+  } else {
+    os << std::setprecision(2) << seconds << "s";
+  }
+  return os.str();
+}
+
+}  // namespace optsched::util

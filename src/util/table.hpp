@@ -1,0 +1,46 @@
+// Plain-text table and CSV emission for the benchmark harnesses.
+//
+// Every bench prints (a) an aligned human-readable table mirroring the
+// paper's layout and (b) optional CSV for plotting. Cells are strings so
+// "TIMEOUT" / "—" entries (as in the paper's Table 1) are first-class.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace optsched::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent `cell` calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Aligned fixed-width rendering with a separator under the header.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric/plain cells).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds adaptively (µs/ms/s) for human-readable bench output.
+std::string format_seconds(double seconds);
+
+}  // namespace optsched::util

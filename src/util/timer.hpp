@@ -1,0 +1,50 @@
+// Wall-clock timing helpers for benches and search deadlines.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace optsched::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+  std::int64_t micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// A wall-clock budget; `expired()` is cheap enough to poll per expansion.
+class Deadline {
+ public:
+  /// budget_ms <= 0 means "no deadline".
+  explicit Deadline(double budget_ms = 0) : budget_ms_(budget_ms) {}
+
+  bool enabled() const { return budget_ms_ > 0; }
+  bool expired() const { return enabled() && timer_.millis() >= budget_ms_; }
+  double remaining_ms() const {
+    return enabled() ? budget_ms_ - timer_.millis() : 1e300;
+  }
+
+ private:
+  Timer timer_;
+  double budget_ms_;
+};
+
+}  // namespace optsched::util

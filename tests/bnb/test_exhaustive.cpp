@@ -1,0 +1,77 @@
+#include "bnb/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+
+namespace optsched::bnb {
+namespace {
+
+using machine::Machine;
+
+TEST(Exhaustive, PaperExample) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  const auto r = exhaustive_schedule(g, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 14.0);
+  EXPECT_NO_THROW(sched::validate(r.schedule));
+  EXPECT_GT(r.nodes_visited, 0u);
+}
+
+TEST(Exhaustive, SingleTask) {
+  dag::TaskGraph g;
+  g.add_node(3.0);
+  g.finalize();
+  const auto r = exhaustive_schedule(g, Machine::fully_connected(2));
+  EXPECT_DOUBLE_EQ(r.makespan, 3.0);
+}
+
+TEST(Exhaustive, TwoIndependentTasksTwoProcs) {
+  const auto g = dag::independent_tasks(2, 5.0);
+  const auto r = exhaustive_schedule(g, Machine::fully_connected(2));
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+}
+
+TEST(Exhaustive, ChainIgnoresExtraProcs) {
+  const auto g = dag::chain(4, 5.0, 3.0);
+  const auto r = exhaustive_schedule(g, Machine::fully_connected(3));
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+}
+
+TEST(Exhaustive, KnownForkJoinOptimum) {
+  // fork(10) -> 2 workers(10) with comm 5 -> join(10) on two processors:
+  // fork on P0 [0,10); w0 on P0 [10,20); w1 on P1 [15,25) (data at 10+5);
+  // join on P1 at max(25, 20+5) = 25 -> finishes 35. Serial would be 40.
+  const auto g = dag::fork_join(2, 10.0, 5.0);
+  const auto r = exhaustive_schedule(g, Machine::fully_connected(2));
+  EXPECT_DOUBLE_EQ(r.makespan, 35.0);
+}
+
+TEST(Exhaustive, CommMakesClusteringWin) {
+  const auto g = dag::fork_join(2, 10.0, 100.0);
+  const auto r = exhaustive_schedule(g, Machine::fully_connected(2));
+  EXPECT_DOUBLE_EQ(r.makespan, 40.0);  // strictly serial on one processor
+  EXPECT_EQ(r.schedule.procs_used(), 1u);
+}
+
+TEST(Exhaustive, HeterogeneousOptimal) {
+  const auto g = dag::independent_tasks(3, 8.0);
+  // speeds {1, 3}: put two tasks on the fast proc (8/3 each), one on slow.
+  const auto r = exhaustive_schedule(g, Machine::fully_connected(2, {1.0, 3.0}));
+  EXPECT_NEAR(r.makespan, 8.0, 1e-9);
+}
+
+TEST(Exhaustive, DeterministicAcrossRuns) {
+  dag::RandomDagParams p;
+  p.num_nodes = 6;
+  p.seed = 3;
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(2);
+  const auto a = exhaustive_schedule(g, m);
+  const auto b = exhaustive_schedule(g, m);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+}
+
+}  // namespace
+}  // namespace optsched::bnb

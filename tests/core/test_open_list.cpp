@@ -1,0 +1,113 @@
+#include "core/open_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace optsched::core {
+namespace {
+
+TEST(OpenList, PopsInFOrder) {
+  OpenList open;
+  open.push({3.0, 0.0, 1});
+  open.push({1.0, 0.0, 2});
+  open.push({2.0, 0.0, 3});
+  EXPECT_EQ(open.pop().index, 2u);
+  EXPECT_EQ(open.pop().index, 3u);
+  EXPECT_EQ(open.pop().index, 1u);
+  EXPECT_TRUE(open.empty());
+}
+
+TEST(OpenList, TiesPreferLargerG) {
+  OpenList open;
+  open.push({5.0, 1.0, 1});
+  open.push({5.0, 4.0, 2});
+  open.push({5.0, 2.0, 3});
+  EXPECT_EQ(open.pop().index, 2u);  // deepest first
+}
+
+TEST(OpenList, HeapSortsRandomSequence) {
+  util::Rng rng(7);
+  OpenList open;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double f = static_cast<double>(rng.uniform_u64(0, 10000));
+    values.push_back(f);
+    open.push({f, 0.0, static_cast<StateIndex>(i)});
+  }
+  std::sort(values.begin(), values.end());
+  for (double expected : values) EXPECT_DOUBLE_EQ(open.pop().f, expected);
+}
+
+TEST(OpenList, TopPeeksWithoutRemoving) {
+  OpenList open;
+  open.push({2.0, 0.0, 9});
+  EXPECT_DOUBLE_EQ(open.top().f, 2.0);
+  EXPECT_EQ(open.size(), 1u);
+}
+
+TEST(OpenList, PruneAtLeastDropsDominatedEntries) {
+  OpenList open;
+  for (int i = 0; i < 100; ++i)
+    open.push({static_cast<double>(i), 0.0, static_cast<StateIndex>(i)});
+  open.prune_at_least(50.0);
+  EXPECT_EQ(open.size(), 50u);
+  // Heap property intact: pops come out sorted.
+  double last = -1;
+  while (!open.empty()) {
+    const double f = open.pop().f;
+    EXPECT_GE(f, last);
+    EXPECT_LT(f, 50.0);
+    last = f;
+  }
+}
+
+TEST(OpenList, ExtractSurplusKeepsBest) {
+  OpenList open;
+  for (int i = 0; i < 10; ++i)
+    open.push({static_cast<double>(i), 0.0, static_cast<StateIndex>(i)});
+  const auto extracted = open.extract_surplus(4);
+  EXPECT_EQ(extracted.size(), 4u);
+  EXPECT_EQ(open.size(), 6u);
+  EXPECT_DOUBLE_EQ(open.top().f, 0.0);  // the best entry stays
+}
+
+TEST(OpenList, ExtractSurplusNeverEmptiesHeap) {
+  OpenList open;
+  open.push({1.0, 0.0, 1});
+  EXPECT_TRUE(open.extract_surplus(5).empty());
+  open.push({2.0, 0.0, 2});
+  EXPECT_EQ(open.extract_surplus(5).size(), 1u);
+  EXPECT_EQ(open.size(), 1u);
+}
+
+TEST(OpenList, ClearResets) {
+  OpenList open;
+  open.push({1.0, 0.0, 1});
+  open.clear();
+  EXPECT_TRUE(open.empty());
+  EXPECT_EQ(open.size(), 0u);
+}
+
+TEST(OpenList, InterleavedPushPopStress) {
+  util::Rng rng(99);
+  OpenList open;
+  std::multiset<double> reference;
+  for (int i = 0; i < 20000; ++i) {
+    if (reference.empty() || rng.chance(0.6)) {
+      const double f = static_cast<double>(rng.uniform_u64(0, 1000));
+      open.push({f, 0.0, 0});
+      reference.insert(f);
+    } else {
+      const double f = open.pop().f;
+      ASSERT_EQ(f, *reference.begin());
+      reference.erase(reference.begin());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optsched::core

@@ -1,0 +1,132 @@
+// The central correctness property: A* (in every pruning configuration,
+// with every heuristic) returns exactly the brute-force optimum. The
+// exhaustive enumerator is implemented independently of the search stack
+// (bnb/exhaustive.cpp) precisely so it can serve as this oracle.
+#include <gtest/gtest.h>
+
+#include "bnb/exhaustive.hpp"
+#include "core/astar.hpp"
+#include "dag/generators.hpp"
+
+namespace optsched::core {
+namespace {
+
+using machine::Machine;
+
+struct Instance {
+  dag::TaskGraph graph;
+  Machine machine;
+  std::string label;
+};
+
+std::vector<Instance> oracle_instances() {
+  std::vector<Instance> out;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    dag::RandomDagParams p;
+    p.num_nodes = 7;
+    p.ccr = seed % 2 ? 1.0 : 10.0;
+    p.seed = seed;
+    out.push_back({dag::random_dag(p), Machine::fully_connected(2),
+                   "rand7-p2-seed" + std::to_string(seed)});
+  }
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    dag::RandomDagParams p;
+    p.num_nodes = 6;
+    p.ccr = 0.1;
+    p.seed = seed;
+    out.push_back({dag::random_dag(p), Machine::fully_connected(3),
+                   "rand6-p3-seed" + std::to_string(seed)});
+  }
+  out.push_back({dag::paper_figure1(), Machine::paper_ring3(), "paper-ring3"});
+  out.push_back({dag::fork_join(3, 10, 15), Machine::fully_connected(2),
+                 "forkjoin"});
+  out.push_back({dag::diamond(3, 10, 4), Machine::fully_connected(2),
+                 "diamond"});
+  out.push_back(
+      {dag::chain(5, 10, 4), Machine::fully_connected(2), "chain"});
+  out.push_back({dag::gaussian_elimination(3, 12, 6),
+                 Machine::fully_connected(2), "gauss3"});
+  // Topology + heterogeneity corners.
+  out.push_back({dag::fork_join(3, 10, 6), Machine::chain(3), "fj-chain3"});
+  out.push_back({dag::fork_join(3, 10, 6), Machine::star(3), "fj-star3"});
+  out.push_back({dag::fork_join(3, 10, 6),
+                 Machine::fully_connected(2, {1.0, 2.0}), "fj-hetero"});
+  return out;
+}
+
+class OracleComparison : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OracleComparison, AStarMatchesExhaustive) {
+  const auto instances = oracle_instances();
+  const auto& inst = instances[GetParam()];
+  const double oracle =
+      bnb::exhaustive_schedule(inst.graph, inst.machine).makespan;
+
+  // Default configuration.
+  const auto r = astar_schedule(inst.graph, inst.machine);
+  EXPECT_DOUBLE_EQ(r.makespan, oracle) << inst.label;
+  EXPECT_TRUE(r.proved_optimal);
+
+  // Paper-faithful pruning semantics.
+  const auto rp = astar_schedule(inst.graph, inst.machine,
+                                 SearchConfig::paper_faithful());
+  EXPECT_DOUBLE_EQ(rp.makespan, oracle) << inst.label;
+
+  // No pruning at all.
+  SearchConfig none;
+  none.prune = PruneConfig::none();
+  const auto rn = astar_schedule(inst.graph, inst.machine, none);
+  EXPECT_DOUBLE_EQ(rn.makespan, oracle) << inst.label;
+
+  // Every heuristic.
+  for (HFunction h : {HFunction::kZero, HFunction::kPath,
+                      HFunction::kComposite}) {
+    SearchConfig cfg;
+    cfg.h = h;
+    EXPECT_DOUBLE_EQ(astar_schedule(inst.graph, inst.machine, cfg).makespan,
+                     oracle)
+        << inst.label << " " << to_string(h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstances, OracleComparison,
+                         ::testing::Range<std::size_t>(0, 24));
+
+TEST(OracleComparison, InstanceCountMatchesRange) {
+  // Keep the Range above in sync with the instance list.
+  EXPECT_EQ(oracle_instances().size(), 24u);
+}
+
+TEST(Optimality, HopScaledModeAgainstOracle) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    dag::RandomDagParams p;
+    p.num_nodes = 6;
+    p.ccr = 1.0;
+    p.seed = seed;
+    const auto g = dag::random_dag(p);
+    const auto m = Machine::chain(3);
+    const double oracle =
+        bnb::exhaustive_schedule(g, m, machine::CommMode::kHopScaled).makespan;
+    const auto r = astar_schedule(g, m, {}, machine::CommMode::kHopScaled);
+    EXPECT_DOUBLE_EQ(r.makespan, oracle) << seed;
+  }
+}
+
+TEST(Optimality, RingVsCliqueNeverBetter) {
+  // A sparser topology can never beat the clique under hop-scaled costs.
+  for (std::uint64_t seed : {5u, 6u}) {
+    dag::RandomDagParams p;
+    p.num_nodes = 7;
+    p.ccr = 1.0;
+    p.seed = seed;
+    const auto g = dag::random_dag(p);
+    const auto clique = astar_schedule(
+        g, Machine::fully_connected(3), {}, machine::CommMode::kHopScaled);
+    const auto chain3 = astar_schedule(g, Machine::chain(3), {},
+                                       machine::CommMode::kHopScaled);
+    EXPECT_LE(clique.makespan, chain3.makespan + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace optsched::core

@@ -1,0 +1,74 @@
+#include "core/signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace optsched::core {
+namespace {
+
+TEST(Signature, RootIsNonZero) {
+  EXPECT_FALSE(root_signature().is_zero());
+}
+
+TEST(Signature, OrderIndependence) {
+  // The same set of (node, proc, ft) triples in any insertion order yields
+  // the same signature — the property duplicate detection relies on.
+  const std::vector<std::tuple<dag::NodeId, machine::ProcId, double>> triples{
+      {0, 0, 2.0}, {1, 1, 6.0}, {2, 0, 5.0}, {3, 2, 9.5}};
+
+  util::Key128 forward = root_signature();
+  for (const auto& [n, p, ft] : triples)
+    forward = extend_signature(forward, n, p, ft);
+
+  util::Key128 backward = root_signature();
+  for (auto it = triples.rbegin(); it != triples.rend(); ++it)
+    backward = extend_signature(backward, std::get<0>(*it), std::get<1>(*it),
+                                std::get<2>(*it));
+
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(Signature, SensitiveToEveryComponent) {
+  const util::Key128 base = extend_signature(root_signature(), 1, 1, 5.0);
+  EXPECT_FALSE(base == extend_signature(root_signature(), 2, 1, 5.0));
+  EXPECT_FALSE(base == extend_signature(root_signature(), 1, 2, 5.0));
+  EXPECT_FALSE(base == extend_signature(root_signature(), 1, 1, 5.5));
+}
+
+TEST(Signature, DifferentSetsDiffer) {
+  // {A, B} vs {A, C}: one differing element must change the signature.
+  auto sig_ab = extend_signature(
+      extend_signature(root_signature(), 0, 0, 1.0), 1, 0, 2.0);
+  auto sig_ac = extend_signature(
+      extend_signature(root_signature(), 0, 0, 1.0), 1, 0, 3.0);
+  EXPECT_FALSE(sig_ab == sig_ac);
+}
+
+TEST(Signature, NoCollisionsAcrossManyRandomStates) {
+  // Build 200k random "states" (sets of triples) and verify all signatures
+  // are distinct — a smoke test of the 128-bit mixing quality.
+  util::Rng rng(2024);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  constexpr int kStates = 200000;
+  for (int i = 0; i < kStates; ++i) {
+    util::Key128 sig = root_signature();
+    const int len = static_cast<int>(rng.uniform_u64(1, 12));
+    for (int k = 0; k < len; ++k)
+      sig = extend_signature(
+          sig, static_cast<dag::NodeId>(rng.uniform_u64(0, 31)),
+          static_cast<machine::ProcId>(rng.uniform_u64(0, 7)),
+          static_cast<double>(rng.uniform_u64(1, 4096)) * 0.5);
+    seen.insert({sig.lo, sig.hi});
+  }
+  // Random states can legitimately repeat as sets; require *almost* all
+  // distinct (a tiny number of set-level repeats is expected, hash
+  // collisions are not).
+  EXPECT_GT(seen.size(), static_cast<std::size_t>(kStates * 97 / 100));
+}
+
+}  // namespace
+}  // namespace optsched::core

@@ -1,0 +1,68 @@
+#include "dag/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dag/generators.hpp"
+
+namespace optsched::dag {
+namespace {
+
+TEST(Analysis, PaperFigure1Metrics) {
+  const GraphStats s = analyze(paper_figure1());
+  EXPECT_EQ(s.num_nodes, 6u);
+  EXPECT_EQ(s.num_edges, 7u);
+  EXPECT_DOUBLE_EQ(s.total_work, 19.0);
+  EXPECT_DOUBLE_EQ(s.cp_length, 19.0);
+  EXPECT_DOUBLE_EQ(s.cp_work, 12.0);  // n1+n2+n5+n6 = 2+3+5+2
+  EXPECT_EQ(s.depth, 4u);             // n1 -> {n2,n3,n4} -> n5 -> n6
+  EXPECT_EQ(s.max_width, 3u);
+  EXPECT_EQ(s.level_widths, (std::vector<std::size_t>{1, 3, 1, 1}));
+  EXPECT_NEAR(s.max_speedup, 19.0 / 12.0, 1e-12);
+}
+
+TEST(Analysis, ChainHasUnitWidth) {
+  const GraphStats s = analyze(chain(5, 10, 5));
+  EXPECT_EQ(s.depth, 5u);
+  EXPECT_EQ(s.max_width, 1u);
+  EXPECT_DOUBLE_EQ(s.max_speedup, 1.0);
+}
+
+TEST(Analysis, IndependentTasksAreFlat) {
+  const GraphStats s = analyze(independent_tasks(7, 4.0));
+  EXPECT_EQ(s.depth, 1u);
+  EXPECT_EQ(s.max_width, 7u);
+  EXPECT_DOUBLE_EQ(s.max_speedup, 7.0);
+}
+
+TEST(Analysis, ForkJoinProfile) {
+  const GraphStats s = analyze(fork_join(4, 10, 5));
+  EXPECT_EQ(s.level_widths, (std::vector<std::size_t>{1, 4, 1}));
+  EXPECT_DOUBLE_EQ(s.max_speedup, 60.0 / 30.0);
+}
+
+TEST(Analysis, LevelWidthsSumToNodeCount) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomDagParams p;
+    p.num_nodes = 30;
+    p.seed = seed;
+    const GraphStats s = analyze(random_dag(p));
+    EXPECT_EQ(std::accumulate(s.level_widths.begin(), s.level_widths.end(),
+                              std::size_t{0}),
+              s.num_nodes);
+    EXPECT_GE(s.max_speedup, 1.0);
+    EXPECT_LE(s.cp_work, s.cp_length + 1e-9);
+  }
+}
+
+TEST(Analysis, FormatContainsKeyNumbers) {
+  const TaskGraph g = paper_figure1();
+  const std::string report = format_stats(g, analyze(g));
+  EXPECT_NE(report.find("6 tasks"), std::string::npos);
+  EXPECT_NE(report.find("critical path 19"), std::string::npos);
+  EXPECT_NE(report.find("parallelism profile: 1 3 1 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsched::dag

@@ -1,0 +1,123 @@
+#include "dag/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "dag/levels.hpp"
+
+namespace optsched::dag {
+namespace {
+
+TEST(NodeEquivalence, PaperExampleN2N3) {
+  // In the Figure 1(a) DAG, n2 and n3 are equivalent (same parent n1 with
+  // cost 1, same weight 3, same child n5 with cost 1) — the paper's worked
+  // example relies on exactly this.
+  const TaskGraph g = paper_figure1();
+  const NodeEquivalence eq(g);
+  EXPECT_TRUE(eq.equivalent(1, 2));   // n2 ~ n3
+  EXPECT_EQ(eq.representative(2), 1u);
+  EXPECT_FALSE(eq.equivalent(1, 3));  // n2 !~ n4
+  EXPECT_FALSE(eq.equivalent(0, 5));  // n1 !~ n6
+  EXPECT_EQ(eq.num_classes(), 5u);    // 6 nodes, one merged pair
+  EXPECT_EQ(eq.class_of(1), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(NodeEquivalence, ForkJoinBranchesCollapse) {
+  const TaskGraph g = fork_join(6, 40, 10);
+  const NodeEquivalence eq(g);
+  // fork (0), join (1), six interchangeable workers.
+  EXPECT_EQ(eq.num_classes(), 3u);
+  for (NodeId n = 3; n < 8; ++n) EXPECT_TRUE(eq.equivalent(2, n));
+  EXPECT_FALSE(eq.equivalent(0, 1));
+}
+
+TEST(NodeEquivalence, WeightDifferenceSeparates) {
+  TaskGraph g;
+  const NodeId root = g.add_node(1);
+  const NodeId a = g.add_node(2), b = g.add_node(3);
+  g.add_edge(root, a, 1);
+  g.add_edge(root, b, 1);
+  g.finalize();
+  EXPECT_FALSE(NodeEquivalence(g).equivalent(a, b));
+}
+
+TEST(NodeEquivalence, EdgeCostDifferenceSeparates) {
+  TaskGraph g;
+  const NodeId root = g.add_node(1);
+  const NodeId a = g.add_node(2), b = g.add_node(2);
+  g.add_edge(root, a, 1);
+  g.add_edge(root, b, 9);  // same parent set, different cost
+  g.finalize();
+  EXPECT_FALSE(NodeEquivalence(g).equivalent(a, b));
+}
+
+TEST(NodeEquivalence, SuccessorSetDifferenceSeparates) {
+  TaskGraph g;
+  const NodeId root = g.add_node(1);
+  const NodeId a = g.add_node(2), b = g.add_node(2);
+  const NodeId x = g.add_node(1), y = g.add_node(1);
+  g.add_edge(root, a, 1);
+  g.add_edge(root, b, 1);
+  g.add_edge(a, x, 1);
+  g.add_edge(b, y, 1);
+  g.finalize();
+  EXPECT_FALSE(NodeEquivalence(g).equivalent(a, b));
+}
+
+TEST(NodeEquivalence, IndependentEqualTasksAllEquivalent) {
+  const TaskGraph g = independent_tasks(8, 5.0);
+  const NodeEquivalence eq(g);
+  EXPECT_EQ(eq.num_classes(), 1u);
+  EXPECT_EQ(eq.class_of(0).size(), 8u);
+}
+
+TEST(NodeEquivalence, IsAnEquivalenceRelation) {
+  const TaskGraph g = fork_join(4, 10, 10);
+  const NodeEquivalence eq(g);
+  const auto v = static_cast<NodeId>(g.num_nodes());
+  for (NodeId a = 0; a < v; ++a) {
+    EXPECT_TRUE(eq.equivalent(a, a));  // reflexive
+    for (NodeId b = 0; b < v; ++b) {
+      EXPECT_EQ(eq.equivalent(a, b), eq.equivalent(b, a));  // symmetric
+      for (NodeId c = 0; c < v; ++c)
+        if (eq.equivalent(a, b) && eq.equivalent(b, c))
+          EXPECT_TRUE(eq.equivalent(a, c));  // transitive
+    }
+  }
+}
+
+TEST(NodeEquivalence, RepresentativeIsClassMinimum) {
+  RandomDagParams params;
+  params.num_nodes = 30;
+  params.seed = 77;
+  const TaskGraph g = random_dag(params);
+  const NodeEquivalence eq(g);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_LE(eq.representative(n), n);
+    EXPECT_EQ(eq.representative(eq.representative(n)), eq.representative(n));
+    EXPECT_EQ(eq.class_of(n).front(), eq.representative(n));
+  }
+}
+
+TEST(NodeEquivalence, EquivalentNodesShareLevels) {
+  // Equivalence implies equal t-levels and b-levels (the paper notes this
+  // follows from conditions (i) and (iii)).
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    RandomDagParams params;
+    params.num_nodes = 26;
+    params.seed = seed;
+    const TaskGraph g = random_dag(params);
+    const NodeEquivalence eq(g);
+    const Levels lv = compute_levels(g);
+    for (NodeId a = 0; a < g.num_nodes(); ++a)
+      for (NodeId b = a + 1; b < g.num_nodes(); ++b)
+        if (eq.equivalent(a, b)) {
+          EXPECT_DOUBLE_EQ(lv.t_level[a], lv.t_level[b]);
+          EXPECT_DOUBLE_EQ(lv.b_level[a], lv.b_level[b]);
+          EXPECT_DOUBLE_EQ(lv.static_level[a], lv.static_level[b]);
+        }
+  }
+}
+
+}  // namespace
+}  // namespace optsched::dag

@@ -1,0 +1,196 @@
+#include "dag/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace optsched::dag {
+namespace {
+
+TEST(RandomDag, Deterministic) {
+  RandomDagParams p;
+  p.num_nodes = 20;
+  p.seed = 9;
+  const TaskGraph a = random_dag(p);
+  const TaskGraph b = random_dag(p);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.weight(n), b.weight(n));
+    ASSERT_EQ(a.children(n).size(), b.children(n).size());
+    for (std::size_t k = 0; k < a.children(n).size(); ++k) {
+      EXPECT_EQ(a.children(n)[k].node, b.children(n)[k].node);
+      EXPECT_EQ(a.children(n)[k].cost, b.children(n)[k].cost);
+    }
+  }
+}
+
+TEST(RandomDag, SeedChangesGraph) {
+  RandomDagParams p;
+  p.num_nodes = 20;
+  p.seed = 1;
+  const TaskGraph a = random_dag(p);
+  p.seed = 2;
+  const TaskGraph b = random_dag(p);
+  bool differs = a.num_edges() != b.num_edges();
+  for (NodeId n = 0; !differs && n < a.num_nodes(); ++n)
+    differs = a.weight(n) != b.weight(n);
+  EXPECT_TRUE(differs);
+}
+
+class RandomDagSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
+
+TEST_P(RandomDagSweep, PaperRecipeInvariants) {
+  const auto [v, ccr] = GetParam();
+  RandomDagParams p;
+  p.num_nodes = v;
+  p.ccr = ccr;
+  p.seed = 1234 + v;
+  const TaskGraph g = random_dag(p);
+
+  EXPECT_EQ(g.num_nodes(), v);
+  // Weights are positive integers drawn from U{1, 79} (mean 40).
+  for (NodeId n = 0; n < v; ++n) {
+    EXPECT_GE(g.weight(n), 1.0);
+    EXPECT_LE(g.weight(n), 79.0);
+    EXPECT_EQ(g.weight(n), std::floor(g.weight(n)));
+  }
+  // Edges point strictly forward (acyclic by construction) and costs are
+  // positive when ccr > 0.
+  for (NodeId n = 0; n < v; ++n)
+    for (const auto& [child, cost] : g.children(n)) {
+      EXPECT_GT(child, n);
+      if (ccr > 0) {
+        EXPECT_GE(cost, 1.0);
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, RandomDagSweep,
+    ::testing::Combine(::testing::Values(10u, 16u, 22u, 28u, 32u),
+                       ::testing::Values(0.1, 1.0, 10.0)));
+
+TEST(RandomDag, RealizedCcrTracksRequested) {
+  // With many samples the empirical CCR should be within ~35% of the
+  // request (independent uniform draws around the two means).
+  for (double ccr : {0.1, 1.0, 10.0}) {
+    RandomDagParams p;
+    p.num_nodes = 200;
+    p.ccr = ccr;
+    p.seed = 5;
+    const TaskGraph g = random_dag(p);
+    EXPECT_GT(g.num_edges(), 100u);
+    EXPECT_NEAR(g.ccr() / ccr, 1.0, 0.35) << "ccr=" << ccr;
+  }
+}
+
+TEST(RandomDag, ZeroCcrMeansFreeEdges) {
+  RandomDagParams p;
+  p.num_nodes = 30;
+  p.ccr = 0.0;
+  const TaskGraph g = random_dag(p);
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n)) {
+      (void)child;
+      EXPECT_EQ(cost, 0.0);
+    }
+}
+
+TEST(RandomDag, RejectsBadParams) {
+  RandomDagParams p;
+  p.num_nodes = 0;
+  EXPECT_THROW(random_dag(p), util::Error);
+  p.num_nodes = 5;
+  p.ccr = -1;
+  EXPECT_THROW(random_dag(p), util::Error);
+}
+
+TEST(Generators, GaussianEliminationShape) {
+  const TaskGraph g = gaussian_elimination(4);
+  // m=4: pivots 3, updates 3+2+1 = 6, total 9 nodes.
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.entry_nodes().size(), 1u);  // first pivot
+  // Single sink: the last update column.
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+}
+
+TEST(Generators, FftShape) {
+  const TaskGraph g = fft(8);
+  // log2(8)+1 = 4 ranks of 8 nodes.
+  EXPECT_EQ(g.num_nodes(), 32u);
+  EXPECT_EQ(g.entry_nodes().size(), 8u);
+  EXPECT_EQ(g.exit_nodes().size(), 8u);
+  EXPECT_EQ(g.num_edges(), 3u * 8u * 2u);
+  EXPECT_THROW(fft(12), util::Error);  // not a power of two
+}
+
+TEST(Generators, ForkJoinShape) {
+  const TaskGraph g = fork_join(5);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.entry_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+  EXPECT_EQ(g.num_children(0), 5u);
+  EXPECT_EQ(g.num_parents(1), 5u);
+}
+
+TEST(Generators, OutTreeShape) {
+  const TaskGraph g = out_tree(2, 4);
+  EXPECT_EQ(g.num_nodes(), 15u);  // 1+2+4+8
+  EXPECT_EQ(g.entry_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes().size(), 8u);
+}
+
+TEST(Generators, InTreeShape) {
+  const TaskGraph g = in_tree(2, 4);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.entry_nodes().size(), 8u);
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+}
+
+TEST(Generators, LayeredShape) {
+  const TaskGraph g = layered(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 2u * 16u);
+  EXPECT_EQ(g.entry_nodes().size(), 4u);
+  EXPECT_EQ(g.exit_nodes().size(), 4u);
+}
+
+TEST(Generators, DiamondShape) {
+  const TaskGraph g = diamond(3);
+  // widths 1,2,3,2,1 = 9 nodes.
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.entry_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+}
+
+TEST(Generators, ChainShape) {
+  const TaskGraph g = chain(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.entry_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+}
+
+TEST(Generators, IndependentTasksShape) {
+  const TaskGraph g = independent_tasks(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, AllRejectDegenerateArguments) {
+  EXPECT_THROW(gaussian_elimination(1), util::Error);
+  EXPECT_THROW(fft(1), util::Error);
+  EXPECT_THROW(fork_join(0), util::Error);
+  EXPECT_THROW(out_tree(0, 2), util::Error);
+  EXPECT_THROW(in_tree(2, 0), util::Error);
+  EXPECT_THROW(layered(0, 1), util::Error);
+  EXPECT_THROW(diamond(0), util::Error);
+  EXPECT_THROW(chain(0), util::Error);
+  EXPECT_THROW(independent_tasks(0), util::Error);
+}
+
+}  // namespace
+}  // namespace optsched::dag

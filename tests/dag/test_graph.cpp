@@ -1,0 +1,159 @@
+#include "dag/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace optsched::dag {
+namespace {
+
+TEST(TaskGraph, BuildSmallGraph) {
+  TaskGraph g;
+  const NodeId a = g.add_node(1.0, "a");
+  const NodeId b = g.add_node(2.0);
+  g.add_edge(a, b, 3.0);
+  g.finalize();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weight(a), 1.0);
+  EXPECT_EQ(g.name(a), "a");
+  EXPECT_EQ(g.name(b), "n2");  // auto-generated 1-based name
+  ASSERT_EQ(g.children(a).size(), 1u);
+  EXPECT_EQ(g.children(a)[0].node, b);
+  EXPECT_EQ(g.children(a)[0].cost, 3.0);
+  ASSERT_EQ(g.parents(b).size(), 1u);
+  EXPECT_EQ(g.parents(b)[0].node, a);
+}
+
+TEST(TaskGraph, EntryAndExitNodes) {
+  TaskGraph g;
+  const NodeId a = g.add_node(1), b = g.add_node(1), c = g.add_node(1);
+  g.add_edge(a, c, 0);
+  g.add_edge(b, c, 0);
+  g.finalize();
+  EXPECT_EQ(std::vector<NodeId>(g.entry_nodes().begin(), g.entry_nodes().end()),
+            (std::vector<NodeId>{a, b}));
+  EXPECT_EQ(std::vector<NodeId>(g.exit_nodes().begin(), g.exit_nodes().end()),
+            (std::vector<NodeId>{c}));
+  EXPECT_TRUE(g.is_entry(a));
+  EXPECT_TRUE(g.is_exit(c));
+  EXPECT_FALSE(g.is_exit(a));
+}
+
+TEST(TaskGraph, TopoOrderRespectsEdges) {
+  TaskGraph g;
+  // Build a reversed chain: edges always point to later-added nodes is NOT
+  // required — test a graph whose ids are not topologically sorted.
+  const NodeId a = g.add_node(1);
+  const NodeId b = g.add_node(1);
+  const NodeId c = g.add_node(1);
+  g.add_edge(c, b, 1);
+  g.add_edge(b, a, 1);
+  g.finalize();
+  const auto topo = g.topo_order();
+  std::vector<std::size_t> pos(g.num_nodes());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  EXPECT_LT(pos[c], pos[b]);
+  EXPECT_LT(pos[b], pos[a]);
+}
+
+TEST(TaskGraph, CycleRejected) {
+  TaskGraph g;
+  const NodeId a = g.add_node(1), b = g.add_node(1);
+  g.add_edge(a, b, 1);
+  g.add_edge(b, a, 1);
+  EXPECT_THROW(g.finalize(), util::Error);
+}
+
+TEST(TaskGraph, SelfEdgeRejected) {
+  TaskGraph g;
+  const NodeId a = g.add_node(1);
+  EXPECT_THROW(g.add_edge(a, a, 1), util::Error);
+}
+
+TEST(TaskGraph, DuplicateEdgeRejected) {
+  TaskGraph g;
+  const NodeId a = g.add_node(1), b = g.add_node(1);
+  g.add_edge(a, b, 1);
+  g.add_edge(a, b, 2);
+  EXPECT_THROW(g.finalize(), util::Error);
+}
+
+TEST(TaskGraph, OutOfRangeEdgeRejected) {
+  TaskGraph g;
+  g.add_node(1);
+  EXPECT_THROW(g.add_edge(0, 5, 1), util::Error);
+}
+
+TEST(TaskGraph, NegativeWeightRejected) {
+  TaskGraph g;
+  EXPECT_THROW(g.add_node(-1.0), util::Error);
+}
+
+TEST(TaskGraph, NonFiniteCostsRejected) {
+  TaskGraph g;
+  const NodeId a = g.add_node(1), b = g.add_node(1);
+  EXPECT_THROW(g.add_edge(a, b, std::numeric_limits<double>::infinity()),
+               util::Error);
+  EXPECT_THROW(g.add_node(std::numeric_limits<double>::quiet_NaN()),
+               util::Error);
+}
+
+TEST(TaskGraph, EmptyGraphRejected) {
+  TaskGraph g;
+  EXPECT_THROW(g.finalize(), util::Error);
+}
+
+TEST(TaskGraph, DoubleFinalizeRejected) {
+  TaskGraph g;
+  g.add_node(1);
+  g.finalize();
+  EXPECT_THROW(g.finalize(), util::Error);
+  EXPECT_THROW(g.add_node(1), util::Error);
+}
+
+TEST(TaskGraph, AggregateCostsAndCcr) {
+  TaskGraph g;
+  const NodeId a = g.add_node(10), b = g.add_node(30);
+  g.add_edge(a, b, 5);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.total_work(), 40.0);
+  EXPECT_DOUBLE_EQ(g.mean_computation_cost(), 20.0);
+  EXPECT_DOUBLE_EQ(g.mean_communication_cost(), 5.0);
+  EXPECT_DOUBLE_EQ(g.ccr(), 0.25);
+}
+
+TEST(TaskGraph, PaperFigure1Shape) {
+  const TaskGraph g = paper_figure1();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  // Weights from Figure 1(a).
+  const std::vector<double> weights{2, 3, 3, 4, 5, 2};
+  for (NodeId n = 0; n < 6; ++n) EXPECT_EQ(g.weight(n), weights[n]) << n;
+  EXPECT_EQ(g.entry_nodes().size(), 1u);
+  EXPECT_EQ(g.exit_nodes().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.total_work(), 19.0);
+}
+
+TEST(TaskGraph, AdjacencySortedByNodeId) {
+  TaskGraph g;
+  const NodeId a = g.add_node(1);
+  const NodeId b = g.add_node(1);
+  const NodeId c = g.add_node(1);
+  const NodeId d = g.add_node(1);
+  g.add_edge(a, d, 1);
+  g.add_edge(a, b, 1);
+  g.add_edge(a, c, 1);
+  g.finalize();
+  const auto kids = g.children(a);
+  EXPECT_TRUE(std::is_sorted(kids.begin(), kids.end(),
+                             [](const Adjacent& x, const Adjacent& y) {
+                               return x.node < y.node;
+                             }));
+}
+
+}  // namespace
+}  // namespace optsched::dag

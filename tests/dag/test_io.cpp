@@ -1,0 +1,115 @@
+#include "dag/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dag/generators.hpp"
+
+namespace optsched::dag {
+namespace {
+
+TEST(Io, RoundTripPaperExample) {
+  const TaskGraph g = paper_figure1();
+  std::stringstream buffer;
+  write_text(g, buffer);
+  const TaskGraph h = read_text(buffer);
+
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(h.weight(n), g.weight(n));
+    EXPECT_EQ(h.name(n), g.name(n));
+    ASSERT_EQ(h.children(n).size(), g.children(n).size());
+    for (std::size_t k = 0; k < g.children(n).size(); ++k) {
+      EXPECT_EQ(h.children(n)[k].node, g.children(n)[k].node);
+      EXPECT_EQ(h.children(n)[k].cost, g.children(n)[k].cost);
+    }
+  }
+}
+
+TEST(Io, RoundTripRandomGraph) {
+  RandomDagParams p;
+  p.num_nodes = 25;
+  p.seed = 4;
+  const TaskGraph g = random_dag(p);
+  std::stringstream buffer;
+  write_text(g, buffer);
+  const TaskGraph h = read_text(buffer);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_DOUBLE_EQ(h.ccr(), g.ccr());
+}
+
+TEST(Io, ParsesCommentsAndBlankLines) {
+  std::istringstream in(R"(# a task graph
+nodes 2
+
+node 0 5 first   # trailing comment
+node 1 3
+edge 0 1 2
+)");
+  const TaskGraph g = read_text(in);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.name(0), "first");
+  EXPECT_EQ(g.children(0)[0].cost, 2.0);
+}
+
+TEST(Io, ErrorsCarryLineNumbers) {
+  std::istringstream in("nodes 1\nnode 0 5\nbogus 1 2\n");
+  try {
+    read_text(in);
+    FAIL() << "expected parse error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Io, RejectsMissingNodesDirective) {
+  std::istringstream in("node 0 5\n");
+  EXPECT_THROW(read_text(in), util::Error);
+}
+
+TEST(Io, RejectsNodeCountMismatch) {
+  std::istringstream in("nodes 3\nnode 0 1\nnode 1 1\n");
+  EXPECT_THROW(read_text(in), util::Error);
+}
+
+TEST(Io, RejectsOutOfOrderIds) {
+  std::istringstream in("nodes 2\nnode 1 1\nnode 0 1\n");
+  EXPECT_THROW(read_text(in), util::Error);
+}
+
+TEST(Io, RejectsEdgeBeforeEndpoints) {
+  std::istringstream in("nodes 2\nnode 0 1\nedge 0 1 1\nnode 1 1\n");
+  EXPECT_THROW(read_text(in), util::Error);
+}
+
+TEST(Io, RejectsCycleWithGraphContext) {
+  std::istringstream in(
+      "nodes 2\nnode 0 1\nnode 1 1\nedge 0 1 1\nedge 1 0 1\n");
+  try {
+    read_text(in);
+    FAIL() << "expected cycle error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+  }
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_text_file("/nonexistent/path/graph.tg"), util::Error);
+}
+
+TEST(Io, DotContainsNodesAndEdges) {
+  const TaskGraph g = paper_figure1();
+  std::ostringstream out;
+  write_dot(g, out);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n1 (2)"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"5\""), std::string::npos);  // edge n5->n6
+}
+
+}  // namespace
+}  // namespace optsched::dag

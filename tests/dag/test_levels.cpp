@@ -1,0 +1,120 @@
+#include "dag/levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+
+namespace optsched::dag {
+namespace {
+
+TEST(Levels, PaperFigure2Table) {
+  // The paper's Figure 2 lists sl, b-level and t-level for every node of
+  // the Figure 1(a) DAG. Reproduce the full table.
+  const TaskGraph g = paper_figure1();
+  const Levels lv = compute_levels(g);
+
+  const double sl[] = {12, 10, 10, 6, 7, 2};
+  const double bl[] = {19, 16, 16, 10, 12, 2};
+  const double tl[] = {0, 3, 3, 4, 7, 17};
+  for (NodeId n = 0; n < 6; ++n) {
+    EXPECT_DOUBLE_EQ(lv.static_level[n], sl[n]) << "sl n" << n + 1;
+    EXPECT_DOUBLE_EQ(lv.b_level[n], bl[n]) << "bl n" << n + 1;
+    EXPECT_DOUBLE_EQ(lv.t_level[n], tl[n]) << "tl n" << n + 1;
+  }
+  EXPECT_DOUBLE_EQ(lv.cp_length, 19.0);
+}
+
+TEST(Levels, CriticalPathOfPaperExample) {
+  const TaskGraph g = paper_figure1();
+  const Levels lv = compute_levels(g);
+  const auto cp = critical_path(g, lv);
+  // n1 -> n2 -> n5 -> n6 (2+1+3+1+5+5+2 = 19).
+  EXPECT_EQ(cp, (std::vector<NodeId>{0, 1, 4, 5}));
+}
+
+TEST(Levels, ChainLevels) {
+  const TaskGraph g = chain(4, 10.0, 5.0);
+  const Levels lv = compute_levels(g);
+  // t-levels: 0, 15, 30, 45. b-levels: 55, 40, 25, 10.
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(lv.t_level[n], 15.0 * n);
+    EXPECT_DOUBLE_EQ(lv.b_level[n], 55.0 - 15.0 * n);
+    EXPECT_DOUBLE_EQ(lv.static_level[n], 40.0 - 10.0 * n);
+    EXPECT_TRUE(lv.on_critical_path(n));
+  }
+  EXPECT_DOUBLE_EQ(lv.cp_length, 55.0);
+}
+
+TEST(Levels, IndependentTasks) {
+  const TaskGraph g = independent_tasks(5, 7.0);
+  const Levels lv = compute_levels(g);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_DOUBLE_EQ(lv.t_level[n], 0.0);
+    EXPECT_DOUBLE_EQ(lv.b_level[n], 7.0);
+    EXPECT_DOUBLE_EQ(lv.static_level[n], 7.0);
+  }
+  EXPECT_DOUBLE_EQ(lv.cp_length, 7.0);
+}
+
+class LevelsInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevelsInvariants, RandomGraphInvariants) {
+  RandomDagParams params;
+  params.num_nodes = 24;
+  params.ccr = 1.0;
+  params.seed = GetParam();
+  const TaskGraph g = random_dag(params);
+  const Levels lv = compute_levels(g);
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    // t + b never exceeds the critical path; equality iff on a CP.
+    EXPECT_LE(lv.t_level[n] + lv.b_level[n], lv.cp_length + 1e-9);
+    // static level drops edge costs, so sl <= b-level.
+    EXPECT_LE(lv.static_level[n], lv.b_level[n] + 1e-9);
+    // b-level includes own weight.
+    EXPECT_GE(lv.b_level[n], g.weight(n));
+    EXPECT_GE(lv.static_level[n], g.weight(n));
+    // entry nodes have t-level 0.
+    if (g.is_entry(n)) EXPECT_DOUBLE_EQ(lv.t_level[n], 0.0);
+    // exit nodes have b-level == sl == weight.
+    if (g.is_exit(n)) {
+      EXPECT_DOUBLE_EQ(lv.b_level[n], g.weight(n));
+      EXPECT_DOUBLE_EQ(lv.static_level[n], g.weight(n));
+    }
+    // Parent relations are monotone.
+    for (const auto& [child, cost] : g.children(n)) {
+      EXPECT_GE(lv.t_level[child] + 1e-9,
+                lv.t_level[n] + g.weight(n) + cost);
+      EXPECT_GE(lv.b_level[n] + 1e-9,
+                g.weight(n) + cost + lv.b_level[child]);
+      EXPECT_GE(lv.static_level[n] + 1e-9,
+                g.weight(n) + lv.static_level[child]);
+    }
+  }
+
+  // The critical path realizes cp_length.
+  const auto cp = critical_path(g, lv);
+  ASSERT_FALSE(cp.empty());
+  EXPECT_TRUE(g.is_entry(cp.front()));
+  EXPECT_TRUE(g.is_exit(cp.back()));
+  double len = 0.0;
+  for (std::size_t i = 0; i < cp.size(); ++i) {
+    len += g.weight(cp[i]);
+    if (i + 1 < cp.size()) {
+      bool found = false;
+      for (const auto& [child, cost] : g.children(cp[i]))
+        if (child == cp[i + 1]) {
+          len += cost;
+          found = true;
+        }
+      ASSERT_TRUE(found) << "critical path uses a non-edge";
+    }
+  }
+  EXPECT_DOUBLE_EQ(len, lv.cp_length);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelsInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace optsched::dag

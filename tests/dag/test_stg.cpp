@@ -1,0 +1,99 @@
+#include "dag/stg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace optsched::dag {
+namespace {
+
+constexpr const char* kSample = R"(5
+0 0 0
+1 4 1 0
+2 3 1 0
+3 5 2 1 2
+4 0 1 3
+# trailer comment
+)";
+
+TEST(Stg, ParsesSampleGraph) {
+  std::istringstream in(kSample);
+  const TaskGraph g = read_stg(in);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 0.0);  // dummy entry kept
+  EXPECT_DOUBLE_EQ(g.weight(3), 5.0);
+  EXPECT_EQ(g.num_parents(3), 2u);
+  EXPECT_EQ(g.name(1), "t1");
+  // No communication synthesized by default.
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n)) {
+      (void)child;
+      EXPECT_EQ(cost, 0.0);
+    }
+}
+
+TEST(Stg, SynthesizesCommCostsDeterministically) {
+  StgOptions opt;
+  opt.ccr = 1.0;
+  opt.seed = 42;
+  std::istringstream in1(kSample), in2(kSample);
+  const TaskGraph a = read_stg(in1, opt);
+  const TaskGraph b = read_stg(in2, opt);
+  double total = 0;
+  for (NodeId n = 0; n < a.num_nodes(); ++n)
+    for (std::size_t k = 0; k < a.children(n).size(); ++k) {
+      EXPECT_EQ(a.children(n)[k].cost, b.children(n)[k].cost);
+      total += a.children(n)[k].cost;
+    }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Stg, CcrScalesSynthesizedCosts) {
+  StgOptions low, high;
+  low.ccr = 0.5;
+  high.ccr = 10.0;
+  std::istringstream in1(kSample), in2(kSample);
+  const TaskGraph a = read_stg(in1, low);
+  const TaskGraph b = read_stg(in2, high);
+  EXPECT_LT(a.mean_communication_cost(), b.mean_communication_cost());
+}
+
+TEST(Stg, CommentsAndBlankLinesIgnored) {
+  std::istringstream in("# header\n\n2\n0 3 0\n# mid comment\n1 4 1 0\n");
+  const TaskGraph g = read_stg(in);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Stg, RejectsForwardPredecessor) {
+  std::istringstream in("2\n0 3 1 1\n1 4 0\n");
+  EXPECT_THROW(read_stg(in), util::Error);
+}
+
+TEST(Stg, RejectsOutOfOrderIds) {
+  std::istringstream in("2\n1 3 0\n0 4 0\n");
+  EXPECT_THROW(read_stg(in), util::Error);
+}
+
+TEST(Stg, RejectsTruncatedFile) {
+  std::istringstream in("3\n0 3 0\n1 4 0\n");
+  EXPECT_THROW(read_stg(in), util::Error);
+}
+
+TEST(Stg, RejectsMissingCount) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW(read_stg(in), util::Error);
+}
+
+TEST(Stg, RejectsMissingPredecessorIds) {
+  std::istringstream in("2\n0 3 0\n1 4 2 0\n");
+  EXPECT_THROW(read_stg(in), util::Error);
+}
+
+TEST(Stg, MissingFileThrows) {
+  EXPECT_THROW(read_stg_file("/nonexistent.stg"), util::Error);
+}
+
+}  // namespace
+}  // namespace optsched::dag

@@ -1,0 +1,119 @@
+#include "dag/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bnb/exhaustive.hpp"
+#include "core/astar.hpp"
+#include "dag/generators.hpp"
+#include "dag/levels.hpp"
+
+namespace optsched::dag {
+namespace {
+
+using machine::Machine;
+
+TEST(Transform, ReverseFlipsStructure) {
+  const TaskGraph g = paper_figure1();
+  const TaskGraph r = reverse(g);
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  // n6 becomes the entry, n1 the exit.
+  EXPECT_TRUE(r.is_entry(5));
+  EXPECT_TRUE(r.is_exit(0));
+  // Edge n5->n6 (cost 5) becomes n6->n5.
+  bool found = false;
+  for (const auto& [child, cost] : r.children(5))
+    if (child == 4) {
+      EXPECT_DOUBLE_EQ(cost, 5.0);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Transform, ReverseIsInvolutive) {
+  RandomDagParams p;
+  p.num_nodes = 15;
+  p.seed = 8;
+  const TaskGraph g = random_dag(p);
+  const TaskGraph rr = reverse(reverse(g));
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(rr.weight(n), g.weight(n));
+    ASSERT_EQ(rr.children(n).size(), g.children(n).size());
+    for (std::size_t k = 0; k < g.children(n).size(); ++k) {
+      EXPECT_EQ(rr.children(n)[k].node, g.children(n)[k].node);
+      EXPECT_EQ(rr.children(n)[k].cost, g.children(n)[k].cost);
+    }
+  }
+}
+
+TEST(Transform, ReverseSwapsLevels) {
+  const TaskGraph g = paper_figure1();
+  const TaskGraph r = reverse(g);
+  const Levels lg = compute_levels(g);
+  const Levels lr = compute_levels(r);
+  EXPECT_DOUBLE_EQ(lr.cp_length, lg.cp_length);
+  // b-level in the reverse equals t-level + weight in the original.
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    EXPECT_DOUBLE_EQ(lr.b_level[n], lg.t_level[n] + g.weight(n)) << n;
+}
+
+TEST(Transform, ReversalPreservesOptimalMakespan) {
+  // Time-mirroring a schedule of G gives a schedule of reverse(G) with the
+  // same length, and vice versa — so optima must agree. A whole-stack
+  // property: graph, machine, search and pruning all participate.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    RandomDagParams p;
+    p.num_nodes = 7;
+    p.ccr = 1.0;
+    p.seed = seed;
+    const TaskGraph g = random_dag(p);
+    const TaskGraph r = reverse(g);
+    const auto m = Machine::fully_connected(2);
+    EXPECT_DOUBLE_EQ(core::astar_schedule(g, m).makespan,
+                     core::astar_schedule(r, m).makespan)
+        << seed;
+  }
+}
+
+TEST(Transform, ReversalOfPaperExample) {
+  const auto m = Machine::paper_ring3();
+  EXPECT_DOUBLE_EQ(core::astar_schedule(reverse(paper_figure1()), m).makespan,
+                   14.0);
+}
+
+TEST(Transform, UniformScalingScalesOptimum) {
+  for (std::uint64_t seed : {5u, 6u}) {
+    RandomDagParams p;
+    p.num_nodes = 7;
+    p.ccr = 1.0;
+    p.seed = seed;
+    const TaskGraph g = random_dag(p);
+    const auto m = Machine::fully_connected(2);
+    const double base = core::astar_schedule(g, m).makespan;
+    const double doubled =
+        core::astar_schedule(scaled(g, 2.0, 2.0), m).makespan;
+    EXPECT_NEAR(doubled, 2.0 * base, 1e-9) << seed;
+  }
+}
+
+TEST(Transform, CommOnlyScalingNeverShrinksOptimum) {
+  RandomDagParams p;
+  p.num_nodes = 7;
+  p.ccr = 1.0;
+  p.seed = 9;
+  const TaskGraph g = random_dag(p);
+  const auto m = Machine::fully_connected(3);
+  const double base = core::astar_schedule(g, m).makespan;
+  const double pricier =
+      core::astar_schedule(scaled(g, 1.0, 3.0), m).makespan;
+  EXPECT_GE(pricier + 1e-9, base);
+}
+
+TEST(Transform, ScaledRejectsBadFactors) {
+  const TaskGraph g = paper_figure1();
+  EXPECT_THROW(scaled(g, 0.0, 1.0), util::Error);
+  EXPECT_THROW(scaled(g, 1.0, -2.0), util::Error);
+}
+
+}  // namespace
+}  // namespace optsched::dag

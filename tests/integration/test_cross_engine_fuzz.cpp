@@ -1,0 +1,125 @@
+// Cross-engine fuzzing: many small random instances, every engine, one
+// oracle. Instances are kept tiny (v <= 7, p <= 3) so the exhaustive
+// enumerator stays fast and *every* seed can run — no vetting needed at
+// this size, which is what makes this a fuzz suite rather than a fixture.
+#include <gtest/gtest.h>
+
+#include "bnb/chen_yu.hpp"
+#include "bnb/exhaustive.hpp"
+#include "core/astar.hpp"
+#include "core/ida_star.hpp"
+#include "dag/generators.hpp"
+#include "parallel/parallel_astar.hpp"
+
+namespace optsched {
+namespace {
+
+using machine::Machine;
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::uint32_t nodes;
+  double ccr;
+  std::uint32_t procs;
+};
+
+class CrossEngineFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(CrossEngineFuzz, AllEnginesMatchOracle) {
+  const FuzzCase c = GetParam();
+  dag::RandomDagParams p;
+  p.num_nodes = c.nodes;
+  p.ccr = c.ccr;
+  p.seed = c.seed;
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(c.procs);
+  const core::SearchProblem problem(g, m);
+
+  const double oracle = bnb::exhaustive_schedule(g, m).makespan;
+
+  const auto astar = core::astar_schedule(problem);
+  EXPECT_DOUBLE_EQ(astar.makespan, oracle) << "A*";
+  EXPECT_TRUE(astar.proved_optimal);
+
+  EXPECT_DOUBLE_EQ(core::ida_star_schedule(problem).makespan, oracle)
+      << "IDA*";
+  EXPECT_DOUBLE_EQ(bnb::chen_yu_schedule(problem).makespan, oracle)
+      << "Chen&Yu";
+
+  par::ParallelConfig pc;
+  pc.num_ppes = 3;
+  EXPECT_DOUBLE_EQ(par::parallel_astar_schedule(problem, pc).result.makespan,
+                   oracle)
+      << "parallel";
+
+  core::SearchConfig eps;
+  eps.epsilon = 0.3;
+  const auto approx = core::astar_schedule(problem, eps);
+  EXPECT_LE(approx.makespan, 1.3 * oracle + 1e-9) << "Aeps*";
+  EXPECT_GE(approx.makespan, oracle - 1e-9) << "Aeps*";
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t seed = 100; seed < 120; ++seed)
+    cases.push_back({seed, 6, seed % 3 == 0   ? 0.1
+                              : seed % 3 == 1 ? 1.0
+                                              : 10.0,
+                     static_cast<std::uint32_t>(2 + seed % 2)});
+  for (std::uint64_t seed = 200; seed < 212; ++seed)
+    cases.push_back({seed, 7, 1.0, 2});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, CrossEngineFuzz,
+                         ::testing::ValuesIn(fuzz_cases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "v" + std::to_string(info.param.nodes) +
+                                  "p" + std::to_string(info.param.procs);
+                         });
+
+// Heterogeneous fuzz: speeds {1, 2, 4} exercise the fractional-time paths.
+class HeteroFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeteroFuzz, AStarMatchesOracleOnHeterogeneousMachines) {
+  dag::RandomDagParams p;
+  p.num_nodes = 6;
+  p.ccr = 1.0;
+  p.seed = GetParam();
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(3, {1.0, 2.0, 4.0});
+  const double oracle = bnb::exhaustive_schedule(g, m).makespan;
+  const auto r = core::astar_schedule(g, m);
+  EXPECT_DOUBLE_EQ(r.makespan, oracle);
+  EXPECT_TRUE(r.proved_optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeteroFuzz,
+                         ::testing::Range<std::uint64_t>(300, 315));
+
+// Topology fuzz under the hop-scaled model, where processor placement
+// matters most.
+class TopologyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyFuzz, ChainAndStarMatchOracleHopScaled) {
+  dag::RandomDagParams p;
+  p.num_nodes = 6;
+  p.ccr = 1.0;
+  p.seed = GetParam();
+  const auto g = dag::random_dag(p);
+  for (const Machine& m : {Machine::chain(3), Machine::star(3)}) {
+    const double oracle =
+        bnb::exhaustive_schedule(g, m, machine::CommMode::kHopScaled)
+            .makespan;
+    const auto r =
+        core::astar_schedule(g, m, {}, machine::CommMode::kHopScaled);
+    EXPECT_DOUBLE_EQ(r.makespan, oracle) << m.topology_name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyFuzz,
+                         ::testing::Range<std::uint64_t>(400, 412));
+
+}  // namespace
+}  // namespace optsched

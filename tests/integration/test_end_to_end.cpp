@@ -1,0 +1,153 @@
+// Cross-module integration: the full pipeline a user of the library runs —
+// generate/load a workload, build a machine, schedule with every engine,
+// compare, render, serialize.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bnb/chen_yu.hpp"
+#include "bnb/exhaustive.hpp"
+#include "core/astar.hpp"
+#include "core/ida_star.hpp"
+#include "dag/generators.hpp"
+#include "dag/io.hpp"
+#include "parallel/parallel_astar.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace optsched {
+namespace {
+
+using machine::Machine;
+
+TEST(EndToEnd, AllEnginesAgreeOnOneInstance) {
+  dag::RandomDagParams p;
+  p.num_nodes = 9;
+  p.ccr = 1.0;
+  p.seed = 5;  // vetted: cheap for every engine including Chen & Yu
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(3);
+  const core::SearchProblem problem(g, m);
+
+  const double oracle = bnb::exhaustive_schedule(g, m).makespan;
+  EXPECT_DOUBLE_EQ(core::astar_schedule(problem).makespan, oracle);
+  EXPECT_DOUBLE_EQ(core::ida_star_schedule(problem).makespan, oracle);
+  EXPECT_DOUBLE_EQ(bnb::chen_yu_schedule(problem).makespan, oracle);
+
+  par::ParallelConfig pc;
+  pc.num_ppes = 4;
+  EXPECT_DOUBLE_EQ(par::parallel_astar_schedule(problem, pc).result.makespan,
+                   oracle);
+
+  // Heuristics are upper bounds on the oracle.
+  EXPECT_GE(sched::upper_bound_schedule(g, m).makespan() + 1e-9, oracle);
+  EXPECT_GE(sched::mcp(g, m).makespan() + 1e-9, oracle);
+}
+
+TEST(EndToEnd, SerializedGraphSchedulesIdentically) {
+  dag::RandomDagParams p;
+  p.num_nodes = 10;
+  p.seed = 9;  // vetted cheap seed
+  const auto g = dag::random_dag(p);
+  std::stringstream buffer;
+  dag::write_text(g, buffer);
+  const auto g2 = dag::read_text(buffer);
+
+  const auto m = Machine::fully_connected(3);
+  EXPECT_DOUBLE_EQ(core::astar_schedule(g, m).makespan,
+                   core::astar_schedule(g2, m).makespan);
+}
+
+TEST(EndToEnd, GanttOfOptimalScheduleRenders) {
+  const auto g = dag::gaussian_elimination(3, 15, 8);
+  const auto m = Machine::fully_connected(2);
+  const auto r = core::astar_schedule(g, m);
+  const std::string gantt = sched::render_gantt(r.schedule);
+  EXPECT_NE(gantt.find("PE0"), std::string::npos);
+  EXPECT_NE(gantt.find("makespan"), std::string::npos);
+}
+
+TEST(EndToEnd, CcrSweepShapesMatchThePaper) {
+  // Higher CCR makes clustering more attractive: optimal schedules use
+  // fewer processors and (with fixed comp costs) longer makespans. Same
+  // seed => same structure and computation costs; only comm scales.
+  dag::RandomDagParams base;
+  base.num_nodes = 9;
+  base.seed = 3;  // vetted cheap seed at both CCRs
+  const auto m = Machine::fully_connected(3);
+
+  base.ccr = 1.0;
+  const auto low = core::astar_schedule(dag::random_dag(base), m);
+  base.ccr = 10.0;
+  const auto high = core::astar_schedule(dag::random_dag(base), m);
+  ASSERT_TRUE(low.proved_optimal);
+  ASSERT_TRUE(high.proved_optimal);
+  EXPECT_LT(low.makespan, high.makespan);
+  EXPECT_GE(low.schedule.procs_used(), high.schedule.procs_used());
+}
+
+TEST(EndToEnd, MinimumProcessorDiscovery) {
+  // The paper lets the search use O(v) TPEs and observes that redundant
+  // processors produce only pruned states: giving the search more
+  // processors than useful must not change the optimum.
+  const auto g = dag::paper_figure1();
+  const auto opt3 = core::astar_schedule(g, Machine::fully_connected(3));
+  const auto opt6 = core::astar_schedule(g, Machine::fully_connected(6));
+  EXPECT_DOUBLE_EQ(opt3.makespan, opt6.makespan);
+  EXPECT_LE(opt6.schedule.procs_used(), 3u);
+}
+
+TEST(EndToEnd, AnytimeProgressionTightensWithBudget) {
+  dag::RandomDagParams p;
+  p.num_nodes = 18;
+  p.ccr = 1.0;
+  p.seed = 161;
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(4);
+
+  double last = 1e300;
+  for (const std::uint64_t budget : {10ull, 1000ull, 100000ull}) {
+    core::SearchConfig cfg;
+    cfg.max_expansions = budget;
+    const auto r = core::astar_schedule(g, m, cfg);
+    EXPECT_NO_THROW(sched::validate(r.schedule));
+    EXPECT_LE(r.makespan, last + 1e-9);  // more budget never hurts
+    last = r.makespan;
+  }
+}
+
+TEST(EndToEnd, EpsilonLadderIsMonotoneInGuarantee) {
+  dag::RandomDagParams p;
+  p.num_nodes = 10;
+  p.ccr = 1.0;
+  p.seed = 7;  // vetted cheap seed
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(3);
+  const double opt = core::astar_schedule(g, m).makespan;
+
+  for (const double eps : {0.05, 0.2, 0.5, 1.0}) {
+    core::SearchConfig cfg;
+    cfg.epsilon = eps;
+    const auto r = core::astar_schedule(g, m, cfg);
+    EXPECT_LE(r.makespan, (1 + eps) * opt + 1e-9);
+  }
+}
+
+TEST(EndToEnd, StructuredWorkloadShowcase) {
+  // The three application skeletons from the examples directory, end to
+  // end with exact + approximate engines.
+  const auto m = Machine::fully_connected(3);
+  for (const auto& g : {dag::gaussian_elimination(4, 10, 8),
+                        dag::fft(4, 12, 6), dag::fork_join(5, 9, 9)}) {
+    core::SearchConfig quick;
+    quick.epsilon = 0.2;
+    quick.time_budget_ms = 3000;
+    const auto approx = core::astar_schedule(g, m, quick);
+    EXPECT_NO_THROW(sched::validate(approx.schedule));
+
+    const auto heuristic = sched::upper_bound_schedule(g, m);
+    EXPECT_LE(approx.makespan, heuristic.makespan() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace optsched

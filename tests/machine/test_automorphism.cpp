@@ -1,0 +1,161 @@
+#include "machine/automorphism.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace optsched::machine {
+namespace {
+
+std::vector<bool> busy_none(std::uint32_t p) { return std::vector<bool>(p); }
+
+TEST(Automorphism, CompleteHomogeneousShortCircuits) {
+  const Machine m = Machine::fully_connected(8);
+  const AutomorphismGroup g(m);
+  EXPECT_TRUE(g.fully_symmetric());
+  std::vector<ProcId> rep;
+  g.state_classes(busy_none(8), rep);
+  for (ProcId p = 0; p < 8; ++p) EXPECT_EQ(rep[p], 0u);
+}
+
+TEST(Automorphism, RingGroupIsDihedral) {
+  const Machine m = Machine::ring(6);
+  const AutomorphismGroup g(m);
+  ASSERT_FALSE(g.fully_symmetric());
+  ASSERT_FALSE(g.enumeration_capped());
+  // |Aut(C6)| = 2 * 6 (rotations and reflections).
+  EXPECT_EQ(g.permutations().size(), 12u);
+}
+
+TEST(Automorphism, ChainGroupIsReflection) {
+  const Machine m = Machine::chain(5);
+  const AutomorphismGroup g(m);
+  EXPECT_EQ(g.permutations().size(), 2u);  // identity + reversal
+}
+
+TEST(Automorphism, HypercubeGroupOrder) {
+  const Machine m = Machine::hypercube(3);
+  const AutomorphismGroup g(m);
+  // |Aut(Q3)| = 2^3 * 3! = 48.
+  EXPECT_EQ(g.permutations().size(), 48u);
+}
+
+TEST(Automorphism, GroupAxioms) {
+  const Machine m = Machine::ring(5);
+  const AutomorphismGroup g(m);
+  const auto& perms = g.permutations();
+  const std::uint32_t p = m.num_procs();
+
+  // Contains the identity.
+  bool has_identity = false;
+  for (const auto& pi : perms) {
+    bool id = true;
+    for (ProcId i = 0; i < p; ++i)
+      if (pi[i] != i) id = false;
+    if (id) has_identity = true;
+  }
+  EXPECT_TRUE(has_identity);
+
+  // Each permutation preserves adjacency (is an automorphism).
+  for (const auto& pi : perms)
+    for (ProcId a = 0; a < p; ++a)
+      for (ProcId b = 0; b < p; ++b)
+        EXPECT_EQ(m.adjacent(a, b), m.adjacent(pi[a], pi[b]));
+
+  // Closed under composition.
+  std::set<std::vector<ProcId>> set(perms.begin(), perms.end());
+  for (const auto& pi : perms)
+    for (const auto& rho : perms) {
+      std::vector<ProcId> composed(p);
+      for (ProcId i = 0; i < p; ++i) composed[i] = pi[rho[i]];
+      EXPECT_TRUE(set.count(composed));
+    }
+}
+
+TEST(Automorphism, OrbitsPartitionProcessors) {
+  for (const Machine& m :
+       {Machine::ring(6), Machine::mesh(2, 3), Machine::star(5)}) {
+    const AutomorphismGroup g(m);
+    const auto orbits = g.orbits();
+    std::set<ProcId> covered;
+    for (const auto& orbit : orbits)
+      for (const ProcId p : orbit) EXPECT_TRUE(covered.insert(p).second);
+    EXPECT_EQ(covered.size(), m.num_procs());
+  }
+}
+
+TEST(Automorphism, VertexTransitiveTopologiesHaveOneOrbit) {
+  for (const Machine& m : {Machine::ring(7), Machine::hypercube(3)}) {
+    const AutomorphismGroup g(m);
+    EXPECT_EQ(g.orbits().size(), 1u) << m.topology_name();
+  }
+}
+
+TEST(Automorphism, StarOrbits) {
+  const Machine m = Machine::star(6);
+  const AutomorphismGroup g(m, /*max_perms=*/100000);
+  // Hub alone; 5 leaves together (group order 5! = 120, enumerable).
+  EXPECT_EQ(g.orbits().size(), 2u);
+}
+
+TEST(Automorphism, StateClassesRespectBusyProcessors) {
+  const Machine m = Machine::ring(6);
+  const AutomorphismGroup g(m);
+  std::vector<bool> busy(6, false);
+  busy[0] = true;
+  std::vector<ProcId> rep;
+  g.state_classes(busy, rep);
+  // Busy processors always stand alone.
+  EXPECT_EQ(rep[0], 0u);
+  // The stabilizer of vertex 0 in C6 is {id, reflection through 0}:
+  // 1~5 and 2~4; 3 fixed.
+  EXPECT_EQ(rep[1], 1u);
+  EXPECT_EQ(rep[5], 1u);
+  EXPECT_EQ(rep[2], 2u);
+  EXPECT_EQ(rep[4], 2u);
+  EXPECT_EQ(rep[3], 3u);
+}
+
+TEST(Automorphism, StateClassesAllBusy) {
+  const Machine m = Machine::fully_connected(4);
+  const AutomorphismGroup g(m);
+  std::vector<bool> busy(4, true);
+  std::vector<ProcId> rep;
+  g.state_classes(busy, rep);
+  for (ProcId p = 0; p < 4; ++p) EXPECT_EQ(rep[p], p);
+}
+
+TEST(Automorphism, HeterogeneousSpeedsBreakSymmetry) {
+  const Machine m = Machine::fully_connected(3, {1.0, 1.0, 2.0});
+  const AutomorphismGroup g(m);
+  EXPECT_FALSE(g.fully_symmetric());
+  std::vector<ProcId> rep;
+  g.state_classes(busy_none(3), rep);
+  // Only the two speed-1 processors merge.
+  EXPECT_EQ(rep[0], 0u);
+  EXPECT_EQ(rep[1], 0u);
+  EXPECT_EQ(rep[2], 2u);
+}
+
+TEST(Automorphism, CappedEnumerationFallsBackSoundly) {
+  // Star with many leaves has (p-1)! automorphisms; cap enumeration low to
+  // exercise the weak rule: leaves share identical neighbour sets {hub}.
+  const Machine m = Machine::star(8);
+  const AutomorphismGroup g(m, /*max_perms=*/10);
+  EXPECT_TRUE(g.enumeration_capped());
+  std::vector<ProcId> rep;
+  g.state_classes(busy_none(8), rep);
+  EXPECT_EQ(rep[0], 0u);  // the hub has a different neighbour set
+  for (ProcId p = 2; p < 8; ++p) EXPECT_EQ(rep[p], 1u);
+}
+
+TEST(Automorphism, MeshCornerSymmetry) {
+  const Machine m = Machine::mesh(2, 2);
+  const AutomorphismGroup g(m);
+  // The 2x2 mesh is C4: all four processors in one orbit.
+  EXPECT_EQ(g.orbits().size(), 1u);
+  EXPECT_EQ(g.permutations().size(), 8u);
+}
+
+}  // namespace
+}  // namespace optsched::machine

@@ -1,0 +1,114 @@
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace optsched::machine {
+namespace {
+
+TEST(Machine, FullyConnectedProperties) {
+  const Machine m = Machine::fully_connected(5);
+  EXPECT_EQ(m.num_procs(), 5u);
+  EXPECT_TRUE(m.homogeneous());
+  EXPECT_TRUE(m.fully_connected_topology());
+  for (ProcId a = 0; a < 5; ++a)
+    for (ProcId b = 0; b < 5; ++b) {
+      EXPECT_EQ(m.adjacent(a, b), a != b);
+      EXPECT_EQ(m.hop_distance(a, b), a == b ? 0u : 1u);
+    }
+}
+
+TEST(Machine, RingHopDistances) {
+  const Machine m = Machine::ring(6);
+  EXPECT_EQ(m.hop_distance(0, 1), 1u);
+  EXPECT_EQ(m.hop_distance(0, 2), 2u);
+  EXPECT_EQ(m.hop_distance(0, 3), 3u);
+  EXPECT_EQ(m.hop_distance(0, 5), 1u);
+  EXPECT_FALSE(m.fully_connected_topology());
+}
+
+TEST(Machine, SmallRingIsComplete) {
+  // A 3-ring is the complete graph on 3 vertices (paper's Figure 1(b)).
+  const Machine m = Machine::paper_ring3();
+  EXPECT_EQ(m.num_procs(), 3u);
+  EXPECT_TRUE(m.fully_connected_topology());
+}
+
+TEST(Machine, ChainHopDistances) {
+  const Machine m = Machine::chain(4);
+  EXPECT_EQ(m.hop_distance(0, 3), 3u);
+  EXPECT_EQ(m.hop_distance(1, 2), 1u);
+}
+
+TEST(Machine, MeshShape) {
+  const Machine m = Machine::mesh(2, 3);
+  EXPECT_EQ(m.num_procs(), 6u);
+  EXPECT_TRUE(m.adjacent(0, 1));
+  EXPECT_TRUE(m.adjacent(0, 3));
+  EXPECT_FALSE(m.adjacent(0, 4));
+  EXPECT_EQ(m.hop_distance(0, 5), 3u);
+}
+
+TEST(Machine, HypercubeShape) {
+  const Machine m = Machine::hypercube(3);
+  EXPECT_EQ(m.num_procs(), 8u);
+  for (ProcId p = 0; p < 8; ++p) EXPECT_EQ(m.neighbors(p).size(), 3u);
+  EXPECT_EQ(m.hop_distance(0, 7), 3u);  // Hamming distance
+  EXPECT_EQ(m.hop_distance(0, 5), 2u);
+}
+
+TEST(Machine, StarShape) {
+  const Machine m = Machine::star(5);
+  EXPECT_EQ(m.neighbors(0).size(), 4u);
+  for (ProcId p = 1; p < 5; ++p) EXPECT_EQ(m.neighbors(p).size(), 1u);
+  EXPECT_EQ(m.hop_distance(1, 2), 2u);  // leaf-to-leaf via the hub
+  EXPECT_EQ(m.hop_distance(0, 3), 1u);
+}
+
+TEST(Machine, HeterogeneousSpeeds) {
+  const Machine m = Machine::fully_connected(3, {1.0, 2.0, 4.0});
+  EXPECT_FALSE(m.homogeneous());
+  EXPECT_DOUBLE_EQ(m.max_speed(), 4.0);
+  EXPECT_DOUBLE_EQ(m.exec_time(8.0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m.exec_time(8.0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.min_exec_time(8.0), 2.0);
+}
+
+TEST(Machine, CommDelayModes) {
+  const Machine m = Machine::chain(3);
+  // Same processor: always free.
+  EXPECT_DOUBLE_EQ(m.comm_delay(10.0, 1, 1, CommMode::kUnitDistance), 0.0);
+  EXPECT_DOUBLE_EQ(m.comm_delay(10.0, 1, 1, CommMode::kHopScaled), 0.0);
+  // Unit-distance charges the edge cost regardless of hops (paper model).
+  EXPECT_DOUBLE_EQ(m.comm_delay(10.0, 0, 2, CommMode::kUnitDistance), 10.0);
+  // Hop-scaled multiplies by topology distance.
+  EXPECT_DOUBLE_EQ(m.comm_delay(10.0, 0, 2, CommMode::kHopScaled), 20.0);
+}
+
+TEST(Machine, RejectsBadConstruction) {
+  EXPECT_THROW(Machine({}, {}), util::Error);
+  // Asymmetric adjacency.
+  EXPECT_THROW(Machine({{1}, {}}, {}), util::Error);
+  // Self-loop.
+  EXPECT_THROW(Machine({{0, 1}, {0}}, {}), util::Error);
+  // Bad speed.
+  EXPECT_THROW(Machine({{1}, {0}}, {1.0, 0.0}), util::Error);
+  EXPECT_THROW(Machine({{1}, {0}}, {1.0}), util::Error);  // size mismatch
+  // Disconnected.
+  EXPECT_THROW(Machine({{1}, {0}, {3}, {2}}, {}), util::Error);
+}
+
+TEST(Machine, SingleProcessor) {
+  const Machine m = Machine::fully_connected(1);
+  EXPECT_EQ(m.num_procs(), 1u);
+  EXPECT_TRUE(m.fully_connected_topology());
+  EXPECT_EQ(m.hop_distance(0, 0), 0u);
+}
+
+TEST(Machine, TopologyNames) {
+  EXPECT_EQ(Machine::fully_connected(4).topology_name(), "clique4");
+  EXPECT_EQ(Machine::ring(5).topology_name(), "ring5");
+  EXPECT_EQ(Machine::mesh(2, 2).topology_name(), "mesh2x2");
+}
+
+}  // namespace
+}  // namespace optsched::machine

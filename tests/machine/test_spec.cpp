@@ -1,0 +1,55 @@
+#include "machine/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace optsched::machine {
+namespace {
+
+TEST(MachineSpec, Clique) {
+  const Machine m = machine_from_spec("clique:4");
+  EXPECT_EQ(m.num_procs(), 4u);
+  EXPECT_TRUE(m.fully_connected_topology());
+}
+
+TEST(MachineSpec, Ring) {
+  const Machine m = machine_from_spec("ring:6");
+  EXPECT_EQ(m.num_procs(), 6u);
+  EXPECT_EQ(m.neighbors(0).size(), 2u);
+}
+
+TEST(MachineSpec, Mesh) {
+  const Machine m = machine_from_spec("mesh:2x3");
+  EXPECT_EQ(m.num_procs(), 6u);
+  EXPECT_EQ(m.topology_name(), "mesh2x3");
+}
+
+TEST(MachineSpec, Hypercube) {
+  EXPECT_EQ(machine_from_spec("hypercube:3").num_procs(), 8u);
+}
+
+TEST(MachineSpec, StarAndChain) {
+  EXPECT_EQ(machine_from_spec("star:5").num_procs(), 5u);
+  EXPECT_EQ(machine_from_spec("chain:4").num_procs(), 4u);
+}
+
+TEST(MachineSpec, CliqueWithSpeeds) {
+  const Machine m = machine_from_spec("clique:3@1,2,4");
+  EXPECT_FALSE(m.homogeneous());
+  EXPECT_DOUBLE_EQ(m.speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.speed(2), 4.0);
+}
+
+TEST(MachineSpec, Rejections) {
+  EXPECT_THROW(machine_from_spec("clique"), util::Error);       // no colon
+  EXPECT_THROW(machine_from_spec("blob:4"), util::Error);       // bad kind
+  EXPECT_THROW(machine_from_spec("clique:x"), util::Error);     // bad size
+  EXPECT_THROW(machine_from_spec("clique:0"), util::Error);     // zero
+  EXPECT_THROW(machine_from_spec("clique:99999"), util::Error); // huge
+  EXPECT_THROW(machine_from_spec("mesh:4"), util::Error);       // no RxC
+  EXPECT_THROW(machine_from_spec("clique:3@1,2"), util::Error); // short list
+  EXPECT_THROW(machine_from_spec("ring:3@1,1,1"), util::Error); // non-clique
+  EXPECT_THROW(machine_from_spec("clique:3@a,b,c"), util::Error);
+}
+
+}  // namespace
+}  // namespace optsched::machine

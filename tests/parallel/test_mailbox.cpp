@@ -1,0 +1,115 @@
+#include "parallel/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace optsched::par {
+namespace {
+
+TEST(Mailbox, PostAndTake) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_take().has_value());
+  Message out;
+  out.from = 3;
+  StateMsg sm;
+  sm.assignments = {{0, 0}};
+  sm.f = 1.0;
+  out.states.push_back(sm);
+  box.post(out);
+  const auto msg = box.try_take();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, 3u);
+  ASSERT_EQ(msg->states.size(), 1u);
+  EXPECT_DOUBLE_EQ(msg->states[0].f, 1.0);
+  EXPECT_FALSE(box.try_take().has_value());
+}
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox box;
+  for (std::uint32_t i = 0; i < 5; ++i) box.post({{}, i});
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(box.try_take()->from, i);
+}
+
+TEST(Mailbox, TakeForTimesOut) {
+  Mailbox box;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.take_for(std::chrono::microseconds(2000)).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::microseconds(1000));
+}
+
+TEST(Mailbox, TakeForWakesOnPost) {
+  Mailbox box;
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    box.post({{}, 7});
+  });
+  const auto msg = box.take_for(std::chrono::milliseconds(500));
+  poster.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, 7u);
+}
+
+TEST(Mailbox, ConcurrentProducersAllDelivered) {
+  Mailbox box;
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kProducers; ++t)
+    threads.emplace_back([&box, t] {
+      for (int i = 0; i < kPerProducer; ++i)
+        box.post({{}, static_cast<std::uint32_t>(t)});
+    });
+  for (auto& t : threads) t.join();
+  int received = 0;
+  while (box.try_take()) ++received;
+  EXPECT_EQ(received, kProducers * kPerProducer);
+}
+
+TEST(MailboxNetwork, RingNeighbors) {
+  MailboxNetwork net(4, MailboxNetwork::Topology::kRing);
+  EXPECT_EQ(net.size(), 4u);
+  EXPECT_EQ(net.neighbors(0), (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(net.neighbors(2), (std::vector<std::uint32_t>{3, 1}));
+}
+
+TEST(MailboxNetwork, TwoPpeRingHasSingleNeighbor) {
+  MailboxNetwork net(2, MailboxNetwork::Topology::kRing);
+  EXPECT_EQ(net.neighbors(0), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(net.neighbors(1), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(MailboxNetwork, SinglePpeHasNoNeighbors) {
+  MailboxNetwork net(1, MailboxNetwork::Topology::kRing);
+  EXPECT_TRUE(net.neighbors(0).empty());
+}
+
+TEST(MailboxNetwork, MeshNeighborsAreSymmetric) {
+  MailboxNetwork net(6, MailboxNetwork::Topology::kMesh);
+  for (std::uint32_t i = 0; i < 6; ++i)
+    for (const auto j : net.neighbors(i)) {
+      const auto& back = net.neighbors(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+}
+
+TEST(MailboxNetwork, FullyConnectedNeighbors) {
+  MailboxNetwork net(4, MailboxNetwork::Topology::kFullyConnected);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    EXPECT_EQ(net.neighbors(i).size(), 3u);
+}
+
+TEST(MailboxNetwork, InFlightAccounting) {
+  MailboxNetwork net(2, MailboxNetwork::Topology::kRing);
+  EXPECT_FALSE(net.anything_in_flight());
+  net.send(1, {{}, 0});
+  EXPECT_TRUE(net.anything_in_flight());
+  const auto msg = net.mailbox(1).try_take();
+  ASSERT_TRUE(msg.has_value());
+  net.acknowledge_receipt();
+  EXPECT_FALSE(net.anything_in_flight());
+}
+
+}  // namespace
+}  // namespace optsched::par

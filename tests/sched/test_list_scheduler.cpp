@@ -1,0 +1,133 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+
+namespace optsched::sched {
+namespace {
+
+using dag::TaskGraph;
+using machine::Machine;
+
+TEST(ListScheduler, UpperBoundScheduleIsValidAndComplete) {
+  const TaskGraph g = dag::paper_figure1();
+  const Machine m = Machine::paper_ring3();
+  const Schedule s = upper_bound_schedule(g, m);
+  EXPECT_TRUE(s.complete());
+  EXPECT_NO_THROW(validate(s));
+  // Optimal is 14; a sensible heuristic lands within 1.5x of it here.
+  EXPECT_GE(s.makespan(), 14.0);
+  EXPECT_LE(s.makespan(), 21.0);
+}
+
+TEST(ListScheduler, SingleProcessorGivesTotalWork) {
+  const TaskGraph g = dag::paper_figure1();
+  const Machine m = Machine::fully_connected(1);
+  const Schedule s = upper_bound_schedule(g, m);
+  EXPECT_DOUBLE_EQ(s.makespan(), g.total_work());
+}
+
+TEST(ListScheduler, IndependentTasksBalance) {
+  const TaskGraph g = dag::independent_tasks(8, 10.0);
+  const Machine m = Machine::fully_connected(4);
+  const Schedule s = upper_bound_schedule(g, m);
+  EXPECT_DOUBLE_EQ(s.makespan(), 20.0);  // perfectly balanced
+}
+
+TEST(ListScheduler, ChainStaysOnOneProcessor) {
+  // With communication costs, splitting a pure chain only adds delay; the
+  // earliest-start rule must keep it sequential on one processor.
+  const TaskGraph g = dag::chain(6, 10.0, 5.0);
+  const Machine m = Machine::fully_connected(4);
+  const Schedule s = upper_bound_schedule(g, m);
+  EXPECT_DOUBLE_EQ(s.makespan(), 60.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+}
+
+class AllHeuristics : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllHeuristics, ProduceValidSchedules) {
+  dag::RandomDagParams p;
+  p.num_nodes = 24;
+  p.ccr = 1.0;
+  p.seed = GetParam();
+  const TaskGraph g = dag::random_dag(p);
+  const Machine m = Machine::fully_connected(4);
+
+  for (const Schedule& s :
+       {upper_bound_schedule(g, m), hlfet(g, m), mcp(g, m), etf(g, m)}) {
+    EXPECT_TRUE(s.complete());
+    EXPECT_NO_THROW(validate(s));
+    // Never worse than fully serial, never better than the work bound.
+    EXPECT_LE(s.makespan(), g.total_work() + 1e-9);
+    EXPECT_GE(s.makespan() + 1e-9, g.total_work() / m.num_procs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllHeuristics,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+TEST(ListScheduler, InsertionNeverWorseOnGap) {
+  // Craft a schedule with an exploitable gap: MCP (insertion) fills it.
+  TaskGraph g;
+  const auto a = g.add_node(10, "a");
+  const auto b = g.add_node(1, "b");
+  const auto c = g.add_node(2, "c");
+  g.add_edge(a, c, 0);
+  g.add_edge(b, c, 20);
+  g.finalize();
+  const Machine m = Machine::fully_connected(2);
+
+  const Schedule append_s = upper_bound_schedule(g, m);
+  const Schedule insert_s = mcp(g, m);
+  EXPECT_NO_THROW(validate(insert_s));
+  EXPECT_LE(insert_s.makespan(), append_s.makespan() + 1e-9);
+}
+
+TEST(ListScheduler, EarliestStartHelper) {
+  const TaskGraph g = dag::independent_tasks(3, 10.0);
+  const Machine m = Machine::fully_connected(1);
+  Schedule s(g, m);
+  s.place(0, 0, 0.0);    // [0,10)
+  s.place(1, 0, 30.0);   // [30,40) leaves a [10,30) gap
+  EXPECT_DOUBLE_EQ(earliest_start(s, 2, 0, /*insertion=*/false), 40.0);
+  EXPECT_DOUBLE_EQ(earliest_start(s, 2, 0, /*insertion=*/true), 10.0);
+}
+
+TEST(ListScheduler, EtfPicksGloballyEarliestStart) {
+  const TaskGraph g = dag::fork_join(3, 10.0, 100.0);
+  const Machine m = Machine::fully_connected(3);
+  const Schedule s = etf(g, m);
+  EXPECT_NO_THROW(validate(s));
+  // Huge comm: everything serial on one processor beats spreading.
+  EXPECT_DOUBLE_EQ(s.makespan(), 50.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+}
+
+TEST(ListScheduler, HeterogeneousPrefersFastProcWithEFT) {
+  const TaskGraph g = dag::chain(3, 8.0, 1.0);
+  const Machine m = Machine::fully_connected(2, {1.0, 4.0});
+  ListConfig cfg;
+  cfg.proc_rule = ProcRule::kEarliestFinish;
+  const Schedule s = list_schedule(g, m, cfg);
+  // All three tasks on the 4x processor: 3 * 2 = 6.
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+}
+
+TEST(ListScheduler, PriorityOrdersDiffer) {
+  // Sanity: the four priority modes all produce valid (possibly different)
+  // schedules on a graph with heterogeneous levels.
+  const TaskGraph g = dag::gaussian_elimination(4, 30, 15);
+  const Machine m = Machine::fully_connected(3);
+  for (Priority pri : {Priority::kStaticLevel, Priority::kBLevel,
+                       Priority::kTLevelPlusBLevel, Priority::kAlap}) {
+    ListConfig cfg;
+    cfg.priority = pri;
+    const Schedule s = list_schedule(g, m, cfg);
+    EXPECT_NO_THROW(validate(s));
+  }
+}
+
+}  // namespace
+}  // namespace optsched::sched

@@ -1,0 +1,88 @@
+#include "sched/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/astar.hpp"
+#include "dag/generators.hpp"
+
+namespace optsched::sched {
+namespace {
+
+using machine::Machine;
+
+TEST(Metrics, SerialScheduleBaseline) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  Schedule s(g, m);
+  for (dag::NodeId n = 0; n < 6; ++n) s.append(n, 0);
+  const ScheduleMetrics x = compute_metrics(s);
+  EXPECT_DOUBLE_EQ(x.makespan, 19.0);
+  EXPECT_EQ(x.procs_used, 1u);
+  EXPECT_DOUBLE_EQ(x.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(x.efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(x.comm_volume, 0.0);
+  EXPECT_DOUBLE_EQ(x.cut_edge_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(x.load_imbalance, 1.0);
+  // One proc busy 19, two procs idle for 19 each.
+  EXPECT_DOUBLE_EQ(x.total_idle, 38.0);
+  EXPECT_NEAR(x.utilization, 19.0 / 57.0, 1e-12);
+}
+
+TEST(Metrics, OptimalFig1Schedule) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  const auto r = core::astar_schedule(g, m);
+  const ScheduleMetrics x = compute_metrics(r.schedule);
+  EXPECT_DOUBLE_EQ(x.makespan, 14.0);
+  EXPECT_NEAR(x.speedup, 19.0 / 14.0, 1e-12);
+  EXPECT_GT(x.comm_volume, 0.0);  // the optimum splits across processors
+  EXPECT_GT(x.cut_edge_fraction, 0.0);
+  EXPECT_LE(x.cut_edge_fraction, 1.0);
+  EXPECT_GE(x.load_imbalance, 1.0);
+}
+
+TEST(Metrics, PerfectlyBalancedIndependent) {
+  const auto g = dag::independent_tasks(4, 10.0);
+  const auto m = Machine::fully_connected(4);
+  Schedule s(g, m);
+  for (dag::NodeId n = 0; n < 4; ++n) s.append(n, n);
+  const ScheduleMetrics x = compute_metrics(s);
+  EXPECT_DOUBLE_EQ(x.speedup, 4.0);
+  EXPECT_DOUBLE_EQ(x.efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(x.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(x.total_idle, 0.0);
+  EXPECT_DOUBLE_EQ(x.load_imbalance, 1.0);
+}
+
+TEST(Metrics, HeterogeneousSpeedupUsesFastestBaseline) {
+  // Work 16 on speeds {1, 4}: serial best = 16/4 = 4.
+  const auto g = dag::independent_tasks(2, 8.0);
+  const auto m = Machine::fully_connected(2, {1.0, 4.0});
+  Schedule s(g, m);
+  s.append(0, 1);
+  s.append(1, 1);  // both on fast proc: makespan 4
+  const ScheduleMetrics x = compute_metrics(s);
+  EXPECT_DOUBLE_EQ(x.makespan, 4.0);
+  EXPECT_DOUBLE_EQ(x.speedup, 1.0);
+}
+
+TEST(Metrics, RejectsIncomplete) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  Schedule s(g, m);
+  s.append(0, 0);
+  EXPECT_THROW(compute_metrics(s), util::Error);
+}
+
+TEST(Metrics, FormatMentionsKeyFigures) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  const auto r = core::astar_schedule(g, m);
+  const std::string report = format_metrics(compute_metrics(r.schedule));
+  EXPECT_NE(report.find("makespan 14"), std::string::npos);
+  EXPECT_NE(report.find("utilization"), std::string::npos);
+  EXPECT_NE(report.find("communication"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsched::sched

@@ -1,0 +1,155 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+
+namespace optsched::sched {
+namespace {
+
+using dag::TaskGraph;
+using machine::Machine;
+
+TEST(Schedule, AppendComputesStartAndFinish) {
+  // Paper Figure 4's optimal schedule begins n1 on PE0 then n2 on PE0.
+  const TaskGraph g = dag::paper_figure1();
+  const Machine m = Machine::paper_ring3();
+  Schedule s(g, m);
+
+  EXPECT_DOUBLE_EQ(s.append(0, 0), 2.0);   // n1: [0,2) on PE0
+  EXPECT_DOUBLE_EQ(s.append(1, 0), 5.0);   // n2: [2,5) on PE0 (no comm)
+  EXPECT_DOUBLE_EQ(s.append(2, 1), 6.0);   // n3 on PE1: data at 2+1, [3,6)
+  EXPECT_DOUBLE_EQ(s.placement(2).start, 3.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+  EXPECT_EQ(s.num_scheduled(), 3u);
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(Schedule, DataAvailableTimeMaxesOverParents) {
+  const TaskGraph g = dag::paper_figure1();
+  const Machine m = Machine::paper_ring3();
+  Schedule s(g, m);
+  s.append(0, 0);  // n1 ft 2
+  s.append(1, 0);  // n2 ft 5
+  s.append(2, 1);  // n3 ft 6
+  // n5's parents: n2 (PE0, ft 5, c=1) and n3 (PE1, ft 6, c=1).
+  EXPECT_DOUBLE_EQ(s.data_available_time(4, 0), 7.0);  // n3 cross: 6+1
+  EXPECT_DOUBLE_EQ(s.data_available_time(4, 1), 6.0);  // n2 cross: 5+1=6, n3 local 6
+  EXPECT_DOUBLE_EQ(s.data_available_time(4, 2), 7.0);
+}
+
+TEST(Schedule, ProcReadyTimeSerializesTasks) {
+  const TaskGraph g = dag::independent_tasks(3, 10.0);
+  const Machine m = Machine::fully_connected(2);
+  Schedule s(g, m);
+  s.append(0, 0);
+  s.append(1, 0);
+  s.append(2, 0);
+  EXPECT_DOUBLE_EQ(s.placement(2).start, 20.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 30.0);
+  EXPECT_EQ(s.procs_used(), 1u);
+}
+
+TEST(Schedule, HeterogeneousExecTimes) {
+  const TaskGraph g = dag::independent_tasks(2, 8.0);
+  const Machine m = Machine::fully_connected(2, {1.0, 4.0});
+  Schedule s(g, m);
+  s.append(0, 0);
+  s.append(1, 1);
+  EXPECT_DOUBLE_EQ(s.placement(0).finish, 8.0);
+  EXPECT_DOUBLE_EQ(s.placement(1).finish, 2.0);
+}
+
+TEST(Schedule, HopScaledCommMode) {
+  const TaskGraph g = dag::chain(2, 4.0, 3.0);
+  const Machine m = Machine::chain(3);
+  Schedule s(g, m, CommMode::kHopScaled);
+  s.append(0, 0);
+  s.append(1, 2);  // two hops away: comm = 3*2
+  EXPECT_DOUBLE_EQ(s.placement(1).start, 4.0 + 6.0);
+}
+
+TEST(Schedule, PlaceKeepsSlotsSorted) {
+  const TaskGraph g = dag::independent_tasks(3, 5.0);
+  const Machine m = Machine::fully_connected(1);
+  Schedule s(g, m);
+  s.place(0, 0, 20.0);
+  s.place(1, 0, 0.0);
+  s.place(2, 0, 10.0);
+  const auto& slots = s.proc_slots(0);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].node, 1u);
+  EXPECT_EQ(slots[1].node, 2u);
+  EXPECT_EQ(slots[2].node, 0u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 25.0);
+}
+
+TEST(Validate, AcceptsCompleteValidSchedule) {
+  const TaskGraph g = dag::paper_figure1();
+  const Machine m = Machine::paper_ring3();
+  Schedule s(g, m);
+  for (dag::NodeId n = 0; n < 6; ++n) s.append(n, 0);  // all on one PE
+  EXPECT_NO_THROW(validate(s));
+  EXPECT_DOUBLE_EQ(s.makespan(), 19.0);  // total work, no comm
+}
+
+TEST(Validate, RejectsIncompleteSchedule) {
+  const TaskGraph g = dag::paper_figure1();
+  const Machine m = Machine::paper_ring3();
+  Schedule s(g, m);
+  s.append(0, 0);
+  EXPECT_THROW(validate(s), util::Error);
+}
+
+TEST(Validate, RejectsOverlap) {
+  const TaskGraph g = dag::independent_tasks(2, 10.0);
+  const Machine m = Machine::fully_connected(1);
+  Schedule s(g, m);
+  s.place(0, 0, 0.0);
+  s.place(1, 0, 5.0);  // overlaps [0,10)
+  EXPECT_THROW(validate(s), util::Error);
+}
+
+TEST(Validate, RejectsPrecedenceViolation) {
+  const TaskGraph g = dag::chain(2, 5.0, 3.0);
+  const Machine m = Machine::fully_connected(2);
+  Schedule s(g, m);
+  s.place(0, 0, 0.0);   // ft 5
+  s.place(1, 1, 6.0);   // needs 5 + comm 3 = 8
+  EXPECT_THROW(validate(s), util::Error);
+}
+
+TEST(Validate, AcceptsCrossProcWithCommDelay) {
+  const TaskGraph g = dag::chain(2, 5.0, 3.0);
+  const Machine m = Machine::fully_connected(2);
+  Schedule s(g, m);
+  s.place(0, 0, 0.0);
+  s.place(1, 1, 8.0);
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(Gantt, RendersAllProcessors) {
+  const TaskGraph g = dag::paper_figure1();
+  const Machine m = Machine::paper_ring3();
+  Schedule s(g, m);
+  for (dag::NodeId n = 0; n < 6; ++n) s.append(n, n % 3);
+  const std::string gantt = render_gantt(s);
+  EXPECT_NE(gantt.find("PE0"), std::string::npos);
+  EXPECT_NE(gantt.find("PE2"), std::string::npos);
+  EXPECT_NE(gantt.find("makespan"), std::string::npos);
+  EXPECT_NE(gantt.find("n1"), std::string::npos);
+}
+
+TEST(Schedule, CopyIsIndependent) {
+  const TaskGraph g = dag::independent_tasks(2, 5.0);
+  const Machine m = Machine::fully_connected(2);
+  Schedule a(g, m);
+  a.append(0, 0);
+  Schedule b = a;
+  b.append(1, 0);
+  EXPECT_EQ(a.num_scheduled(), 1u);
+  EXPECT_EQ(b.num_scheduled(), 2u);
+}
+
+}  // namespace
+}  // namespace optsched::sched

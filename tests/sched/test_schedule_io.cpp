@@ -1,0 +1,86 @@
+#include "sched/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/astar.hpp"
+#include "dag/generators.hpp"
+
+namespace optsched::sched {
+namespace {
+
+using machine::Machine;
+
+TEST(ScheduleIo, RoundTripOptimalSchedule) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  const auto r = core::astar_schedule(g, m);
+
+  std::stringstream buffer;
+  write_schedule(r.schedule, buffer);
+  const Schedule loaded = read_schedule(g, m, buffer);
+  EXPECT_DOUBLE_EQ(loaded.makespan(), r.makespan);
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(loaded.placement(n).proc, r.schedule.placement(n).proc);
+    EXPECT_DOUBLE_EQ(loaded.placement(n).start, r.schedule.placement(n).start);
+  }
+}
+
+TEST(ScheduleIo, RejectsIncompleteSchedule) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  Schedule s(g, m);
+  s.append(0, 0);
+  std::ostringstream out;
+  EXPECT_THROW(write_schedule(s, out), util::Error);
+}
+
+TEST(ScheduleIo, RejectsWrongCounts) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  std::istringstream in("schedule 5 3 10\n");
+  EXPECT_THROW(read_schedule(g, m, in), util::Error);
+  std::istringstream in2("schedule 6 2 10\n");
+  EXPECT_THROW(read_schedule(g, m, in2), util::Error);
+}
+
+TEST(ScheduleIo, RejectsDoublePlacement) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  std::istringstream in(
+      "schedule 6 3 14\ntask 0 0 0 2\ntask 0 1 0 2\n");
+  EXPECT_THROW(read_schedule(g, m, in), util::Error);
+}
+
+TEST(ScheduleIo, RejectsInconsistentFinish) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  std::istringstream in("schedule 6 3 14\ntask 0 0 0 99\n");
+  EXPECT_THROW(read_schedule(g, m, in), util::Error);
+}
+
+TEST(ScheduleIo, RejectsInvalidScheduleContent) {
+  // Well-formed file, but the placements violate precedence: caught by the
+  // validator invoked at the end of read_schedule.
+  const auto g = dag::chain(2, 5.0, 3.0);
+  const auto m = Machine::fully_connected(2);
+  std::istringstream in(
+      "schedule 2 2 10\ntask 0 0 0 5\ntask 1 1 5 10\n");
+  EXPECT_THROW(read_schedule(g, m, in), util::Error);
+}
+
+TEST(ScheduleIo, CsvHasHeaderAndRows) {
+  const auto g = dag::paper_figure1();
+  const auto m = Machine::paper_ring3();
+  const auto r = core::astar_schedule(g, m);
+  std::ostringstream out;
+  write_schedule_csv(r.schedule, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("node,name,proc,start,finish"), std::string::npos);
+  EXPECT_NE(csv.find("n6"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);  // header + 6 rows
+}
+
+}  // namespace
+}  // namespace optsched::sched

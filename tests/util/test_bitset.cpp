@@ -1,0 +1,96 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace optsched::util {
+namespace {
+
+class BitsetSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetSizes, SetTestResetRoundTrip) {
+  const std::size_t n = GetParam();
+  DynamicBitset bs(n);
+  for (std::size_t i = 0; i < n; i += 3) bs.set(i);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(bs.test(i), i % 3 == 0) << i;
+  for (std::size_t i = 0; i < n; i += 3) bs.reset(i);
+  EXPECT_TRUE(bs.none());
+}
+
+TEST_P(BitsetSizes, CountMatchesSetBits) {
+  const std::size_t n = GetParam();
+  DynamicBitset bs(n);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; i += 2) {
+    bs.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(bs.count(), expected);
+}
+
+TEST_P(BitsetSizes, ForEachSetVisitsInOrder) {
+  const std::size_t n = GetParam();
+  DynamicBitset bs(n);
+  std::vector<std::size_t> want;
+  for (std::size_t i = 1; i < n; i += 7) {
+    bs.set(i);
+    want.push_back(i);
+  }
+  std::vector<std::size_t> got;
+  bs.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(BitsetSizes, AllAndClear) {
+  const std::size_t n = GetParam();
+  DynamicBitset bs(n);
+  for (std::size_t i = 0; i < n; ++i) bs.set(i);
+  EXPECT_TRUE(bs.all());
+  EXPECT_EQ(bs.count(), n);
+  bs.clear();
+  EXPECT_TRUE(bs.none());
+}
+
+TEST_P(BitsetSizes, EqualityAndHash) {
+  const std::size_t n = GetParam();
+  DynamicBitset a(n), b(n);
+  a.set(0);
+  b.set(0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  if (n > 1) {
+    b.set(n - 1);
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.hash(), b.hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLarge, BitsetSizes,
+                         ::testing::Values(1, 7, 63, 64, 65, 128, 200, 1000));
+
+TEST(Bitset, EmptyDefault) {
+  DynamicBitset bs;
+  EXPECT_EQ(bs.size(), 0u);
+  EXPECT_TRUE(bs.none());
+}
+
+TEST(Bitset, IdempotentSet) {
+  DynamicBitset bs(70);
+  bs.set(69);
+  bs.set(69);
+  EXPECT_EQ(bs.count(), 1u);
+}
+
+TEST(Bitset, SizeMismatchNotEqual) {
+  DynamicBitset a(10), b(11);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Bitset, HashDependsOnSize) {
+  DynamicBitset a(10), b(11);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace optsched::util

@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace optsched::util {
+namespace {
+
+Cli make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()),
+             const_cast<char**>(args.data()));
+}
+
+TEST(Cli, ParsesSpaceSeparatedValue) {
+  auto cli = make({"--vmax", "20"});
+  EXPECT_EQ(cli.get_int("vmax", 0), 20);
+}
+
+TEST(Cli, ParsesEqualsValue) {
+  auto cli = make({"--ccr=2.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("ccr", 0), 2.5);
+}
+
+TEST(Cli, BooleanFlagDefaultsTrue) {
+  auto cli = make({"--full"});
+  EXPECT_TRUE(cli.get_bool("full"));
+  EXPECT_TRUE(cli.has("full"));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  auto cli = make({});
+  EXPECT_EQ(cli.get_int("vmax", 12), 12);
+  EXPECT_DOUBLE_EQ(cli.get_double("ccr", 1.0), 1.0);
+  EXPECT_FALSE(cli.get_bool("full"));
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalArguments) {
+  auto cli = make({"input.tg", "--seed", "3", "out.csv"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.tg");
+  EXPECT_EQ(cli.positional()[1], "out.csv");
+}
+
+TEST(Cli, MalformedIntThrows) {
+  auto cli = make({"--vmax", "abc"});
+  EXPECT_THROW(cli.get_int("vmax", 0), Error);
+}
+
+TEST(Cli, MalformedDoubleThrows) {
+  auto cli = make({"--ccr=xyz"});
+  EXPECT_THROW(cli.get_double("ccr", 0), Error);
+}
+
+TEST(Cli, ValidateRejectsUnknownFlags) {
+  auto cli = make({"--tpyo", "1"});
+  cli.describe("vmax", "maximum graph size");
+  EXPECT_THROW(cli.validate(), Error);
+}
+
+TEST(Cli, ValidateAcceptsDescribedFlags) {
+  auto cli = make({"--vmax", "1"});
+  cli.describe("vmax", "maximum graph size");
+  EXPECT_NO_THROW(cli.validate());
+}
+
+TEST(Cli, HelpSuppressed) {
+  auto cli = make({});
+  EXPECT_FALSE(cli.maybe_print_help("summary"));
+}
+
+TEST(Cli, HelpDetected) {
+  auto cli = make({"--help"});
+  EXPECT_TRUE(cli.maybe_print_help("summary"));
+}
+
+}  // namespace
+}  // namespace optsched::util

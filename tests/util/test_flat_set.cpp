@@ -1,0 +1,84 @@
+#include "util/flat_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace optsched::util {
+namespace {
+
+Key128 key(std::uint64_t a, std::uint64_t b = 1) { return {a, b}; }
+
+TEST(FlatSet128, InsertAndContains) {
+  FlatSet128 set;
+  EXPECT_TRUE(set.insert(key(1)));
+  EXPECT_TRUE(set.insert(key(2)));
+  EXPECT_TRUE(set.contains(key(1)));
+  EXPECT_TRUE(set.contains(key(2)));
+  EXPECT_FALSE(set.contains(key(3)));
+}
+
+TEST(FlatSet128, DuplicateInsertReturnsFalse) {
+  FlatSet128 set;
+  EXPECT_TRUE(set.insert(key(42)));
+  EXPECT_FALSE(set.insert(key(42)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatSet128, DistinguishesHighWord) {
+  FlatSet128 set;
+  EXPECT_TRUE(set.insert(key(7, 1)));
+  EXPECT_TRUE(set.insert(key(7, 2)));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlatSet128, GrowsThroughManyInserts) {
+  FlatSet128 set(4);
+  constexpr std::uint64_t kCount = 50000;
+  for (std::uint64_t i = 1; i <= kCount; ++i)
+    ASSERT_TRUE(set.insert(key(i))) << i;
+  EXPECT_EQ(set.size(), kCount);
+  for (std::uint64_t i = 1; i <= kCount; ++i)
+    ASSERT_TRUE(set.contains(key(i))) << i;
+  EXPECT_FALSE(set.contains(key(kCount + 1)));
+}
+
+TEST(FlatSet128, MatchesReferenceImplementation) {
+  FlatSet128 set;
+  std::unordered_set<std::uint64_t> reference;
+  Rng rng(31337);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(1, 5000);
+    const bool inserted = set.insert(key(v));
+    const bool ref_inserted = reference.insert(v).second;
+    ASSERT_EQ(inserted, ref_inserted) << v;
+  }
+  EXPECT_EQ(set.size(), reference.size());
+}
+
+TEST(FlatSet128, ClearEmptiesWithoutInvalidating) {
+  FlatSet128 set;
+  for (std::uint64_t i = 1; i < 100; ++i) set.insert(key(i));
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(key(1)));
+  EXPECT_TRUE(set.insert(key(1)));
+}
+
+TEST(FlatSet128, MemoryReportingMonotone) {
+  FlatSet128 set(4);
+  const std::size_t before = set.memory_bytes();
+  for (std::uint64_t i = 1; i < 10000; ++i) set.insert(key(i));
+  EXPECT_GT(set.memory_bytes(), before);
+}
+
+TEST(FlatSet128Death, ZeroKeyRejected) {
+  FlatSet128 set;
+  EXPECT_DEATH(set.insert(Key128{0, 0}), "assertion failed");
+}
+
+}  // namespace
+}  // namespace optsched::util

@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace optsched::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_u64(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64FullRangeDoesNotHang) {
+  Rng rng(7);
+  // ~0ULL range uses the passthrough path.
+  const auto x = rng.uniform_u64(0, ~0ULL);
+  (void)x;
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(5);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(0, 9)];
+  for (const auto& [value, count] : counts) {
+    (void)value;
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, UniformI64NegativeRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_i64(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsCentred) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / kDraws, 15.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Splitmix64, KnownFixedPointFree) {
+  // Sanity: non-trivial mixing and determinism.
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Splitmix64, AvalancheSmoke) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (std::uint64_t bit = 0; bit < 64; ++bit)
+    total += __builtin_popcountll(splitmix64(42) ^ splitmix64(42ULL ^ (1ULL << bit)));
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+}  // namespace
+}  // namespace optsched::util

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace optsched::util {
+namespace {
+
+TEST(Table, BuildsRowsAndCells) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2.5, 1);
+  t.row().cell("x").cell("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.at(0, 0), "1");
+  EXPECT_EQ(t.at(0, 1), "2.5");
+  EXPECT_EQ(t.at(1, 0), "x");
+}
+
+TEST(Table, PrintAligned) {
+  Table t({"size", "time"});
+  t.row().cell(10).cell("1.5ms");
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("1.5ms"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t({"x"});
+  t.row().cell(3.14159, 4);
+  EXPECT_EQ(t.at(0, 0), "3.1416");
+}
+
+TEST(Table, TimeoutCellsAreFirstClass) {
+  Table t({"v", "chen", "astar"});
+  t.row().cell(32).cell("TIMEOUT").cell(123.0, 0);
+  EXPECT_EQ(t.at(0, 1), "TIMEOUT");
+}
+
+TEST(FormatSeconds, AdaptiveUnits) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5us");
+  EXPECT_EQ(format_seconds(0.0025), "2.50ms");
+  EXPECT_EQ(format_seconds(1.25), "1.25s");
+}
+
+}  // namespace
+}  // namespace optsched::util
