@@ -1,0 +1,38 @@
+# Shared compile/link options for every optsched target, carried by the
+# INTERFACE library optsched::options. Static layer libraries expose it
+# PUBLIC so warnings and sanitizer flags propagate to tests, benches, and
+# examples without per-target repetition.
+
+add_library(optsched_options INTERFACE)
+add_library(optsched::options ALIAS optsched_options)
+
+target_compile_features(optsched_options INTERFACE cxx_std_20)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(optsched_options INTERFACE -Wall -Wextra)
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU"
+      AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
+    # GCC 12 -Wrestrict false-positives on std::string operator+ chains at
+    # -O2 (GCC PR105651, fixed in 13); would break -Werror builds.
+    target_compile_options(optsched_options INTERFACE -Wno-restrict)
+  endif()
+  if(OPTSCHED_WERROR)
+    target_compile_options(optsched_options INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(optsched_options INTERFACE /W4)
+  if(OPTSCHED_WERROR)
+    target_compile_options(optsched_options INTERFACE /WX)
+  endif()
+endif()
+
+if(OPTSCHED_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "OPTSCHED_SANITIZE requires GCC or Clang")
+  endif()
+  string(REPLACE ";" "," _optsched_san "${OPTSCHED_SANITIZE}")
+  message(STATUS "Sanitizers enabled: ${_optsched_san}")
+  target_compile_options(optsched_options INTERFACE
+    -fsanitize=${_optsched_san} -fno-omit-frame-pointer -g)
+  target_link_options(optsched_options INTERFACE -fsanitize=${_optsched_san})
+endif()

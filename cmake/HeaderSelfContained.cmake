@@ -1,0 +1,36 @@
+# Header self-containedness check: every header must compile as its own
+# translation unit, so no header silently depends on what its includer
+# happened to include first. For each header we generate a one-line .cpp
+# and compile the lot into an OBJECT library that is part of ALL — a
+# non-self-sufficient header is a build error, not a latent landmine.
+
+file(GLOB_RECURSE _optsched_headers CONFIGURE_DEPENDS
+  RELATIVE ${PROJECT_SOURCE_DIR}
+  ${PROJECT_SOURCE_DIR}/src/*.hpp
+  ${PROJECT_SOURCE_DIR}/bench/*.hpp)
+
+set(_optsched_header_tus "")
+foreach(_hdr IN LISTS _optsched_headers)
+  string(REPLACE "/" "_" _safe "${_hdr}")
+  string(REPLACE ".hpp" ".cpp" _safe "${_safe}")
+  set(_tu ${CMAKE_BINARY_DIR}/header_checks/${_safe})
+  # Headers are included the same way client code includes them: relative
+  # to src/ (or bench/ for bench_common.hpp).
+  string(REGEX REPLACE "^(src|bench)/" "" _inc "${_hdr}")
+  set(_content "#include \"${_inc}\"\n")
+  if(EXISTS ${_tu})
+    file(READ ${_tu} _existing)
+  else()
+    set(_existing "")
+  endif()
+  if(NOT _existing STREQUAL _content)
+    file(WRITE ${_tu} "${_content}")
+  endif()
+  list(APPEND _optsched_header_tus ${_tu})
+endforeach()
+
+add_library(optsched_header_selfcontained OBJECT ${_optsched_header_tus})
+target_include_directories(optsched_header_selfcontained PRIVATE
+  ${PROJECT_SOURCE_DIR}/src
+  ${PROJECT_SOURCE_DIR}/bench)
+target_link_libraries(optsched_header_selfcontained PRIVATE optsched::options)

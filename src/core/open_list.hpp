@@ -10,10 +10,12 @@
 // which reaches goal states sooner without affecting optimality.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "core/state.hpp"
+#include "util/assert.hpp"
 
 namespace optsched::core {
 

@@ -131,7 +131,9 @@ TEST(ChenYu, RespectsTimeLimit) {
   ChenYuConfig cfg;
   cfg.time_budget_ms = 50;
   const auto r = chen_yu_schedule(problem, cfg);
-  if (!r.proved_optimal) EXPECT_EQ(r.reason, core::Termination::kTimeLimit);
+  if (!r.proved_optimal) {
+    EXPECT_EQ(r.reason, core::Termination::kTimeLimit);
+  }
   EXPECT_NO_THROW(sched::validate(r.schedule));
 }
 

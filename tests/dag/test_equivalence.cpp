@@ -79,9 +79,11 @@ TEST(NodeEquivalence, IsAnEquivalenceRelation) {
     EXPECT_TRUE(eq.equivalent(a, a));  // reflexive
     for (NodeId b = 0; b < v; ++b) {
       EXPECT_EQ(eq.equivalent(a, b), eq.equivalent(b, a));  // symmetric
-      for (NodeId c = 0; c < v; ++c)
-        if (eq.equivalent(a, b) && eq.equivalent(b, c))
+      for (NodeId c = 0; c < v; ++c) {
+        if (eq.equivalent(a, b) && eq.equivalent(b, c)) {
           EXPECT_TRUE(eq.equivalent(a, c));  // transitive
+        }
+      }
     }
   }
 }

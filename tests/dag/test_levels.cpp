@@ -75,7 +75,9 @@ TEST_P(LevelsInvariants, RandomGraphInvariants) {
     EXPECT_GE(lv.b_level[n], g.weight(n));
     EXPECT_GE(lv.static_level[n], g.weight(n));
     // entry nodes have t-level 0.
-    if (g.is_entry(n)) EXPECT_DOUBLE_EQ(lv.t_level[n], 0.0);
+    if (g.is_entry(n)) {
+      EXPECT_DOUBLE_EQ(lv.t_level[n], 0.0);
+    }
     // exit nodes have b-level == sl == weight.
     if (g.is_exit(n)) {
       EXPECT_DOUBLE_EQ(lv.b_level[n], g.weight(n));

@@ -133,8 +133,9 @@ TEST(ParallelAStar, TimeLimitHonoured) {
   cfg.search.time_budget_ms = 100;
   const auto r = parallel_astar_schedule(problem, cfg);
   EXPECT_NO_THROW(sched::validate(r.result.schedule));
-  if (!r.result.proved_optimal)
+  if (!r.result.proved_optimal) {
     EXPECT_EQ(r.result.reason, core::Termination::kTimeLimit);
+  }
 }
 
 TEST(ParallelAStar, ExpansionLimitHonoured) {
@@ -151,8 +152,9 @@ TEST(ParallelAStar, ExpansionLimitHonoured) {
   cfg.search.max_expansions = 200;
   const auto r = parallel_astar_schedule(problem, cfg);
   EXPECT_NO_THROW(sched::validate(r.result.schedule));
-  if (!r.result.proved_optimal)
+  if (!r.result.proved_optimal) {
     EXPECT_EQ(r.result.reason, core::Termination::kExpansionLimit);
+  }
 }
 
 TEST(ParallelAStar, CommunicationActuallyHappens) {
