@@ -1,6 +1,9 @@
 // Figure 6 reproduction: speedup of the parallel A* over the serial A*
 // with 2/4/8/16 PPEs for CCR in {0.1, 1.0, 10.0}.
 //
+// Both columns run through the unified solver API ("astar" and "parallel"
+// with a ppes=... option), the same path the CLI uses.
+//
 // Expected shape (paper §4.3): moderately sub-linear speedup, slightly
 // degrading with graph size and more irregular at high CCR. NOTE on
 // substitution: the paper measured wall-clock on a 16-node Intel Paragon;
@@ -15,9 +18,8 @@
 #include <sstream>
 #include <thread>
 
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/astar.hpp"
-#include "parallel/parallel_astar.hpp"
 #include "util/timer.hpp"
 
 using namespace optsched;
@@ -57,18 +59,17 @@ int main(int argc, char** argv) {
       // bench_common.hpp), preferring ones that are not trivially fast so
       // the speedup measurement has signal.
       double serial_time = 0.0;
-      core::SearchResult serial{sched::Schedule(bench::paper_workload(ccr, v),
-                                                machine),
-                                0, false, 1.0, core::Termination::kOptimal,
-                                {}};
+      double serial_makespan = 0.0;
+      std::uint64_t serial_expanded = 0;
       const int attempt = bench::select_tractable_instance(
           ccr, v, [&](const dag::TaskGraph& graph) {
-            const core::SearchProblem problem(graph, machine);
-            core::SearchConfig cfg;
-            cfg.time_budget_ms = opt.budget_ms;
+            api::SolveRequest request(graph, machine);
+            request.limits.time_budget_ms = opt.budget_ms;
             util::Timer t;
-            serial = core::astar_schedule(problem, cfg);
+            const auto serial = api::solve("astar", request);
             serial_time = t.seconds();
+            serial_makespan = serial.makespan;
+            serial_expanded = serial.stats.search.expanded;
             return serial.proved_optimal;
           });
 
@@ -81,27 +82,26 @@ int main(int argc, char** argv) {
       }
       const auto graph =
           bench::paper_workload(ccr, v, static_cast<std::uint32_t>(attempt));
-      const core::SearchProblem problem(graph, machine);
       row.cell(bench::cell_time(serial_time, false));
       for (const auto q : ppe_counts) {
-        par::ParallelConfig cfg;
-        cfg.num_ppes = q;
-        cfg.search.time_budget_ms = opt.budget_ms;
+        api::SolveRequest request(graph, machine);
+        request.limits.time_budget_ms = opt.budget_ms;
+        request.options["ppes"] = std::to_string(q);
         util::Timer t;
-        const auto r = par::parallel_astar_schedule(problem, cfg);
+        const auto r = api::solve("parallel", request);
         const double elapsed = t.seconds();
-        if (!r.result.proved_optimal) {
+        if (!r.proved_optimal) {
           row.cell("-").cell("-");
           continue;
         }
-        if (r.result.makespan != serial.makespan) {
+        if (r.makespan != serial_makespan) {
           row.cell("MISMATCH").cell("-");
           continue;
         }
         row.cell(serial_time / elapsed, 2)
-            .cell(serial.stats.expanded
-                      ? static_cast<double>(r.result.stats.expanded) /
-                            static_cast<double>(serial.stats.expanded)
+            .cell(serial_expanded
+                      ? static_cast<double>(r.stats.search.expanded) /
+                            static_cast<double>(serial_expanded)
                       : 0.0,
                   2);
       }

@@ -2,6 +2,10 @@
 // percentage deviation from the optimal schedule length (plots a, c) and
 // the Aε*/A* scheduling-time ratio (plots b, d), per CCR and graph size.
 //
+// All runs go through the unified solver API: the `parallel` engine with
+// ppes=... for the exact baseline, plus epsilon=... for the approximate
+// variant.
+//
 // Expected shape (paper §4.4): actual deviations stay well below the
 // 100ε% guarantee (often 0 for small graphs); time ratios drop well below
 // 1 (the paper reports 10-40% savings at ε=0.2 and 50-70% at ε=0.5).
@@ -10,9 +14,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/astar.hpp"
-#include "parallel/parallel_astar.hpp"
 #include "util/timer.hpp"
 
 using namespace optsched;
@@ -41,10 +44,9 @@ int main(int argc, char** argv) {
         // deviation column needs a known optimum).
         const int attempt = bench::select_tractable_instance(
             ccr, v, [&](const dag::TaskGraph& graph) {
-              const core::SearchProblem problem(graph, machine);
-              core::SearchConfig cfg;
-              cfg.time_budget_ms = opt.budget_ms;
-              return core::astar_schedule(problem, cfg).proved_optimal;
+              api::SolveRequest request(graph, machine);
+              request.limits.time_budget_ms = opt.budget_ms;
+              return api::solve("astar", request).proved_optimal;
             });
 
         auto& row = table.row().cell(static_cast<int>(v));
@@ -55,32 +57,29 @@ int main(int argc, char** argv) {
         }
         const auto graph =
             bench::paper_workload(ccr, v, static_cast<std::uint32_t>(attempt));
-        const core::SearchProblem problem(graph, machine);
 
-        par::ParallelConfig exact_cfg;
-        exact_cfg.num_ppes = ppes;
-        exact_cfg.search.time_budget_ms = 4 * opt.budget_ms;
+        api::SolveRequest exact_request(graph, machine);
+        exact_request.limits.time_budget_ms = 4 * opt.budget_ms;
+        exact_request.options["ppes"] = std::to_string(ppes);
         util::Timer t_exact;
-        const auto exact = par::parallel_astar_schedule(problem, exact_cfg);
+        const auto exact = api::solve("parallel", exact_request);
         const double exact_time = t_exact.seconds();
 
-        par::ParallelConfig eps_cfg = exact_cfg;
-        eps_cfg.search.epsilon = eps;
+        api::SolveRequest eps_request = exact_request;
+        eps_request.options["epsilon"] = std::to_string(eps);
         util::Timer t_eps;
-        const auto approx = par::parallel_astar_schedule(problem, eps_cfg);
+        const auto approx = api::solve("parallel", eps_request);
         const double eps_time = t_eps.seconds();
 
-        if (!exact.result.proved_optimal) {
+        if (!exact.proved_optimal) {
           row.cell("TIMEOUT").cell("-").cell("-").cell("-").cell("-")
               .cell("-").cell("-");
           continue;
         }
-        const double deviation = 100.0 *
-                                 (approx.result.makespan -
-                                  exact.result.makespan) /
-                                 exact.result.makespan;
-        row.cell(exact.result.makespan, 0)
-            .cell(approx.result.makespan, 0)
+        const double deviation =
+            100.0 * (approx.makespan - exact.makespan) / exact.makespan;
+        row.cell(exact.makespan, 0)
+            .cell(approx.makespan, 0)
             .cell(deviation, 2)
             .cell(100.0 * eps, 0)
             .cell(util::format_seconds(exact_time))

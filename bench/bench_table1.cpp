@@ -2,6 +2,11 @@
 // (b) A* without the §3.2 pruning techniques ("A* full"), and (c) A* with
 // all prunings, on the §4.1 random workloads for CCR in {0.1, 1.0, 10.0}.
 //
+// All three columns run through the unified solver API — the same
+// engine-name + option-string path the CLI uses ("chenyu", "astar" with
+// prune=none, "astar") — so this bench doubles as a smoke test of the
+// public surface.
+//
 // Expected shape (paper §4.2): times grow steeply with v and with CCR;
 // Chen & Yu is consistently the slowest (expensive per-state underestimate);
 // pruning buys A* a consistent further reduction. Absolute values are
@@ -16,9 +21,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "bnb/chen_yu.hpp"
-#include "core/astar.hpp"
 #include "util/timer.hpp"
 
 using namespace optsched;
@@ -31,22 +35,15 @@ struct Cell {
   std::uint64_t expanded = 0;
 };
 
-Cell run_astar(const core::SearchProblem& problem, bool pruned,
-               double budget_ms) {
-  core::SearchConfig cfg;
-  if (!pruned) cfg.prune = core::PruneConfig::none();
-  cfg.time_budget_ms = budget_ms;
+Cell run(const std::string& engine, const api::Options& options,
+         const dag::TaskGraph& graph, const machine::Machine& machine,
+         double budget_ms) {
+  api::SolveRequest request(graph, machine);
+  request.limits.time_budget_ms = budget_ms;
+  request.options = options;
   util::Timer t;
-  const auto r = core::astar_schedule(problem, cfg);
-  return {t.seconds(), !r.proved_optimal, r.stats.expanded};
-}
-
-Cell run_chen(const core::SearchProblem& problem, double budget_ms) {
-  bnb::ChenYuConfig cfg;
-  cfg.time_budget_ms = budget_ms;
-  util::Timer t;
-  const auto r = bnb::chen_yu_schedule(problem, cfg);
-  return {t.seconds(), !r.proved_optimal, r.expanded};
+  const auto r = api::solve(engine, request);
+  return {t.seconds(), !r.proved_optimal, r.stats.search.expanded};
 }
 
 }  // namespace
@@ -73,8 +70,7 @@ int main(int argc, char** argv) {
       Cell probe_cell;
       const int attempt = bench::select_tractable_instance(
           ccr, v, [&](const dag::TaskGraph& graph) {
-            const core::SearchProblem problem(graph, machine);
-            probe_cell = run_astar(problem, /*pruned=*/true, opt.budget_ms);
+            probe_cell = run("astar", {}, graph, machine, opt.budget_ms);
             return !probe_cell.timed_out;
           });
 
@@ -86,10 +82,10 @@ int main(int argc, char** argv) {
       }
       const auto graph =
           bench::paper_workload(ccr, v, static_cast<std::uint32_t>(attempt));
-      const core::SearchProblem problem(graph, machine);
-      const Cell chen = run_chen(problem, 4 * opt.budget_ms);
-      const Cell full =
-          run_astar(problem, /*pruned=*/false, 4 * opt.budget_ms);
+      const Cell chen =
+          run("chenyu", {}, graph, machine, 4 * opt.budget_ms);
+      const Cell full = run("astar", {{"prune", "none"}}, graph, machine,
+                            4 * opt.budget_ms);
 
       row.cell(bench::cell_time(chen.seconds, chen.timed_out))
           .cell(bench::cell_time(full.seconds, full.timed_out))

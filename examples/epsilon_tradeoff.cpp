@@ -1,16 +1,17 @@
 // The Aε* quality/time trade-off (paper §3.4 and Figure 7).
 //
-// Sweeps the approximation factor ε over a random workload and reports,
-// for each ε, the schedule length (and % deviation from optimal) and the
-// search effort relative to exact A* — the paper's headline observation is
-// that actual deviations stay well below the (1+ε) guarantee while the
-// time saved is substantial.
+// Sweeps the approximation factor ε over a random workload via the
+// unified API (`aeps` engine with an epsilon=... option string) and
+// reports, for each ε, the schedule length (and % deviation from optimal)
+// and the search effort relative to exact A* — the paper's headline
+// observation is that actual deviations stay well below the (1+ε)
+// guarantee while the time saved is substantial.
 //
 //   $ ./epsilon_tradeoff [--nodes N] [--ccr C] [--seed S]
 #include <cstdio>
 #include <iostream>
 
-#include "core/astar.hpp"
+#include "api/registry.hpp"
 #include "dag/generators.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -34,10 +35,10 @@ int main(int argc, char** argv) {
   const dag::TaskGraph graph = dag::random_dag(params);
   const machine::Machine machine = machine::Machine::fully_connected(
       static_cast<std::uint32_t>(cli.get_int("procs", 3)));
-  const core::SearchProblem problem(graph, machine);
+  const api::SolveRequest request(graph, machine);
 
   util::Timer exact_timer;
-  const auto exact = core::astar_schedule(problem);
+  const auto exact = api::solve("astar", request);
   const double exact_time = exact_timer.seconds();
   std::printf("workload: v=%u ccr=%.1f seed=%llu | optimal = %.0f "
               "(%s, %.1fms, %llu expansions)\n\n",
@@ -45,22 +46,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(params.seed), exact.makespan,
               exact.proved_optimal ? "proved" : "budget-limited",
               exact_time * 1e3,
-              static_cast<unsigned long long>(exact.stats.expanded));
+              static_cast<unsigned long long>(exact.stats.search.expanded));
 
   util::Table table({"epsilon", "makespan", "deviation%", "guarantee%",
                      "expansions", "time ratio"});
   for (const double eps : {0.0, 0.05, 0.1, 0.2, 0.5, 1.0}) {
-    core::SearchConfig cfg;
-    cfg.epsilon = eps;
+    api::SolveRequest sweep = request;
+    sweep.options["epsilon"] = std::to_string(eps);
     util::Timer t;
-    const auto r = core::astar_schedule(problem, cfg);
+    const auto r = api::solve("aeps", sweep);
     const double elapsed = t.seconds();
     table.row()
         .cell(eps, 2)
         .cell(r.makespan, 0)
         .cell(100.0 * (r.makespan - exact.makespan) / exact.makespan, 2)
         .cell(100.0 * eps, 0)
-        .cell(static_cast<std::uint64_t>(r.stats.expanded))
+        .cell(static_cast<std::uint64_t>(r.stats.search.expanded))
         .cell(exact_time > 0 ? elapsed / exact_time : 1.0, 3);
   }
   table.print(std::cout, "Aepsilon* sweep (deviation is actual, guarantee is the bound)");

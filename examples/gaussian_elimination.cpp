@@ -3,17 +3,16 @@
 // The paper's introduction motivates optimal scheduling for "critical
 // applications in which performance is the primary objective". This
 // example schedules the classic Gaussian-elimination task DAG onto a
-// 4-processor clique and compares the optimal schedule against classic
-// list heuristics (HLFET, MCP, ETF) — exactly the "optimal solutions as a
+// 4-processor clique and compares the optimal schedule against every list
+// heuristic in the solver registry — exactly the "optimal solutions as a
 // reference to assess the performance of scheduling heuristics" use case.
 //
 //   $ ./gaussian_elimination [--dim N] [--comm C] [--budget-ms MS]
 #include <cstdio>
 #include <iostream>
 
-#include "core/astar.hpp"
+#include "api/registry.hpp"
 #include "dag/generators.hpp"
-#include "sched/list_scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -40,21 +39,22 @@ int main(int argc, char** argv) {
               dim, dim, graph.num_nodes(), graph.num_edges(), graph.ccr(),
               procs);
 
-  core::SearchConfig cfg;
-  cfg.time_budget_ms = cli.get_double("budget-ms", 10000.0);
-  const auto optimal = core::astar_schedule(graph, machine, cfg);
+  api::SolveRequest request(graph, machine);
+  request.limits.time_budget_ms = cli.get_double("budget-ms", 10000.0);
+  const auto optimal = api::solve("astar", request);
 
   util::Table table({"scheduler", "makespan", "vs optimal"});
-  auto add = [&](const char* name, double makespan) {
+  auto add = [&](const std::string& name, double makespan) {
     table.row().cell(name).cell(makespan, 0).cell(
         makespan / optimal.makespan, 3);
   };
-  add(optimal.proved_optimal ? "A* (optimal)" : "A* (anytime best)",
+  add(optimal.proved_optimal ? "astar (optimal)" : "astar (anytime best)",
       optimal.makespan);
-  add("HLFET", sched::hlfet(graph, machine).makespan());
-  add("MCP", sched::mcp(graph, machine).makespan());
-  add("ETF", sched::etf(graph, machine).makespan());
-  add("b-level list", sched::upper_bound_schedule(graph, machine).makespan());
+  const auto& registry = api::SolverRegistry::instance();
+  for (const auto& name : registry.names()) {
+    if (registry.info(name).caps.is_heuristic())
+      add(name, api::solve(name, api::SolveRequest(graph, machine)).makespan);
+  }
   table.print(std::cout, "schedule lengths");
 
   std::printf("\n%s\n", sched::render_gantt(optimal.schedule).c_str());

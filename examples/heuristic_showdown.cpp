@@ -5,15 +5,17 @@
 //
 // Generates a batch of random workloads small enough to solve exactly,
 // then reports each list heuristic's average and worst-case deviation
-// from the true optimum.
+// from the true optimum. The heuristics under test are discovered from
+// the solver registry (every engine with no capability flags is a
+// polynomial heuristic), so a newly registered heuristic shows up here
+// automatically.
 //
 //   $ ./heuristic_showdown [--count N] [--nodes V] [--ccr C]
 #include <cstdio>
 #include <iostream>
 
-#include "core/astar.hpp"
+#include "api/registry.hpp"
 #include "dag/generators.hpp"
-#include "sched/list_scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -39,37 +41,35 @@ int main(int argc, char** argv) {
   const machine::Machine machine = machine::Machine::fully_connected(
       static_cast<std::uint32_t>(cli.get_int("procs", 3)));
 
+  // Registry-driven contestant list: every polynomial list heuristic.
+  const auto& registry = api::SolverRegistry::instance();
   struct Entry {
-    const char* name;
+    std::string name;
     util::Accumulator deviation;
     int optimal_hits = 0;
   };
-  Entry entries[] = {{"b-level list", {}, 0},
-                     {"HLFET", {}, 0},
-                     {"MCP", {}, 0},
-                     {"ETF", {}, 0}};
+  std::vector<Entry> entries;
+  for (const auto& name : registry.names())
+    if (registry.info(name).caps.is_heuristic()) entries.push_back({name, {}, 0});
 
   int solved = 0;
   for (int i = 0; i < count; ++i) {
     params.seed = 1000 + static_cast<std::uint64_t>(i);
     const dag::TaskGraph graph = dag::random_dag(params);
 
-    core::SearchConfig cfg;
-    cfg.time_budget_ms = cli.get_double("budget-ms", 3000.0);
-    const auto exact = core::astar_schedule(graph, machine, cfg);
+    api::SolveRequest request(graph, machine);
+    request.limits.time_budget_ms = cli.get_double("budget-ms", 3000.0);
+    const auto exact = api::solve("astar", request);
     if (!exact.proved_optimal) continue;  // skip unsolved instances
     ++solved;
 
-    const double heuristics[] = {
-        sched::upper_bound_schedule(graph, machine).makespan(),
-        sched::hlfet(graph, machine).makespan(),
-        sched::mcp(graph, machine).makespan(),
-        sched::etf(graph, machine).makespan()};
-    for (int h = 0; h < 4; ++h) {
+    for (auto& entry : entries) {
+      const double makespan =
+          api::solve(entry.name, api::SolveRequest(graph, machine)).makespan;
       const double dev =
-          100.0 * (heuristics[h] - exact.makespan) / exact.makespan;
-      entries[h].deviation.add(dev);
-      if (dev < 1e-9) ++entries[h].optimal_hits;
+          100.0 * (makespan - exact.makespan) / exact.makespan;
+      entry.deviation.add(dev);
+      if (dev < 1e-9) ++entry.optimal_hits;
     }
   }
 

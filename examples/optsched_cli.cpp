@@ -1,47 +1,87 @@
 // optsched_cli — schedule a task-graph file from the command line.
 //
 // The downstream-user entry point: read a graph in the text format
-// (dag/io.hpp), pick a machine and an engine, print the schedule.
+// (dag/io.hpp), pick a machine and an engine from the solver registry,
+// print the schedule. Engines are dispatched through the unified API
+// (api/registry.hpp), so anything `--list-engines` shows — including the
+// portfolio meta-solver and any externally registered engine — works here
+// without CLI changes.
 //
 //   $ ./optsched_cli graph.tg --machine clique:4 --engine astar
 //   $ ./optsched_cli graph.tg --machine ring:8 --engine aeps --epsilon 0.2
 //   $ ./optsched_cli graph.tg --machine mesh:2x3 --engine parallel --ppes 8
-//   $ ./optsched_cli --demo            # uses the paper's Figure 1 example
+//   $ ./optsched_cli graph.tg --engine ida --opts h=composite,prune=all
+//   $ ./optsched_cli --demo --engine portfolio   # race all optimal engines
+//   $ ./optsched_cli --list-engines
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "bnb/chen_yu.hpp"
-#include "core/astar.hpp"
-#include "core/ida_star.hpp"
+#include "api/registry.hpp"
 #include "dag/graph.hpp"
 #include "dag/io.hpp"
 #include "dag/stg.hpp"
 #include "machine/spec.hpp"
-#include "parallel/parallel_astar.hpp"
-#include "sched/list_scheduler.hpp"
 #include "sched/metrics.hpp"
 #include "util/cli.hpp"
 
 using namespace optsched;
 
+namespace {
+
+std::string engine_help() {
+  std::string names;
+  for (const auto& name : api::SolverRegistry::instance().names()) {
+    if (!names.empty()) names += " | ";
+    names += name;
+  }
+  return names + " (default astar; see --list-engines)";
+}
+
+std::string verdict_for(const api::SolveResult& r) {
+  if (r.proved_optimal)
+    return r.bound_factor == 1.0
+               ? "optimal (" + r.engine + ")"
+               : "within bound factor " + std::to_string(r.bound_factor) +
+                     " (" + r.engine + ")";
+  if (r.reason == core::Termination::kHeuristic)
+    return "heuristic (no optimality guarantee)";
+  return std::string("incumbent only: ") + core::to_string(r.reason);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) try {
   util::Cli cli(argc, argv);
   cli.describe("machine", "target machine, kind:size (default clique:4)")
-      .describe("engine",
-                "astar | aeps | ida | parallel | chenyu | blevel | mcp | etf "
-                "(default astar)")
-      .describe("epsilon", "Aeps* approximation factor (default 0.2)")
-      .describe("ppes", "parallel engine PPE count (default 4)")
+      .describe("engine", engine_help())
+      .describe("opts", "engine options, key=value[,key=value...] "
+                        "(see --list-engines)")
+      .describe("epsilon", "shorthand for --opts epsilon=...")
+      .describe("ppes", "shorthand for --opts ppes=...")
       .describe("budget-ms", "search budget (default unlimited)")
+      .describe("max-expansions", "state-expansion budget (default unlimited)")
+      .describe("progress", "print progress lines during the search")
       .describe("hop-scaled", "scale comm costs by topology hop distance")
       .describe("gantt", "print the ASCII Gantt chart (default true)")
       .describe("stg", "input is in STG format (Kasahara suite)")
       .describe("stg-ccr", "synthesize STG comm costs at this CCR (default 0)")
       .describe("metrics", "print schedule quality metrics (default true)")
-      .describe("demo", "schedule the paper's Figure 1 example");
+      .describe("demo", "schedule the paper's Figure 1 example")
+      .describe("list-engines", "list registered engines and exit")
+      .describe("markdown", "with --list-engines: emit a markdown table");
   if (cli.maybe_print_help("Schedule a task-graph file")) return 0;
   cli.validate();
+
+  if (cli.get_bool("list-engines")) {
+    if (cli.get_bool("markdown")) {
+      std::printf("%s", api::format_engine_table(true).c_str());
+    } else {
+      std::printf("registered engines:\n%s",
+                  api::format_engine_table(false).c_str());
+    }
+    return 0;
+  }
 
   dag::TaskGraph graph = [&] {
     if (cli.get_bool("demo")) return dag::paper_figure1();
@@ -61,7 +101,24 @@ int main(int argc, char** argv) try {
                         ? machine::CommMode::kHopScaled
                         : machine::CommMode::kUnitDistance;
   const std::string engine = cli.get("engine", "astar");
-  const double budget = cli.get_double("budget-ms", 0.0);
+
+  api::SolveRequest request(graph, machine, comm);
+  request.limits.time_budget_ms = cli.get_double("budget-ms", 0.0);
+  const std::int64_t max_expansions = cli.get_int("max-expansions", 0);
+  OPTSCHED_REQUIRE(max_expansions >= 0, "--max-expansions must be >= 0");
+  request.limits.max_expansions =
+      static_cast<std::uint64_t>(max_expansions);
+  request.options = api::parse_options(cli.get("opts", ""));
+  if (cli.has("epsilon")) request.options["epsilon"] = cli.get("epsilon", "");
+  if (cli.has("ppes")) request.options["ppes"] = cli.get("ppes", "");
+  if (cli.get_bool("progress"))
+    request.progress = [](const core::ProgressEvent& e) {
+      std::fprintf(stderr,
+                   "  ... %llu expanded, bound >= %.1f, incumbent %.1f "
+                   "(%.1fs)\n",
+                   static_cast<unsigned long long>(e.expanded),
+                   e.lower_bound, e.incumbent, e.elapsed_seconds);
+    };
 
   std::printf("graph: %zu tasks, %zu edges, CCR %.2f | machine: %s (%u "
               "procs) | engine: %s\n\n",
@@ -69,64 +126,27 @@ int main(int argc, char** argv) try {
               machine.topology_name().c_str(), machine.num_procs(),
               engine.c_str());
 
-  sched::Schedule schedule(graph, machine, comm);
-  std::string verdict;
-  if (engine == "blevel" || engine == "mcp" || engine == "etf") {
-    schedule = engine == "blevel" ? sched::upper_bound_schedule(graph, machine, comm)
-               : engine == "mcp" ? sched::mcp(graph, machine, comm)
-                                 : sched::etf(graph, machine, comm);
-    verdict = "heuristic (no optimality guarantee)";
-  } else if (engine == "chenyu") {
-    const core::SearchProblem problem(graph, machine, comm);
-    bnb::ChenYuConfig cfg;
-    cfg.time_budget_ms = budget;
-    const auto r = bnb::chen_yu_schedule(problem, cfg);
-    schedule = r.schedule;
-    verdict = r.proved_optimal ? "optimal (Chen&Yu B&B)" : "budget-limited";
-  } else if (engine == "parallel") {
-    const core::SearchProblem problem(graph, machine, comm);
-    par::ParallelConfig cfg;
-    cfg.num_ppes = static_cast<std::uint32_t>(cli.get_int("ppes", 4));
-    cfg.search.time_budget_ms = budget;
-    cfg.search.epsilon = cli.get_double("epsilon", 0.0);
-    const auto r = par::parallel_astar_schedule(problem, cfg);
-    schedule = r.result.schedule;
-    verdict = r.result.proved_optimal
-                  ? (cfg.search.epsilon > 0 ? "within (1+eps) of optimal"
-                                            : "optimal (parallel A*)")
-                  : "budget-limited";
-  } else if (engine == "ida") {
-    core::SearchConfig cfg;
-    cfg.time_budget_ms = budget;
-    const auto r = core::ida_star_schedule(graph, machine, cfg, comm);
-    schedule = r.schedule;
-    verdict = r.proved_optimal ? "optimal (IDA*)" : "budget-limited";
-  } else if (engine == "astar" || engine == "aeps") {
-    core::SearchConfig cfg;
-    cfg.time_budget_ms = budget;
-    if (engine == "aeps") cfg.epsilon = cli.get_double("epsilon", 0.2);
-    const auto r = core::astar_schedule(graph, machine, cfg, comm);
-    schedule = r.schedule;
-    verdict = !r.proved_optimal  ? "budget-limited"
-              : cfg.epsilon > 0 ? "within (1+eps) of optimal"
-                                : "optimal (A*)";
+  const api::SolveResult result = api::solve(engine, request);
+
+  sched::validate(result.schedule);
+  std::printf("schedule length: %.2f  [%s]\n", result.makespan,
+              verdict_for(result).c_str());
+  if (result.stats.search.expanded > 0)
     std::printf("states expanded: %llu, generated: %llu, peak memory ~%zu "
                 "KiB\n",
-                static_cast<unsigned long long>(r.stats.expanded),
-                static_cast<unsigned long long>(r.stats.generated),
-                r.stats.peak_memory_bytes / 1024);
-  } else {
-    throw util::Error("unknown engine '" + engine + "'");
-  }
-
-  sched::validate(schedule);
-  std::printf("schedule length: %.2f  [%s]\n\n", schedule.makespan(),
-              verdict.c_str());
+                static_cast<unsigned long long>(result.stats.search.expanded),
+                static_cast<unsigned long long>(
+                    result.stats.search.generated),
+                result.stats.search.peak_memory_bytes / 1024);
+  if (result.stats.engines_raced > 0)
+    std::printf("portfolio: %u engines raced, '%s' won\n",
+                result.stats.engines_raced, result.engine.c_str());
+  std::printf("\n");
   if (cli.get_bool("gantt", true))
-    std::printf("%s", sched::render_gantt(schedule).c_str());
+    std::printf("%s", sched::render_gantt(result.schedule).c_str());
   if (cli.get_bool("metrics", true))
     std::printf("\n%s",
-                sched::format_metrics(sched::compute_metrics(schedule))
+                sched::format_metrics(sched::compute_metrics(result.schedule))
                     .c_str());
   return 0;
 } catch (const optsched::util::Error& e) {

@@ -1,7 +1,8 @@
 // Parallel A* demonstration (paper §3.3 / Figure 6).
 //
-// Runs the thread-parallel A* with increasing PPE counts on one workload
-// and reports wall-clock time, total expansions (the parallel search does
+// Runs the thread-parallel A* with increasing PPE counts (via the unified
+// API's `parallel` engine with a ppes=... option) on one workload and
+// reports wall-clock time, total expansions (the parallel search does
 // extra work — the paper's "extra states" observation), and the balance of
 // work across PPEs.
 //
@@ -10,9 +11,8 @@
 #include <iostream>
 #include <thread>
 
-#include "core/astar.hpp"
+#include "api/registry.hpp"
 #include "dag/generators.hpp"
-#include "parallel/parallel_astar.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -36,31 +36,31 @@ int main(int argc, char** argv) {
   const dag::TaskGraph graph = dag::random_dag(params);
   const machine::Machine machine = machine::Machine::fully_connected(
       static_cast<std::uint32_t>(cli.get_int("procs", 3)));
-  const core::SearchProblem problem(graph, machine);
+  const api::SolveRequest request(graph, machine);
 
   std::printf("hardware threads available: %u\n",
               std::thread::hardware_concurrency());
 
   util::Timer serial_timer;
-  const auto serial = core::astar_schedule(problem);
+  const auto serial = api::solve("astar", request);
   const double serial_time = serial_timer.seconds();
   std::printf("serial A*: SL=%.0f (%s) in %s, %llu expansions\n\n",
               serial.makespan, serial.proved_optimal ? "optimal" : "budget",
               util::format_seconds(serial_time).c_str(),
-              static_cast<unsigned long long>(serial.stats.expanded));
+              static_cast<unsigned long long>(serial.stats.search.expanded));
 
   util::Table table({"PPEs", "SL", "time", "speedup", "expansions",
                      "work ratio", "balance", "msgs"});
   const auto max_ppes =
       static_cast<std::uint32_t>(cli.get_int("max-ppes", 8));
   for (std::uint32_t q = 2; q <= max_ppes; q *= 2) {
-    par::ParallelConfig cfg;
-    cfg.num_ppes = q;
+    api::SolveRequest sweep = request;
+    sweep.options["ppes"] = std::to_string(q);
     util::Timer t;
-    const auto r = par::parallel_astar_schedule(problem, cfg);
+    const auto r = api::solve("parallel", sweep);
     const double elapsed = t.seconds();
     std::uint64_t max_per_ppe = 0, total = 0;
-    for (const auto e : r.par_stats.expanded_per_ppe) {
+    for (const auto e : r.stats.expanded_per_ppe) {
       max_per_ppe = std::max(max_per_ppe, e);
       total += e;
     }
@@ -71,17 +71,17 @@ int main(int argc, char** argv) {
                     : 1.0;
     table.row()
         .cell(static_cast<int>(q))
-        .cell(r.result.makespan, 0)
+        .cell(r.makespan, 0)
         .cell(util::format_seconds(elapsed))
         .cell(serial_time / elapsed, 2)
         .cell(static_cast<std::uint64_t>(total))
-        .cell(serial.stats.expanded
+        .cell(serial.stats.search.expanded
                   ? static_cast<double>(total) /
-                        static_cast<double>(serial.stats.expanded)
+                        static_cast<double>(serial.stats.search.expanded)
                   : 0.0,
               2)
         .cell(balance, 2)
-        .cell(static_cast<std::uint64_t>(r.par_stats.messages_sent));
+        .cell(static_cast<std::uint64_t>(r.stats.messages_sent));
   }
   table.print(std::cout,
               "parallel A* (work ratio = parallel/serial expansions; "

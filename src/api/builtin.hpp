@@ -1,0 +1,16 @@
+// Internal: registration hooks the registry constructor calls. Explicit
+// function calls (not static initializers) so nothing depends on the
+// linker keeping registration objects alive in a static library.
+#pragma once
+
+namespace optsched::api {
+
+class SolverRegistry;
+
+namespace detail {
+
+void register_builtin_engines(SolverRegistry& registry);  // engines.cpp
+void register_portfolio(SolverRegistry& registry);        // portfolio.cpp
+
+}  // namespace detail
+}  // namespace optsched::api

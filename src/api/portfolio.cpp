@@ -1,0 +1,181 @@
+// Portfolio meta-solver: race N registered engines on threads.
+//
+// Algorithm portfolios exploit the huge per-instance variance of exact
+// search: on one instance IDA* flies and A* drowns in duplicates, on the
+// next it is the other way round. The portfolio launches every member on
+// its own thread with a private cancellation token chained to the parent
+// request's token, and:
+//
+//   * the first member to finish with a *proved optimal* (bound factor 1)
+//     result wins — all other members are cancelled immediately;
+//   * if no member proves optimality (deadline, cancellation, limits),
+//     the best incumbent across members is returned with
+//     proved_optimal = false and that member's termination reason.
+//
+// Members run with their default options; the portfolio's own option is
+// `engines`, a '+'-separated member list (default: every registered
+// optimal anytime engine).
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "api/builtin.hpp"
+#include "api/registry.hpp"
+
+namespace optsched::api {
+
+namespace {
+
+std::vector<std::string> split_plus(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t next = spec.find('+', pos);
+    if (next == std::string::npos) next = spec.size();
+    if (next > pos) out.push_back(spec.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+class PortfolioSolver : public Solver {
+ public:
+  SolveResult solve(const SolveRequest& request) const override {
+    const auto& registry = SolverRegistry::instance();
+    const std::vector<std::string> members = resolve_members(request);
+
+    // One private token per member so the race can be stopped without
+    // cancelling the caller's token.
+    std::vector<core::CancellationToken> tokens(members.size());
+    auto cancel_all = [&] {
+      for (const auto& t : tokens) t.cancel();
+    };
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t finished = 0;
+    bool have_winner = false;
+    std::optional<SolveResult> best;  // guarded by mu
+    std::exception_ptr failure;       // first member exception
+
+    // Progress events from all members are forwarded serialized; the
+    // race makes interleaving inherent, so events carry whatever member
+    // reported last.
+    core::ProgressFn forward;
+    if (request.progress) {
+      auto progress_mu = std::make_shared<std::mutex>();
+      forward = [progress_mu, fn = request.progress](
+                    const core::ProgressEvent& event) {
+        const std::lock_guard<std::mutex> lock(*progress_mu);
+        fn(event);
+      };
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      threads.emplace_back([&, i] {
+        SolveRequest member_request = request;
+        member_request.cancel = tokens[i];
+        member_request.progress = forward;
+        member_request.options.clear();  // members run with their defaults
+        try {
+          SolveResult r = registry.solve(members[i], member_request);
+          const auto proved = [](const SolveResult& x) {
+            return x.proved_optimal && x.bound_factor == 1.0;
+          };
+          const std::lock_guard<std::mutex> lock(mu);
+          const bool winner = proved(r);
+          const bool better =
+              !best || (winner && !proved(*best)) ||
+              (winner == proved(*best) &&
+               r.makespan < best->makespan - 1e-12);
+          if (better) best = std::move(r);
+          if (winner && !have_winner) {
+            have_winner = true;
+            cancel_all();
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(mu);
+          if (!failure) failure = std::current_exception();
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          ++finished;
+        }
+        cv.notify_all();
+      });
+    }
+
+    // Wait for the race, propagating the caller's cancellation into the
+    // members (polled — the caller's token has no wait primitive).
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      while (finished < members.size()) {
+        cv.wait_for(lock, std::chrono::milliseconds(5));
+        if (request.cancel.cancelled()) cancel_all();
+      }
+    }
+    for (auto& t : threads) t.join();
+
+    if (!best) {
+      if (failure) std::rethrow_exception(failure);
+      throw util::Error("portfolio: no member produced a result");
+    }
+    best->stats.engines_raced = static_cast<std::uint32_t>(members.size());
+    return std::move(*best);
+  }
+
+ private:
+  std::vector<std::string> resolve_members(
+      const SolveRequest& request) const {
+    const auto& registry = SolverRegistry::instance();
+    std::vector<std::string> members;
+    const auto it = request.options.find("engines");
+    if (it != request.options.end()) {
+      members = split_plus(it->second);
+      if (members.empty())
+        throw InvalidRequest("engine 'portfolio': engines= needs at least "
+                             "one member ('astar+ida+...')");
+      for (const auto& m : members) {
+        if (m == "portfolio")
+          throw InvalidRequest(
+              "engine 'portfolio': cannot race itself");
+        if (!registry.contains(m))
+          throw InvalidRequest("engine 'portfolio': unknown member '" + m +
+                               "'");
+      }
+    } else {
+      // Default: every optimal engine that honors budgets/cancellation —
+      // an uncancellable member (the exhaustive oracle) would hold the
+      // race hostage after another member already proved optimality.
+      for (const auto& name : registry.names()) {
+        if (name == "portfolio") continue;
+        const EngineCaps caps = registry.info(name).caps;
+        if (caps.optimal && caps.anytime) members.push_back(name);
+      }
+      OPTSCHED_ASSERT(!members.empty());
+    }
+    return members;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_portfolio(SolverRegistry& registry) {
+  registry.add(
+      {"portfolio",
+       "race registered engines on threads; first proved-optimal wins",
+       {.optimal = true, .anytime = true, .parallel = true, .bounded = false},
+       {{"engines",
+         "'+'-separated members (default: all optimal anytime engines)"}},
+       [] { return std::make_unique<PortfolioSolver>(); }});
+}
+
+}  // namespace detail
+
+}  // namespace optsched::api

@@ -1,0 +1,138 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "api/builtin.hpp"
+
+namespace optsched::api {
+
+namespace {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += sep;
+    out += p;
+  }
+  return out;
+}
+
+void check_options(const EngineInfo& engine, const SolveRequest& request) {
+  for (const auto& [key, value] : request.options) {
+    const bool declared =
+        std::any_of(engine.options.begin(), engine.options.end(),
+                    [&](const OptionSpec& o) { return o.key == key; });
+    if (!declared) {
+      std::vector<std::string> keys;
+      for (const auto& o : engine.options) keys.push_back(o.key);
+      throw InvalidRequest(
+          "engine '" + engine.name + "' does not accept option '" + key +
+          "'" +
+          (keys.empty() ? " (it takes no options)"
+                        : " (valid options: " + join(keys, ", ") + ")"));
+    }
+  }
+}
+
+}  // namespace
+
+SolverRegistry::SolverRegistry() {
+  detail::register_builtin_engines(*this);
+  detail::register_portfolio(*this);
+}
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry registry;
+  return registry;
+}
+
+void SolverRegistry::add(EngineInfo info) {
+  OPTSCHED_REQUIRE(!info.name.empty(), "engine name must be non-empty");
+  OPTSCHED_REQUIRE(info.factory != nullptr,
+                   "engine '" + info.name + "' needs a factory");
+  const std::lock_guard<std::mutex> lock(mu_);
+  OPTSCHED_REQUIRE(engines_.find(info.name) == engines_.end(),
+                   "engine '" + info.name + "' is already registered");
+  engines_.emplace(info.name, std::move(info));
+}
+
+bool SolverRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return engines_.find(name) != engines_.end();
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& [name, info] : engines_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+EngineInfo SolverRegistry::info(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = engines_.find(name);
+  if (it == engines_.end()) {
+    std::vector<std::string> known;
+    for (const auto& [n, i] : engines_) known.push_back(n);
+    throw InvalidRequest("unknown engine '" + name + "' (registered: " +
+                         join(known, ", ") + ")");
+  }
+  return it->second;
+}
+
+void SolverRegistry::validate(const std::string& name,
+                              const SolveRequest& request) const {
+  check_options(info(name), request);
+}
+
+SolveResult SolverRegistry::solve(const std::string& name,
+                                  const SolveRequest& request) const {
+  const EngineInfo engine = info(name);  // one locked lookup per solve
+  check_options(engine, request);
+  SolveResult result = engine.factory()->solve(request);
+  if (result.engine.empty()) result.engine = name;
+  return result;
+}
+
+SolveResult solve(const std::string& engine, const SolveRequest& request) {
+  return SolverRegistry::instance().solve(engine, request);
+}
+
+std::string format_engine_table(bool markdown) {
+  const auto& registry = SolverRegistry::instance();
+  std::ostringstream out;
+  if (markdown) out << "| engine | capabilities | options | description |\n"
+                    << "| --- | --- | --- | --- |\n";
+  for (const auto& name : registry.names()) {
+    const EngineInfo engine = registry.info(name);
+    std::vector<std::string> caps;
+    if (engine.caps.optimal) caps.push_back("optimal");
+    if (engine.caps.anytime) caps.push_back("anytime");
+    if (engine.caps.parallel) caps.push_back("parallel");
+    if (engine.caps.bounded) caps.push_back("bounded");
+    if (engine.caps.is_heuristic()) caps.push_back("heuristic");
+    std::vector<std::string> keys;
+    for (const auto& o : engine.options) keys.push_back(o.key);
+    const std::string cap_str = join(caps, markdown ? ", " : ",");
+    const std::string key_str = keys.empty() ? "-" : join(keys, ",");
+    if (markdown) {
+      out << "| `" << name << "` | " << cap_str << " | " << key_str << " | "
+          << engine.description << " |\n";
+    } else {
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %-11s %-32s %s\n", name.c_str(),
+                    ("[" + cap_str + "]").c_str(),
+                    engine.description.c_str());
+      out << line;
+      for (const auto& o : engine.options)
+        out << "                --opts " << o.key << "=...  " << o.help
+            << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace optsched::api

@@ -1,0 +1,23 @@
+#include "api/solver.hpp"
+
+namespace optsched::api {
+
+Options parse_options(const std::string& spec) {
+  Options out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+    const std::size_t eq = entry.find('=');
+    OPTSCHED_REQUIRE(eq != std::string::npos,
+                     "option '" + entry + "' is not of the form key=value");
+    OPTSCHED_REQUIRE(eq > 0, "option '" + entry + "' has an empty key");
+    out[entry.substr(0, eq)] = entry.substr(eq + 1);
+  }
+  return out;
+}
+
+}  // namespace optsched::api

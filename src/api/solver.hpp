@@ -1,0 +1,131 @@
+// Unified solver API: one request/result pair for every engine.
+//
+// Every scheduling engine in the library — the optimal searches (A*, Aε*,
+// IDA*, parallel A*, Chen & Yu B&B, the exhaustive oracle), the polynomial
+// list heuristics, and the portfolio meta-solver — is callable through the
+// same SolveRequest -> SolveResult boundary. Engine-specific knobs travel
+// as parsed key=value option strings validated against the engine's
+// declared option spec (see registry.hpp), so the CLI, benches, tests, and
+// external callers need no per-engine dispatch code.
+//
+// Cross-cutting controls (expansion/deadline/memory limits, cooperative
+// cancellation, progress callbacks) are part of the request and are
+// honored by every anytime engine: a cancelled or budget-limited solve
+// still returns a valid complete schedule with proved_optimal = false.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/astar.hpp"
+#include "core/controls.hpp"
+#include "sched/schedule.hpp"
+
+namespace optsched::api {
+
+/// Engine-specific options as parsed key=value pairs ("epsilon" -> "0.2").
+using Options = std::map<std::string, std::string>;
+
+/// Parse a comma-separated "k1=v1,k2=v2" spec (empty string -> empty map).
+/// Throws util::Error on entries without '=' or with an empty key.
+Options parse_options(const std::string& spec);
+
+/// Thrown for a malformed SolveRequest — unknown engine, option key the
+/// engine does not declare, unparsable option value, or an engine
+/// constraint violation (e.g. epsilon on the exact-only IDA*). Raised by
+/// the registry's validation path before any search work starts.
+class InvalidRequest : public util::Error {
+ public:
+  using util::Error::Error;
+};
+
+/// Unified resource limits; 0 = unlimited.
+struct SolveLimits {
+  std::uint64_t max_expansions = 0;
+  double time_budget_ms = 0.0;
+  /// Search-state memory cap. Exact for serial A*/Aε* and Chen & Yu,
+  /// a per-PPE share for the parallel engine, never binding for IDA*
+  /// (O(v) working set), ignored by the heuristics and the oracle.
+  std::size_t max_memory_bytes = 0;
+};
+
+/// Everything an engine needs to solve one instance. The graph and machine
+/// are borrowed, not copied — they must outlive the solve() call.
+struct SolveRequest {
+  SolveRequest(const dag::TaskGraph& g, const machine::Machine& m,
+               machine::CommMode c = machine::CommMode::kUnitDistance)
+      : graph(&g), machine(&m), comm(c) {}
+
+  const dag::TaskGraph* graph;
+  const machine::Machine* machine;
+  machine::CommMode comm;
+
+  SolveLimits limits{};
+  core::CancellationToken cancel{};   ///< cancel() from any thread
+  core::ProgressFn progress{};        ///< observed incumbent / lower bound
+  std::uint64_t progress_every = 1024;
+
+  Options options{};  ///< engine-specific, validated by the registry
+};
+
+/// Superset of every engine's counters; fields an engine does not track
+/// stay 0 (e.g. peak_memory_bytes for the heuristics, comm counters for
+/// the serial engines).
+struct SolveStats {
+  core::SearchStats search{};          ///< expansions, memory, time, ...
+  std::uint64_t paths_evaluated = 0;   ///< Chen & Yu underestimate work
+  std::uint64_t messages_sent = 0;     ///< parallel engine
+  std::uint64_t states_transferred = 0;
+  std::uint64_t comm_rounds = 0;
+  std::vector<std::uint64_t> expanded_per_ppe;  ///< parallel load balance
+  std::uint32_t engines_raced = 0;     ///< portfolio members launched
+};
+
+/// Unified result: always a valid complete schedule, plus the proof state.
+struct SolveResult {
+  explicit SolveResult(sched::Schedule s) : schedule(std::move(s)) {}
+
+  sched::Schedule schedule;
+  double makespan = 0.0;
+  bool proved_optimal = false;
+  /// Guaranteed makespan <= bound_factor * optimal; 1.0 when proved
+  /// optimal, (1+eps) for Aε*, infinity when no guarantee (heuristics,
+  /// budget-limited incumbents).
+  double bound_factor = 1.0;
+  core::Termination reason = core::Termination::kOptimal;
+  /// Engine that produced the schedule; for the portfolio this is the
+  /// member that won the race.
+  std::string engine;
+  SolveStats stats{};
+};
+
+/// Abstract engine interface. Implementations are stateless adapters: the
+/// registry constructs one per solve() call, and the request carries all
+/// per-call state, so a Solver itself is trivially thread-compatible.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Run on a registry-validated request (options are checked against the
+  /// engine's declared spec before this is called).
+  virtual SolveResult solve(const SolveRequest& request) const = 0;
+};
+
+/// Per-engine capability flags, surfaced by --list-engines and used by
+/// registry-driven test suites to pick applicable engines.
+struct EngineCaps {
+  bool optimal = false;   ///< proves optimality when run without limits
+  bool anytime = false;   ///< keeps an incumbent; honors limits/cancel
+  bool parallel = false;  ///< uses worker threads
+  bool bounded = false;   ///< supports a (1+eps)/weight suboptimality bound
+
+  /// No flags at all = a polynomial list heuristic (instant, no proof,
+  /// no budget handling). Keep in sync when adding flags.
+  bool is_heuristic() const {
+    return !optimal && !anytime && !parallel && !bounded;
+  }
+};
+
+}  // namespace optsched::api

@@ -128,10 +128,18 @@ ChenYuResult chen_yu_schedule(const SearchProblem& problem,
 
   core::ExpansionContext ctx(problem);
   ChenYuResult result{sched::Schedule(problem.upper_bound_schedule()), 0.0,
-                      false, core::Termination::kOptimal, 0, 0, 0, 0.0};
+                      false, core::Termination::kOptimal, 0, 0, 0, 0, 0.0};
 
   std::optional<StateIndex> goal;
+  core::ProgressGate progress_gate(config.controls);
+  auto memory_now = [&] {
+    return arena.memory_bytes() + seen.memory_bytes() + open.memory_bytes();
+  };
   while (!open.empty()) {
+    if (config.controls.cancel.cancelled()) {
+      result.reason = core::Termination::kCancelled;
+      break;
+    }
     if (config.max_expansions && result.expanded >= config.max_expansions) {
       result.reason = core::Termination::kExpansionLimit;
       break;
@@ -140,8 +148,15 @@ ChenYuResult chen_yu_schedule(const SearchProblem& problem,
       result.reason = core::Termination::kTimeLimit;
       break;
     }
+    if (config.max_memory_bytes && memory_now() >= config.max_memory_bytes) {
+      result.reason = core::Termination::kMemoryLimit;
+      break;
+    }
 
     const OpenEntry e = open.pop();
+    if (progress_gate.open(result.expanded))
+      config.controls.progress(
+          {result.expanded, e.f, problem.upper_bound(), timer.seconds()});
     if (arena[e.index].depth == problem.num_nodes()) {
       goal = e.index;
       result.proved_optimal = true;
@@ -189,6 +204,7 @@ ChenYuResult chen_yu_schedule(const SearchProblem& problem,
     result.schedule = core::reconstruct_schedule(problem, arena, *goal);
   }
   result.makespan = result.schedule.makespan();
+  result.peak_memory_bytes = memory_now();
   result.elapsed_seconds = timer.seconds();
   sched::validate(result.schedule);
   return result;

@@ -26,9 +26,11 @@
 namespace optsched::bnb {
 
 struct ChenYuConfig {
-  std::uint64_t max_expansions = 0;  ///< 0 = unlimited
-  double time_budget_ms = 0.0;       ///< 0 = unlimited
+  std::uint64_t max_expansions = 0;   ///< 0 = unlimited
+  double time_budget_ms = 0.0;        ///< 0 = unlimited
+  std::size_t max_memory_bytes = 0;   ///< 0 = unlimited
   std::size_t max_paths_per_eval = 4096;
+  core::SearchControls controls{};    ///< cancellation + progress
 };
 
 struct ChenYuResult {
@@ -39,6 +41,7 @@ struct ChenYuResult {
   std::uint64_t expanded = 0;
   std::uint64_t generated = 0;
   std::uint64_t paths_evaluated = 0;
+  std::size_t peak_memory_bytes = 0;  ///< arena + CLOSED + OPEN at the end
   double elapsed_seconds = 0.0;
 };
 

@@ -77,14 +77,29 @@ struct SearchDriver {
     return result;
   }
 
-  std::optional<Termination> hit_limit() const {
+  std::optional<Termination> hit_limit(std::size_t open_mem) const {
+    if (config.controls.cancel.cancelled()) return Termination::kCancelled;
     if (config.max_expansions &&
         expander.stats().expanded >= config.max_expansions)
       return Termination::kExpansionLimit;
     if (config.time_budget_ms > 0 && timer.millis() >= config.time_budget_ms)
       return Termination::kTimeLimit;
+    if (config.max_memory_bytes &&
+        arena.memory_bytes() + seen.memory_bytes() + open_mem >=
+            config.max_memory_bytes)
+      return Termination::kMemoryLimit;
     return std::nullopt;
   }
+
+  /// Fire the progress callback every `progress_every` expansions.
+  void maybe_progress(double frontier_min_f) {
+    const std::uint64_t expanded = expander.stats().expanded;
+    if (!progress_gate_.open(expanded)) return;
+    config.controls.progress(
+        {expanded, frontier_min_f, incumbent_len, timer.seconds()});
+  }
+
+  ProgressGate progress_gate_{config.controls};
 };
 
 SearchResult run_astar(SearchDriver& d) {
@@ -98,11 +113,12 @@ SearchResult run_astar(SearchDriver& d) {
   const bool exact = d.config.h_weight == 1.0;
 
   while (!open.empty()) {
-    if (const auto limit = d.hit_limit())
+    if (const auto limit = d.hit_limit(open.memory_bytes()))
       return d.finish(*limit, false, bound_factor, max_open,
                       open.memory_bytes());
 
     const OpenEntry e = open.pop();
+    d.maybe_progress(e.f);
 
     // Incumbent domination: e.f is the minimum over OPEN, so nothing left
     // can strictly beat the incumbent — it is optimal (for exact search).
@@ -171,10 +187,11 @@ SearchResult run_focal(SearchDriver& d) {
   auto open_mem = [&] { return open.size() * sizeof(FocalEntry) * 3; };
 
   while (!open.empty()) {
-    if (const auto limit = d.hit_limit())
+    if (const auto limit = d.hit_limit(open_mem()))
       return d.finish(*limit, false, bound_factor, max_open, open_mem());
 
     const double fmin = open.begin()->f;
+    d.maybe_progress(fmin);
 
     // (1+eps)-termination: the incumbent is already within the guarantee
     // of everything that remains (optimal >= fmin).

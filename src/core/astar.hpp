@@ -30,6 +30,9 @@ struct SearchStats {
   std::uint64_t skipped_equivalence = 0;
   std::uint64_t skipped_isomorphism = 0;
   std::size_t max_open_size = 0;
+  /// Search-state memory: arena + CLOSED + OPEN for best-first engines,
+  /// the O(v) working set for IDA*, summed across PPEs for the parallel
+  /// engine. 0 means the producing engine does not track memory.
   std::size_t peak_memory_bytes = 0;
   double elapsed_seconds = 0.0;
 

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "core/controls.hpp"
 #include "core/heuristics.hpp"
 
 namespace optsched::core {
@@ -72,6 +73,13 @@ struct SearchConfig {
   /// upper-bound heuristic's) with proved_optimal = false.
   std::uint64_t max_expansions = 0;
   double time_budget_ms = 0.0;
+  /// Cap on search-state memory (arena + CLOSED set + OPEN list). Honored
+  /// exactly by the serial A*/Aε*; the parallel engine enforces it as a
+  /// per-PPE share; IDA* runs in O(v) and never trips it.
+  std::size_t max_memory_bytes = 0;
+
+  /// Cooperative cancellation and progress observation (see controls.hpp).
+  SearchControls controls{};
 
   /// Exactly the paper's algorithm as described (for fidelity tests):
   /// strict f > U pruning, goal recognized at expansion only.
@@ -88,6 +96,9 @@ enum class Termination : std::uint8_t {
   kBoundedOptimal,   ///< Aε*/weighted A* goal within the configured factor
   kExpansionLimit,
   kTimeLimit,
+  kMemoryLimit,      ///< SearchConfig::max_memory_bytes reached
+  kCancelled,        ///< SearchControls::cancel was triggered
+  kHeuristic,        ///< polynomial list heuristic ran (no optimality proof)
 };
 
 const char* to_string(Termination t);

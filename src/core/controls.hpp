@@ -1,0 +1,78 @@
+// Cross-cutting search controls shared by every engine: cooperative
+// cancellation and mid-search progress observation.
+//
+// Engines poll the cancellation token at expansion boundaries (never
+// mid-expansion), so cancelling is cheap for the search loop — one relaxed
+// atomic load per state — and a cancelled anytime engine still returns its
+// best incumbent with Termination::kCancelled. Progress callbacks fire
+// every `progress_every` expansions with the current frontier lower bound
+// and incumbent, enabling live dashboards and anytime consumers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace optsched::core {
+
+/// Copyable handle to a shared cancellation flag. Every copy observes the
+/// same flag, so a token embedded in a config struct can be cancelled from
+/// another thread after the search has started. cancel() is sticky.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() const noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+  bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Snapshot passed to progress callbacks.
+struct ProgressEvent {
+  std::uint64_t expanded = 0;    ///< states expanded so far
+  double lower_bound = 0.0;      ///< current frontier min f / IDA* threshold
+  double incumbent = 0.0;        ///< best complete schedule length known
+  double elapsed_seconds = 0.0;
+};
+
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+/// Controls every engine honors (serial engines call `progress` from the
+/// calling thread; the parallel engine calls it from worker threads, one
+/// call at a time under an internal mutex).
+struct SearchControls {
+  CancellationToken cancel{};
+  ProgressFn progress{};
+  std::uint64_t progress_every = 1024;  ///< expansions between callbacks
+};
+
+/// Shared throttle for progress callbacks: open(n) returns true when the
+/// callback should fire at expansion count n, and advances the threshold
+/// by progress_every. Engines wrap it with their own event construction.
+/// The referenced controls must outlive the gate.
+class ProgressGate {
+ public:
+  explicit ProgressGate(const SearchControls& controls)
+      : controls_(&controls) {}
+
+  bool open(std::uint64_t expanded) {
+    if (!controls_->progress || expanded < next_) return false;
+    const std::uint64_t every =
+        controls_->progress_every ? controls_->progress_every : 1;
+    next_ = expanded + every;
+    return true;
+  }
+
+ private:
+  const SearchControls* controls_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace optsched::core

@@ -14,6 +14,12 @@ const char* to_string(Termination t) {
       return "expansion-limit";
     case Termination::kTimeLimit:
       return "time-limit";
+    case Termination::kMemoryLimit:
+      return "memory-limit";
+    case Termination::kCancelled:
+      return "cancelled";
+    case Termination::kHeuristic:
+      return "heuristic";
   }
   return "?";
 }

@@ -105,6 +105,18 @@ class DfsState {
 
   double g() const noexcept { return g_; }
   std::uint32_t depth() const noexcept { return depth_; }
+
+  /// Resident working set — the whole point of IDA* is that this stays
+  /// O(v + p) regardless of how many states the probes visit.
+  std::size_t memory_bytes() const noexcept {
+    return finish_.capacity() * sizeof(double) +
+           proc_of_.capacity() * sizeof(ProcId) +
+           proc_ready_.capacity() * sizeof(double) +
+           busy_count_.capacity() * sizeof(std::uint32_t) +
+           pending_.capacity() * sizeof(std::uint32_t) +
+           h_scratch_.capacity() * sizeof(double) +
+           assignments_.capacity() * sizeof(std::pair<NodeId, ProcId>);
+  }
   const std::vector<std::pair<NodeId, ProcId>>& assignments() const noexcept {
     return assignments_;
   }
@@ -140,6 +152,11 @@ struct IdaDriver {
       : problem(p), config(c), dfs(p) {}
 
   bool limits_hit() {
+    if (config.controls.cancel.cancelled()) {
+      aborted = true;
+      abort_reason = Termination::kCancelled;
+      return true;
+    }
     if (config.max_expansions && stats.expanded >= config.max_expansions) {
       aborted = true;
       abort_reason = Termination::kExpansionLimit;
@@ -153,6 +170,18 @@ struct IdaDriver {
     return false;
   }
 
+  /// Progress: the current threshold is the tightest known lower bound on
+  /// the optimum (every f below it was exhausted in earlier probes); the
+  /// incumbent is the heuristic upper bound until a goal ends the search.
+  void maybe_progress() {
+    if (!progress_gate.open(stats.expanded)) return;
+    config.controls.progress({stats.expanded, threshold,
+                              std::min(best_len, problem.upper_bound()),
+                              timer.seconds()});
+  }
+
+  ProgressGate progress_gate{config.controls};
+
   /// Depth-first probe; returns true when a goal within `threshold` was
   /// found (search can stop: the first goal found at the current threshold
   /// is optimal because thresholds grow by the minimal overshoot).
@@ -165,6 +194,7 @@ struct IdaDriver {
       return true;
     }
     ++stats.expanded;
+    maybe_progress();
 
     std::vector<NodeId> ready;
     dfs.ready_nodes(ready);
@@ -219,8 +249,12 @@ struct IdaDriver {
 
 SearchResult ida_star_schedule(const SearchProblem& problem,
                                const SearchConfig& config) {
-  OPTSCHED_REQUIRE(config.epsilon == 0.0 && config.h_weight == 1.0,
-                   "ida_star_schedule supports exact search only");
+  OPTSCHED_REQUIRE(config.epsilon == 0.0,
+                   "invalid argument: IDA* is exact-only and does not "
+                   "support epsilon > 0 (use A* with epsilon, engine 'aeps')");
+  OPTSCHED_REQUIRE(config.h_weight == 1.0,
+                   "invalid argument: IDA* is exact-only and does not "
+                   "support h_weight != 1 (use weighted A*)");
   IdaDriver driver(problem, config);
 
   // Initial threshold: f of the empty schedule.
@@ -249,6 +283,7 @@ SearchResult ida_star_schedule(const SearchProblem& problem,
                       driver.stats};
   result.makespan = result.schedule.makespan();
   result.stats.elapsed_seconds = driver.timer.seconds();
+  result.stats.peak_memory_bytes = driver.dfs.memory_bytes();
   return result;
 }
 

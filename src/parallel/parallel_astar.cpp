@@ -98,6 +98,12 @@ class PpeOpen {
     set_.clear();
   }
 
+  /// Entry storage (heap capacity, or node estimate for the FOCAL set —
+  /// same factor as the serial Aε*'s accounting in core/astar.cpp).
+  std::size_t memory_bytes() const {
+    return heap_.memory_bytes() + set_.size() * sizeof(Entry) * 3;
+  }
+
  private:
   struct Entry {
     double f, g, h;
@@ -141,7 +147,8 @@ struct Shared {
   std::vector<std::pair<NodeId, ProcId>> incumbent_seq;  ///< ditto
 
   std::atomic<bool> done{false};
-  std::atomic<int> abort_reason{0};  ///< 0 none, 1 expansions, 2 time
+  /// 0 none, 1 expansions, 2 time, 3 cancelled, 4 memory.
+  std::atomic<int> abort_reason{0};
   std::atomic<std::uint64_t> total_expanded{0};
   std::atomic<std::uint64_t> messages_sent{0};
   std::atomic<std::uint64_t> states_transferred{0};
@@ -163,6 +170,26 @@ struct Shared {
   double incumbent() const {
     return incumbent_len.load(std::memory_order_acquire);
   }
+
+  /// Progress callbacks are serialized here so PPEs can report from their
+  /// own threads without requiring a thread-safe user callback.
+  std::mutex progress_mu;
+  core::ProgressGate progress_gate{config.search.controls};  ///< ditto
+
+  void maybe_progress() {
+    const auto& controls = config.search.controls;
+    if (!controls.progress) return;  // cheap pre-check before locking
+    const std::uint64_t expanded =
+        total_expanded.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(progress_mu);
+    if (!progress_gate.open(expanded)) return;
+    double lower_bound = kInf;
+    for (std::uint32_t i = 0; i < config.num_ppes; ++i)
+      lower_bound = std::min(
+          lower_bound, status[i].min_f.load(std::memory_order_acquire));
+    controls.progress({expanded, lower_bound == kInf ? 0.0 : lower_bound,
+                       incumbent(), timer.seconds()});
+  }
 };
 
 class Ppe {
@@ -177,6 +204,14 @@ class Ppe {
   void run();
 
   const core::ExpandStats& stats() const { return expander_.stats(); }
+
+  /// This PPE's search-state memory (arena + CLOSED set + OPEN list).
+  /// Arena and CLOSED only grow, and OPEN is small next to them, so the
+  /// end-of-run value is within one OPEN list of the true peak.
+  std::size_t memory_bytes() const {
+    return arena_.memory_bytes() + seen_.memory_bytes() +
+           open_.memory_bytes();
+  }
 
  private:
   bool exact() const { return shared_.config.search.epsilon == 0.0; }
@@ -482,6 +517,11 @@ void Ppe::initial_distribution() {
 
 bool Ppe::check_limits() {
   const auto& cfg = shared_.config.search;
+  if (cfg.controls.cancel.cancelled()) {
+    shared_.abort_reason.store(3);
+    shared_.done.store(true);
+    return true;
+  }
   if (cfg.max_expansions &&
       shared_.total_expanded.load(std::memory_order_relaxed) >=
           cfg.max_expansions) {
@@ -495,6 +535,15 @@ bool Ppe::check_limits() {
     shared_.done.store(true);
     return true;
   }
+  // The memory cap is enforced as a per-PPE share: each PPE only sees its
+  // own arena, and arenas are append-only so the shares sum to the cap.
+  if (cfg.max_memory_bytes &&
+      memory_bytes() >= cfg.max_memory_bytes / shared_.config.num_ppes) {
+    shared_.abort_reason.store(4);
+    shared_.done.store(true);
+    return true;
+  }
+  shared_.maybe_progress();
   return false;
 }
 
@@ -510,7 +559,9 @@ void Ppe::run() {
   std::uint64_t limit_check = 0;
 
   while (!shared_.done.load(std::memory_order_acquire)) {
-    if ((++limit_check & 0x3f) == 0 && check_limits()) break;
+    // Post-increment so the very first iteration checks — a pre-cancelled
+    // token must stop the search before any expansion happens.
+    if ((limit_check++ & 0x3f) == 0 && check_limits()) break;
 
     // Fast-drop a fully dominated frontier (everything >= incumbent).
     if (!open_.empty() && dominated()) open_.clear();
@@ -607,6 +658,10 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
     out.result.reason = core::Termination::kExpansionLimit;
   } else if (abort_reason == 2) {
     out.result.reason = core::Termination::kTimeLimit;
+  } else if (abort_reason == 3) {
+    out.result.reason = core::Termination::kCancelled;
+  } else if (abort_reason == 4) {
+    out.result.reason = core::Termination::kMemoryLimit;
   } else if (config.naive_termination) {
     // First-goal termination has no quality guarantee (kept for fidelity).
     out.result.reason = core::Termination::kBoundedOptimal;
@@ -623,6 +678,7 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
 
   for (const auto& ppe : ppes) {
     out.result.stats.absorb(ppe->stats());
+    out.result.stats.peak_memory_bytes += ppe->memory_bytes();
     out.par_stats.expanded_per_ppe.push_back(ppe->stats().expanded);
   }
   out.result.stats.elapsed_seconds = shared.timer.seconds();

@@ -1,0 +1,115 @@
+// The portfolio meta-solver: races registered engines, returns the first
+// proved-optimal result (cancelling the losers), or the best incumbent
+// when nothing can be proved within the limits.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "api/registry.hpp"
+#include "dag/generators.hpp"
+#include "machine/machine.hpp"
+#include "sched/schedule.hpp"
+
+namespace optsched::api {
+namespace {
+
+using machine::Machine;
+
+TEST(Portfolio, SolvesTheFigure1DemoOptimally) {
+  const dag::TaskGraph graph = dag::paper_figure1();
+  const Machine machine = Machine::paper_ring3();
+
+  const SolveResult result = solve("portfolio", SolveRequest(graph, machine));
+  EXPECT_DOUBLE_EQ(result.makespan, 14.0);  // the paper's Figure 4 optimum
+  EXPECT_TRUE(result.proved_optimal);
+  EXPECT_DOUBLE_EQ(result.bound_factor, 1.0);
+  EXPECT_GE(result.stats.engines_raced, 2u);
+  EXPECT_TRUE(SolverRegistry::instance().contains(result.engine))
+      << "winner '" << result.engine << "' must be a registered engine";
+  sched::validate(result.schedule);
+}
+
+TEST(Portfolio, MatchesTheOracleOnRandomInstances) {
+  for (std::uint64_t seed : {3u, 8u}) {
+    dag::RandomDagParams p;
+    p.num_nodes = 7;
+    p.ccr = 1.0;
+    p.seed = seed;
+    const dag::TaskGraph graph = dag::random_dag(p);
+    const Machine machine = Machine::fully_connected(3);
+
+    const double oracle =
+        solve("exhaustive", SolveRequest(graph, machine)).makespan;
+    const SolveResult result =
+        solve("portfolio", SolveRequest(graph, machine));
+    EXPECT_NEAR(result.makespan, oracle, 1e-9) << "seed " << seed;
+    EXPECT_TRUE(result.proved_optimal);
+  }
+}
+
+TEST(Portfolio, ExplicitMemberList) {
+  const dag::TaskGraph graph = dag::paper_figure1();
+  const Machine machine = Machine::paper_ring3();
+
+  SolveRequest request(graph, machine);
+  request.options["engines"] = "astar+ida";
+  const SolveResult result = solve("portfolio", request);
+  EXPECT_DOUBLE_EQ(result.makespan, 14.0);
+  EXPECT_EQ(result.stats.engines_raced, 2u);
+  EXPECT_TRUE(result.engine == "astar" || result.engine == "ida")
+      << result.engine;
+}
+
+TEST(Portfolio, RejectsBadMemberLists) {
+  const dag::TaskGraph graph = dag::paper_figure1();
+  const Machine machine = Machine::paper_ring3();
+
+  SolveRequest request(graph, machine);
+  request.options["engines"] = "astar+no-such-engine";
+  EXPECT_THROW(solve("portfolio", request), InvalidRequest);
+  request.options["engines"] = "portfolio";
+  EXPECT_THROW(solve("portfolio", request), InvalidRequest);
+  request.options["engines"] = "++";
+  EXPECT_THROW(solve("portfolio", request), InvalidRequest);
+}
+
+TEST(Portfolio, DeadlineReturnsBestIncumbent) {
+  dag::RandomDagParams p;
+  p.num_nodes = 26;
+  p.ccr = 10.0;
+  p.seed = 99;
+  const dag::TaskGraph graph = dag::random_dag(p);
+  const Machine machine = Machine::fully_connected(4);
+
+  SolveRequest request(graph, machine);
+  request.limits.time_budget_ms = 40.0;
+  const SolveResult result = solve("portfolio", request);
+  EXPECT_FALSE(result.proved_optimal);
+  EXPECT_EQ(result.reason, core::Termination::kTimeLimit);
+  EXPECT_GT(result.makespan, 0.0);
+  sched::validate(result.schedule);  // a valid schedule even under deadline
+}
+
+TEST(Portfolio, ParentCancellationPropagatesToMembers) {
+  dag::RandomDagParams p;
+  p.num_nodes = 26;
+  p.ccr = 10.0;
+  p.seed = 99;
+  const dag::TaskGraph graph = dag::random_dag(p);
+  const Machine machine = Machine::fully_connected(4);
+
+  SolveRequest request(graph, machine);
+  std::thread canceller([token = request.cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    token.cancel();
+  });
+  const SolveResult result = solve("portfolio", request);
+  canceller.join();
+  EXPECT_FALSE(result.proved_optimal);
+  EXPECT_EQ(result.reason, core::Termination::kCancelled);
+  sched::validate(result.schedule);
+}
+
+}  // namespace
+}  // namespace optsched::api

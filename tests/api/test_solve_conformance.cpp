@@ -1,0 +1,127 @@
+// Registry-driven conformance suite: every registered engine is run over
+// the small oracle instances through the one SolveRequest/SolveResult
+// pair, with per-capability expectations:
+//
+//   * caps.optimal  — makespan equals the exhaustive oracle's, with
+//                     proved_optimal = true and bound_factor = 1;
+//   * caps.bounded  — makespan within the engine's reported bound_factor
+//                     of the oracle;
+//   * heuristics    — a valid schedule no better than the oracle.
+//
+// Because the suite iterates the registry rather than a hard-coded list,
+// any newly registered engine is conformance-checked automatically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/registry.hpp"
+#include "dag/generators.hpp"
+#include "machine/machine.hpp"
+#include "sched/schedule.hpp"
+
+namespace optsched::api {
+namespace {
+
+using machine::Machine;
+
+struct Instance {
+  dag::TaskGraph graph;
+  Machine machine;
+  std::string label;
+};
+
+std::vector<Instance> oracle_instances() {
+  std::vector<Instance> out;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    dag::RandomDagParams p;
+    p.num_nodes = 7;
+    p.ccr = seed % 2 ? 1.0 : 10.0;
+    p.seed = seed;
+    out.push_back({dag::random_dag(p), Machine::fully_connected(2),
+                   "rand7-p2-seed" + std::to_string(seed)});
+  }
+  out.push_back({dag::paper_figure1(), Machine::paper_ring3(), "paper-ring3"});
+  out.push_back({dag::fork_join(3, 10, 6), Machine::star(3), "fj-star3"});
+  out.push_back({dag::fork_join(3, 10, 6),
+                 Machine::fully_connected(2, {1.0, 2.0}), "fj-hetero"});
+  return out;
+}
+
+class EngineConformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineConformance, MatchesOracleOnSmallInstances) {
+  const std::string engine = GetParam();
+  const auto& registry = SolverRegistry::instance();
+  const EngineCaps caps = registry.info(engine).caps;
+
+  for (const auto& instance : oracle_instances()) {
+    const double oracle =
+        solve("exhaustive",
+              SolveRequest(instance.graph, instance.machine))
+            .makespan;
+
+    const SolveResult result =
+        solve(engine, SolveRequest(instance.graph, instance.machine));
+    sched::validate(result.schedule);
+    EXPECT_NEAR(result.makespan, result.schedule.makespan(), 1e-9);
+    if (engine == "portfolio") {
+      // The portfolio reports the member that won the race.
+      EXPECT_TRUE(registry.contains(result.engine)) << result.engine;
+    } else {
+      EXPECT_EQ(result.engine, engine);
+    }
+
+    if (caps.optimal) {
+      EXPECT_NEAR(result.makespan, oracle, 1e-9)
+          << engine << " on " << instance.label;
+      EXPECT_TRUE(result.proved_optimal)
+          << engine << " on " << instance.label;
+      EXPECT_DOUBLE_EQ(result.bound_factor, 1.0);
+    } else if (caps.bounded) {
+      EXPECT_TRUE(result.proved_optimal);
+      EXPECT_TRUE(std::isfinite(result.bound_factor));
+      EXPECT_LE(result.makespan, result.bound_factor * oracle + 1e-9)
+          << engine << " on " << instance.label;
+      EXPECT_GE(result.makespan, oracle - 1e-9);
+    } else {
+      // Polynomial heuristic: valid, never better than the optimum, and
+      // honest about having no guarantee.
+      EXPECT_GE(result.makespan, oracle - 1e-9)
+          << engine << " on " << instance.label;
+      EXPECT_FALSE(result.proved_optimal);
+      EXPECT_TRUE(std::isinf(result.bound_factor));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredEngines, EngineConformance,
+    ::testing::ValuesIn([] {
+      // Every built-in except the oracle itself (it is the reference) and
+      // the test doubles other suites may register.
+      std::vector<std::string> engines;
+      for (const auto& name : SolverRegistry::instance().names())
+        if (name != "exhaustive" && name.rfind("test-", 0) != 0)
+          engines.push_back(name);
+      return engines;
+    }()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// The unified stats must be populated by every search engine: satellite
+// fix for peak_memory_bytes being serial-A*-only (0 = "not tracked" is
+// reserved for the heuristics and the oracle).
+TEST(EngineConformance, SearchEnginesReportMemory) {
+  const Instance instance{dag::paper_figure1(), Machine::paper_ring3(),
+                          "fig1"};
+  for (const char* engine : {"astar", "aeps", "ida", "parallel", "chenyu"}) {
+    const SolveResult r =
+        solve(engine, SolveRequest(instance.graph, instance.machine));
+    EXPECT_GT(r.stats.search.peak_memory_bytes, 0u) << engine;
+    EXPECT_GT(r.stats.search.expanded, 0u) << engine;
+  }
+}
+
+}  // namespace
+}  // namespace optsched::api
