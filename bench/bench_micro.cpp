@@ -89,8 +89,10 @@ void BM_ComputeLevels(benchmark::State& state) {
 BENCHMARK(BM_ComputeLevels)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_ContextLoadAndExpand(benchmark::State& state) {
-  // Cost of one expansion (replay + children) at mid-depth — the paper's
-  // per-state cost that its cheap h keeps small.
+  // Cost of one expansion at mid-depth with a warm context (move_to is a
+  // no-op re-load here) — the paper's per-state cost that its cheap h
+  // keeps small. BM_ReplayFull/BM_ReplayDelta below isolate the replay
+  // component over a realistic pop sequence.
   const auto v = static_cast<std::uint32_t>(state.range(0));
   const auto g = bench_graph(v);
   const auto m = machine::Machine::fully_connected(4);
@@ -126,6 +128,152 @@ void BM_ContextLoadAndExpand(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContextLoadAndExpand)->Arg(16)->Arg(32)->Arg(64);
+
+// ---- delta replay vs full replay -----------------------------------------
+//
+// Replays a realistic best-first pop sequence (recorded from a capped A*
+// run on a fig6-scale instance) through the expansion context twice: once
+// rebuilding from the root per pop (the pre-delta behaviour), once via
+// move_to's LCA rewind. The ratio is the core argument for the delta path.
+
+struct ReplayFixture {
+  explicit ReplayFixture(std::uint32_t v)
+      : graph(bench_graph(v)),
+        machine(machine::Machine::fully_connected(4)),
+        problem(graph, machine),
+        expander(problem, core::SearchConfig{}),
+        seen(1 << 14) {
+    core::State root;
+    root.sig = core::root_signature();
+    root.parent = core::kNoParent;
+    const auto root_idx = arena.add(root);
+    seen.insert(root.sig);
+
+    // Record the pop order of a capped best-first search — the exact
+    // sequence of states a real A* run loads the context for.
+    core::OpenList open;
+    open.push({0.0, 0.0, root_idx});
+    while (!open.empty() && pops.size() < 512) {
+      const core::OpenEntry e = open.pop();
+      if (arena.hot(e.index).depth() == problem.num_nodes()) continue;
+      pops.push_back(e.index);
+      expander.expand(arena, seen, e.index, 1e300,
+                      [&](core::StateIndex k, const core::State& child) {
+                        open.push({child.f(), child.g, k});
+                      });
+    }
+  }
+
+  dag::TaskGraph graph;
+  machine::Machine machine;
+  core::SearchProblem problem;
+  core::Expander expander;
+  core::StateArena arena;
+  util::FlatSet128 seen;
+  std::vector<core::StateIndex> pops;
+};
+
+void BM_ReplayFull(benchmark::State& state) {
+  ReplayFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  core::ExpansionContext ctx(fx.problem);
+  for (auto _ : state) {
+    for (const auto idx : fx.pops) ctx.load(fx.arena, idx);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.pops.size()));
+}
+BENCHMARK(BM_ReplayFull)->Arg(12)->Arg(16)->Arg(32);
+
+void BM_ReplayDelta(benchmark::State& state) {
+  ReplayFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  core::ExpansionContext ctx(fx.problem);
+  for (auto _ : state) {
+    for (const auto idx : fx.pops) ctx.move_to(fx.arena, idx);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.pops.size()));
+}
+BENCHMARK(BM_ReplayDelta)->Arg(12)->Arg(16)->Arg(32);
+
+// ---- AoS vs SoA arena ----------------------------------------------------
+//
+// The pop/stale-filter pass touches f, g, parent, and depth of scattered
+// states. With the former 56-byte AoS record that drags the 128-bit
+// signature and finish time through the cache; the 24-byte hot record
+// leaves them in the cold array.
+
+/// The pre-split arena record, reconstructed for comparison.
+struct AosState {
+  util::Key128 sig;
+  double finish, g, h;
+  core::StateIndex parent;
+  std::uint32_t node, proc, depth;
+};
+
+constexpr std::size_t kScanStates = 1 << 16;
+
+std::vector<std::uint32_t> scan_order() {
+  // Pseudo-random visit order: frontier pops are scattered, not linear.
+  std::vector<std::uint32_t> order(kScanStates);
+  util::Rng rng(99);
+  for (auto& i : order)
+    i = static_cast<std::uint32_t>(rng.uniform_u64(0, kScanStates - 1));
+  return order;
+}
+
+void BM_ArenaScanAoS(benchmark::State& state) {
+  std::vector<AosState> arena(kScanStates);
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < kScanStates; ++i) {
+    arena[i].g = static_cast<double>(rng.uniform_u64(0, 1 << 20));
+    arena[i].h = static_cast<double>(rng.uniform_u64(0, 1 << 20));
+    arena[i].parent = static_cast<core::StateIndex>(i / 2);
+    arena[i].depth = static_cast<std::uint32_t>(i % 64);
+  }
+  const auto order = scan_order();
+  for (auto _ : state) {
+    double acc = 0.0;
+    std::uint64_t depths = 0;
+    for (const auto i : order) {
+      acc += arena[i].g + arena[i].h;
+      depths += arena[i].depth;
+    }
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(depths);
+  }
+  state.SetItemsProcessed(state.iterations() * kScanStates);
+}
+BENCHMARK(BM_ArenaScanAoS);
+
+void BM_ArenaScanSoAHot(benchmark::State& state) {
+  core::StateArena arena;
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < kScanStates; ++i) {
+    core::State s;
+    s.sig = {rng() | 1, rng()};
+    s.g = static_cast<double>(rng.uniform_u64(0, 1 << 20));
+    s.h = static_cast<double>(rng.uniform_u64(0, 1 << 20));
+    s.parent = static_cast<core::StateIndex>(i / 2);
+    s.node = static_cast<std::uint32_t>(i % 64);
+    s.proc = 0;
+    s.depth = static_cast<std::uint32_t>(i % 64);
+    arena.add(s);
+  }
+  const auto order = scan_order();
+  for (auto _ : state) {
+    double acc = 0.0;
+    std::uint64_t depths = 0;
+    for (const auto i : order) {
+      const core::HotState& s = arena.hot(i);
+      acc += s.f;
+      depths += s.depth();
+    }
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(depths);
+  }
+  state.SetItemsProcessed(state.iterations() * kScanStates);
+}
+BENCHMARK(BM_ArenaScanSoAHot);
 
 void BM_IsomorphismClasses(benchmark::State& state) {
   const auto m = machine::Machine::hypercube(4);  // |Aut| = 384

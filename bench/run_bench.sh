@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the bench_micro hot-path suite and emit a JSON snapshot for the perf
+# trajectory (committed as BENCH_pr<N>.json at each PR that moves a hot
+# path). Usage:
+#
+#   bench/run_bench.sh [build-dir] [out.json]
+#
+# The suite covers the per-expansion cost centers: signature extension, the
+# CLOSED flat set, the OPEN heap, full- vs delta-replay context loads
+# (BM_ReplayFull / BM_ReplayDelta, fig6-scale instances), the AoS-vs-SoA
+# arena scan, isomorphism classes, and the end-to-end small A*.
+set -euo pipefail
+
+# Default output is an uncommitted scratch name: pass BENCH_pr<N>.json
+# explicitly when recording a PR's committed snapshot, so an argument-less
+# run never clobbers earlier evidence.
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_local.json}
+
+BIN="$BUILD_DIR/bench/bench_micro"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (configure with google-benchmark installed:" \
+       "cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target bench_micro)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_(SignatureExtend|FlatSet|OpenList|Replay|ArenaScan|ContextLoadAndExpand|IsomorphismClasses|FullAStarSmall)' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT"
+
+echo "wrote $OUT"

@@ -138,6 +138,16 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(
                     result.stats.search.generated),
                 result.stats.search.peak_memory_bytes / 1024);
+  if (result.stats.search.loads_full + result.stats.search.loads_incremental >
+      0)
+    std::printf("context loads: %llu full, %llu delta; arena hot/cold ~%zu/"
+                "%zu KiB\n",
+                static_cast<unsigned long long>(
+                    result.stats.search.loads_full),
+                static_cast<unsigned long long>(
+                    result.stats.search.loads_incremental),
+                result.stats.search.arena_hot_bytes / 1024,
+                result.stats.search.arena_cold_bytes / 1024);
   if (result.stats.engines_raced > 0)
     std::printf("portfolio: %u engines raced, '%s' won\n",
                 result.stats.engines_raced, result.engine.c_str());

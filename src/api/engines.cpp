@@ -226,6 +226,9 @@ class ChenYuSolver : public Solver {
     out.reason = r.reason;
     out.stats.search.expanded = r.expanded;
     out.stats.search.generated = r.generated;
+    out.stats.search.loads_full = r.loads_full;
+    out.stats.search.loads_incremental = r.loads_incremental;
+    out.stats.search.assignments_replayed = r.assignments_replayed;
     out.stats.search.peak_memory_bytes = r.peak_memory_bytes;
     out.stats.search.elapsed_seconds = r.elapsed_seconds;
     out.stats.paths_evaluated = r.paths_evaluated;

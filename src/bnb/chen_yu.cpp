@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/open_list.hpp"
+#include "core/search_kernel.hpp"
 #include "core/signature.hpp"
 #include "util/timer.hpp"
 
@@ -16,6 +17,7 @@ using core::SearchProblem;
 using core::State;
 using core::StateArena;
 using core::StateIndex;
+using core::StepAction;
 using dag::NodeId;
 using machine::ProcId;
 
@@ -69,6 +71,108 @@ double match_path(const SearchProblem& problem,
   return *std::min_element(cur.begin(), cur.end());
 }
 
+/// Kernel policy for the Chen & Yu best-first branch-and-bound: the shared
+/// pop/goal/limit loop with the expensive path-matching underestimate as
+/// the expansion step. No stale filter and no incumbent pruning — the
+/// baseline expands every ready node on every processor (the §3.2
+/// isomorphism/equivalence reasoning is Kwok & Ahmad's addition).
+struct ChenYuPolicy {
+  ChenYuPolicy(const SearchProblem& p, const ChenYuConfig& c,
+               ChenYuResult& r)
+      : problem(p), config(c), result(r), ctx(p), seen(1 << 12) {
+    ctx.set_stats(&replay_stats);
+    State root;
+    root.sig = core::root_signature();
+    root.parent = kNoParent;
+    const StateIndex root_idx = arena.add(root);
+    seen.insert(core::root_signature());
+    open.push({0.0, 0.0, root_idx});
+  }
+
+  const SearchProblem& problem;
+  const ChenYuConfig& config;
+  ChenYuResult& result;
+  StateArena arena;
+  core::ExpansionContext ctx;
+  core::ExpandStats replay_stats;  ///< move_to full/incremental counters
+  util::FlatSet128 seen;
+  OpenList open;
+  OpenEntry current{};
+  std::optional<StateIndex> goal;
+
+  bool keep_searching() const { return !goal.has_value(); }
+
+  bool pop(StateIndex& out) {
+    if (open.empty()) return false;
+    current = open.pop();
+    out = current.index;
+    return true;
+  }
+
+  bool on_empty() { return false; }
+
+  StepAction classify(StateIndex idx) {
+    return arena.hot(idx).depth() == problem.num_nodes() ? StepAction::kGoal
+                                                         : StepAction::kExpand;
+  }
+
+  void on_goal(StateIndex idx) {
+    // Best-first on an admissible bound: the first complete schedule
+    // popped is optimal.
+    goal = idx;
+    result.proved_optimal = true;
+  }
+
+  void expand(StateIndex idx) {
+    ctx.move_to(arena, idx);
+    ++result.expanded;
+    const util::Key128 parent_sig = arena.sig(idx);
+    const std::uint32_t parent_depth = arena.hot(idx).depth();
+
+    for (const NodeId n : ctx.ready()) {
+      for (ProcId p = 0; p < problem.num_procs(); ++p) {
+        const double st = ctx.start_time(n, p);
+        const double ft =
+            st + problem.machine().exec_time(problem.graph().weight(n), p);
+        const double g = std::max(ctx.g(), ft);
+
+        const double lb = std::max(
+            g, chen_yu_underestimate(problem, n, p, ft,
+                                     config.max_paths_per_eval,
+                                     &result.paths_evaluated));
+
+        const util::Key128 sig = core::extend_signature(parent_sig, n, p, ft);
+        if (!seen.insert(sig)) continue;
+
+        State child;
+        child.sig = sig;
+        child.finish = ft;
+        child.g = g;
+        child.h = lb - g;  // store so f == lb
+        child.parent = idx;
+        child.node = n;
+        child.proc = p;
+        child.depth = parent_depth + 1;
+        const StateIndex child_idx = arena.add(child);
+        ++result.generated;
+        open.push({lb, g, child_idx});
+      }
+    }
+  }
+
+  void after_expand() {}
+
+  std::uint64_t expanded_count() const { return result.expanded; }
+
+  std::size_t memory_now() const {
+    return arena.memory_bytes() + seen.memory_bytes() + open.memory_bytes();
+  }
+
+  void maybe_progress(core::KernelGuard& guard) {
+    guard.maybe_progress(result.expanded, current.f, problem.upper_bound());
+  }
+};
+
 }  // namespace
 
 double chen_yu_underestimate(const SearchProblem& problem, NodeId node,
@@ -114,97 +218,29 @@ double chen_yu_underestimate(const SearchProblem& problem, NodeId node,
 
 ChenYuResult chen_yu_schedule(const SearchProblem& problem,
                               const ChenYuConfig& config) {
+  StateArena::require_packable(problem.num_nodes(), problem.num_procs());
   util::Timer timer;
-  StateArena arena;
-  util::FlatSet128 seen(1 << 12);
-  OpenList open;
-
-  State root;
-  root.sig = core::root_signature();
-  root.parent = kNoParent;
-  const StateIndex root_idx = arena.add(root);
-  seen.insert(root.sig);
-  open.push({0.0, 0.0, root_idx});
-
-  core::ExpansionContext ctx(problem);
   ChenYuResult result{sched::Schedule(problem.upper_bound_schedule()), 0.0,
-                      false, core::Termination::kOptimal, 0, 0, 0, 0, 0.0};
+                      false, core::Termination::kOptimal, 0, 0, 0,
+                      0, 0, 0, 0, 0.0};
+  ChenYuPolicy policy(problem, config, result);
+  core::KernelGuard guard(
+      config.controls,
+      {config.max_expansions, config.time_budget_ms, config.max_memory_bytes},
+      timer);
 
-  std::optional<StateIndex> goal;
-  core::ProgressGate progress_gate(config.controls);
-  auto memory_now = [&] {
-    return arena.memory_bytes() + seen.memory_bytes() + open.memory_bytes();
-  };
-  while (!open.empty()) {
-    if (config.controls.cancel.cancelled()) {
-      result.reason = core::Termination::kCancelled;
-      break;
-    }
-    if (config.max_expansions && result.expanded >= config.max_expansions) {
-      result.reason = core::Termination::kExpansionLimit;
-      break;
-    }
-    if (config.time_budget_ms > 0 && timer.millis() >= config.time_budget_ms) {
-      result.reason = core::Termination::kTimeLimit;
-      break;
-    }
-    if (config.max_memory_bytes && memory_now() >= config.max_memory_bytes) {
-      result.reason = core::Termination::kMemoryLimit;
-      break;
-    }
+  if (const auto hit = core::run_search_loop(guard, policy))
+    result.reason = *hit;
 
-    const OpenEntry e = open.pop();
-    if (progress_gate.open(result.expanded))
-      config.controls.progress(
-          {result.expanded, e.f, problem.upper_bound(), timer.seconds()});
-    if (arena[e.index].depth == problem.num_nodes()) {
-      goal = e.index;
-      result.proved_optimal = true;
-      break;
-    }
-
-    ctx.load(arena, e.index);
-    ++result.expanded;
-
-    // Chen & Yu expand every ready node on every processor — no
-    // isomorphism/equivalence reasoning (that is Kwok & Ahmad's addition).
-    for (const NodeId n : ctx.ready()) {
-      for (ProcId p = 0; p < problem.num_procs(); ++p) {
-        const double st = ctx.start_time(n, p);
-        const double ft =
-            st + problem.machine().exec_time(problem.graph().weight(n), p);
-        const double g = std::max(ctx.g(), ft);
-
-        const double lb = std::max(
-            g, chen_yu_underestimate(problem, n, p, ft,
-                                     config.max_paths_per_eval,
-                                     &result.paths_evaluated));
-
-        const util::Key128 sig =
-            core::extend_signature(arena[e.index].sig, n, p, ft);
-        if (!seen.insert(sig)) continue;
-
-        State child;
-        child.sig = sig;
-        child.finish = ft;
-        child.g = g;
-        child.h = lb - g;  // store so f() == lb
-        child.parent = e.index;
-        child.node = n;
-        child.proc = p;
-        child.depth = arena[e.index].depth + 1;
-        const StateIndex idx = arena.add(child);
-        ++result.generated;
-        open.push({lb, g, idx});
-      }
-    }
-  }
-
-  if (goal) {
-    result.schedule = core::reconstruct_schedule(problem, arena, *goal);
+  if (policy.goal) {
+    result.schedule =
+        core::reconstruct_schedule(problem, policy.arena, *policy.goal);
   }
   result.makespan = result.schedule.makespan();
-  result.peak_memory_bytes = memory_now();
+  result.loads_full = policy.replay_stats.loads_full;
+  result.loads_incremental = policy.replay_stats.loads_incremental;
+  result.assignments_replayed = policy.replay_stats.assignments_replayed;
+  result.peak_memory_bytes = policy.memory_now();
   result.elapsed_seconds = timer.seconds();
   sched::validate(result.schedule);
   return result;

@@ -41,6 +41,9 @@ struct ChenYuResult {
   std::uint64_t expanded = 0;
   std::uint64_t generated = 0;
   std::uint64_t paths_evaluated = 0;
+  std::uint64_t loads_full = 0;         ///< context rebuilds from the root
+  std::uint64_t loads_incremental = 0;  ///< delta replays (move_to)
+  std::uint64_t assignments_replayed = 0;
   std::size_t peak_memory_bytes = 0;  ///< arena + CLOSED + OPEN at the end
   double elapsed_seconds = 0.0;
 };

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/open_list.hpp"
+#include "core/search_kernel.hpp"
 #include "util/timer.hpp"
 
 namespace optsched::core {
@@ -27,7 +28,10 @@ struct SearchDriver {
         config(c),
         expander(p, c),
         seen(1 << 12),
-        incumbent_len(p.upper_bound()) {}
+        incumbent_len(p.upper_bound()),
+        guard(c.controls,
+              {c.max_expansions, c.time_budget_ms, c.max_memory_bytes},
+              timer) {}
 
   const SearchProblem& problem;
   SearchConfig config;
@@ -37,8 +41,11 @@ struct SearchDriver {
   double incumbent_len;                  ///< best complete schedule known
   std::optional<StateIndex> incumbent;   ///< goal state achieving it (if any)
   util::Timer timer;
+  KernelGuard guard;
 
-  bool is_goal(const State& s) const { return s.depth == problem.num_nodes(); }
+  bool is_goal_depth(std::uint32_t depth) const {
+    return depth == problem.num_nodes();
+  }
 
   /// Threshold passed to the expander's upper-bound pruning.
   double prune_bound() const {
@@ -49,8 +56,8 @@ struct SearchDriver {
 
   /// Record a goal state if it beats the incumbent.
   void offer_goal(StateIndex idx) {
-    const State& s = arena[idx];
-    OPTSCHED_ASSERT(is_goal(s));
+    const HotState& s = arena.hot(idx);
+    OPTSCHED_ASSERT(is_goal_depth(s.depth()));
     if (s.g < incumbent_len) {
       incumbent_len = s.g;
       incumbent = idx;
@@ -72,88 +79,105 @@ struct SearchDriver {
     result.stats.max_open_size = max_open;
     result.stats.peak_memory_bytes =
         arena.memory_bytes() + seen.memory_bytes() + open_mem;
+    result.stats.arena_hot_bytes = arena.hot_memory_bytes();
+    result.stats.arena_cold_bytes = arena.cold_memory_bytes();
     result.stats.elapsed_seconds = timer.seconds();
     sched::validate(result.schedule);
     return result;
   }
+};
 
-  std::optional<Termination> hit_limit(std::size_t open_mem) const {
-    if (config.controls.cancel.cancelled()) return Termination::kCancelled;
-    if (config.max_expansions &&
-        expander.stats().expanded >= config.max_expansions)
-      return Termination::kExpansionLimit;
-    if (config.time_budget_ms > 0 && timer.millis() >= config.time_budget_ms)
-      return Termination::kTimeLimit;
-    if (config.max_memory_bytes &&
-        arena.memory_bytes() + seen.memory_bytes() + open_mem >=
-            config.max_memory_bytes)
-      return Termination::kMemoryLimit;
-    return std::nullopt;
+// ---- plain A* (4-ary heap on (f, -g)) ------------------------------------
+
+struct AStarPolicy {
+  explicit AStarPolicy(SearchDriver& driver)
+      : d(driver), exact(driver.config.h_weight == 1.0) {}
+
+  SearchDriver& d;
+  OpenList open;
+  OpenEntry current{};  ///< last popped entry (f drives progress/domination)
+  std::size_t max_open = 1;
+  bool exact;
+  bool goal_popped = false;
+
+  bool keep_searching() const { return !goal_popped; }
+
+  bool pop(StateIndex& out) {
+    if (open.empty()) return false;
+    current = open.pop();
+    out = current.index;
+    return true;
   }
 
-  /// Fire the progress callback every `progress_every` expansions.
-  void maybe_progress(double frontier_min_f) {
-    const std::uint64_t expanded = expander.stats().expanded;
-    if (!progress_gate_.open(expanded)) return;
-    config.controls.progress(
-        {expanded, frontier_min_f, incumbent_len, timer.seconds()});
+  bool on_empty() { return false; }  // serial: an empty frontier ends it
+
+  StepAction classify(StateIndex idx) {
+    // Incumbent domination: current.f is the minimum over OPEN, so nothing
+    // left can strictly beat the incumbent — it is optimal (for exact
+    // search). Paper-fidelity mode keeps the f == U frontier alive so the
+    // goal is popped explicitly, as in the Figure 3 trace.
+    const bool dominated = d.config.prune.strict_upper_bound
+                               ? current.f > d.incumbent_len + 1e-9
+                               : current.f >= d.incumbent_len - 1e-9;
+    if (exact && dominated) return StepAction::kStop;
+    if (d.is_goal_depth(d.arena.hot(idx).depth())) return StepAction::kGoal;
+    return StepAction::kExpand;
   }
 
-  ProgressGate progress_gate_{config.controls};
+  void on_goal(StateIndex idx) {
+    // Goal popped with minimum f: optimal (admissible h, exact dedup).
+    d.offer_goal(idx);
+    goal_popped = true;
+  }
+
+  void expand(StateIndex idx) {
+    d.expander.expand(d.arena, d.seen, idx, d.prune_bound(),
+                      [&](StateIndex k, const State& child) {
+                        if (d.config.incumbent_updates &&
+                            d.is_goal_depth(child.depth)) {
+                          d.offer_goal(k);
+                          return;  // complete: nothing to expand
+                        }
+                        open.push({child.f(), child.g, k});
+                      });
+  }
+
+  void after_expand() { max_open = std::max(max_open, open.size()); }
+
+  std::uint64_t expanded_count() const { return d.expander.stats().expanded; }
+
+  std::size_t memory_now() const {
+    return d.arena.memory_bytes() + d.seen.memory_bytes() +
+           open.memory_bytes();
+  }
+
+  void maybe_progress(KernelGuard& guard) {
+    guard.maybe_progress(expanded_count(), current.f, d.incumbent_len);
+  }
 };
 
 SearchResult run_astar(SearchDriver& d) {
-  OpenList open;
+  AStarPolicy p(d);
   const StateIndex root = d.arena.add(make_root());
-  d.seen.insert(d.arena[root].sig);
-  open.push({d.arena[root].f(), 0.0, root});
+  d.seen.insert(d.arena.sig(root));
+  p.open.push({d.arena.hot(root).f, 0.0, root});
 
-  std::size_t max_open = 1;
   const double bound_factor = std::max(1.0, d.config.h_weight);
-  const bool exact = d.config.h_weight == 1.0;
 
-  while (!open.empty()) {
-    if (const auto limit = d.hit_limit(open.memory_bytes()))
-      return d.finish(*limit, false, bound_factor, max_open,
-                      open.memory_bytes());
+  if (const auto hit = run_search_loop(d.guard, p))
+    return d.finish(*hit, false, bound_factor, p.max_open,
+                    p.open.memory_bytes());
 
-    const OpenEntry e = open.pop();
-    d.maybe_progress(e.f);
-
-    // Incumbent domination: e.f is the minimum over OPEN, so nothing left
-    // can strictly beat the incumbent — it is optimal (for exact search).
-    // Paper-fidelity mode keeps the f == U frontier alive so the goal is
-    // popped explicitly, as in the Figure 3 trace.
-    const bool dominated = d.config.prune.strict_upper_bound
-                               ? e.f > d.incumbent_len + 1e-9
-                               : e.f >= d.incumbent_len - 1e-9;
-    if (exact && dominated) break;
-
-    const State& s = d.arena[e.index];
-    if (d.is_goal(s)) {
-      // Goal popped with minimum f: optimal (admissible h, exact dedup).
-      d.offer_goal(e.index);
-      return d.finish(
-          exact ? Termination::kOptimal : Termination::kBoundedOptimal, true,
-          exact ? 1.0 : bound_factor, max_open, open.memory_bytes());
-    }
-
-    d.expander.expand(d.arena, d.seen, e.index, d.prune_bound(),
-                      [&](StateIndex idx, const State& child) {
-                        if (d.config.incumbent_updates &&
-                            d.is_goal(child)) {
-                          d.offer_goal(idx);
-                          return;  // complete: nothing to expand
-                        }
-                        open.push({child.f(), child.g, idx});
-                      });
-    max_open = std::max(max_open, open.size());
-  }
+  if (p.goal_popped)
+    return d.finish(
+        p.exact ? Termination::kOptimal : Termination::kBoundedOptimal, true,
+        p.exact ? 1.0 : bound_factor, p.max_open, p.open.memory_bytes());
 
   // OPEN exhausted or dominated: every complete schedule not examined was
   // proven >= the incumbent, so the incumbent is optimal.
-  return d.finish(Termination::kOptimal, exact, exact ? 1.0 : bound_factor,
-                  max_open, 0);
+  return d.finish(Termination::kOptimal, p.exact,
+                  p.exact ? 1.0 : bound_factor, p.max_open,
+                  p.open.memory_bytes());
 }
 
 // ---- Aε* (FOCAL) ---------------------------------------------------------
@@ -175,35 +199,38 @@ struct FocalEntry {
   }
 };
 
-SearchResult run_focal(SearchDriver& d) {
+struct FocalPolicy {
+  explicit FocalPolicy(SearchDriver& driver)
+      : d(driver), eps(driver.config.epsilon) {}
+
+  SearchDriver& d;
   std::set<FocalEntry> open;
-  const StateIndex root = d.arena.add(make_root());
-  d.seen.insert(d.arena[root].sig);
-  open.insert({d.arena[root].f(), 0.0, d.arena[root].h, root});
-
+  double eps;
+  FocalEntry current{};
+  double fmin_at_pop = 0.0;  ///< frontier minimum when `current` was chosen
   std::size_t max_open = 1;
-  const double eps = d.config.epsilon;
-  const double bound_factor = (1.0 + eps) * std::max(1.0, d.config.h_weight);
-  auto open_mem = [&] { return open.size() * sizeof(FocalEntry) * 3; };
+  bool goal_popped = false;
+  bool bound_reached = false;  ///< incumbent within (1+eps) of everything left
+  bool bound_exact = false;
 
-  while (!open.empty()) {
-    if (const auto limit = d.hit_limit(open_mem()))
-      return d.finish(*limit, false, bound_factor, max_open, open_mem());
-
-    const double fmin = open.begin()->f;
-    d.maybe_progress(fmin);
-
+  bool keep_searching() {
+    if (goal_popped || bound_reached) return false;
+    if (open.empty()) return true;  // let pop report exhaustion
     // (1+eps)-termination: the incumbent is already within the guarantee
     // of everything that remains (optimal >= fmin).
+    const double fmin = open.begin()->f;
     if (d.incumbent_len <= (1.0 + eps) * fmin + 1e-9) {
-      const bool is_exact = d.incumbent_len <= fmin + 1e-9;
-      return d.finish(is_exact ? Termination::kOptimal
-                               : Termination::kBoundedOptimal,
-                      true, is_exact ? 1.0 : bound_factor, max_open,
-                      open_mem());
+      bound_reached = true;
+      bound_exact = d.incumbent_len <= fmin + 1e-9;
+      return false;
     }
+    return true;
+  }
 
-    const double bound = (1.0 + eps) * fmin;
+  bool pop(StateIndex& out) {
+    if (open.empty()) return false;
+    fmin_at_pop = open.begin()->f;
+    const double bound = (1.0 + eps) * fmin_at_pop;
 
     // Select min-h within the FOCAL prefix. Any member of FOCAL preserves
     // the (1+eps) guarantee (Pearl & Kim: the secondary selection rule is
@@ -219,32 +246,87 @@ SearchResult run_focal(SearchDriver& d) {
           it->h < chosen->h || (it->h == chosen->h && it->g > chosen->g);
       if (better) chosen = it;
     }
-    const FocalEntry e = *chosen;
+    current = *chosen;
     open.erase(chosen);
+    out = current.index;
+    return true;
+  }
 
-    const State& s = d.arena[e.index];
-    if (d.is_goal(s)) {
-      d.offer_goal(e.index);
-      const bool is_exact = e.f <= fmin + 1e-9 && d.config.h_weight == 1.0;
-      return d.finish(is_exact ? Termination::kOptimal
-                               : Termination::kBoundedOptimal,
-                      true, is_exact ? 1.0 : bound_factor, max_open,
-                      open_mem());
-    }
+  bool on_empty() { return false; }
 
-    d.expander.expand(d.arena, d.seen, e.index, d.prune_bound(),
-                      [&](StateIndex idx, const State& child) {
-                        if (d.config.incumbent_updates && d.is_goal(child)) {
-                          d.offer_goal(idx);
+  StepAction classify(StateIndex idx) {
+    return d.is_goal_depth(d.arena.hot(idx).depth()) ? StepAction::kGoal
+                                                     : StepAction::kExpand;
+  }
+
+  void on_goal(StateIndex idx) {
+    d.offer_goal(idx);
+    goal_popped = true;
+  }
+
+  void expand(StateIndex idx) {
+    d.expander.expand(d.arena, d.seen, idx, d.prune_bound(),
+                      [&](StateIndex k, const State& child) {
+                        if (d.config.incumbent_updates &&
+                            d.is_goal_depth(child.depth)) {
+                          d.offer_goal(k);
                           return;
                         }
-                        open.insert({child.f(), child.g, child.h, idx});
+                        open.insert({child.f(), child.g, child.h, k});
                       });
-    max_open = std::max(max_open, open.size());
+  }
+
+  void after_expand() { max_open = std::max(max_open, open.size()); }
+
+  std::uint64_t expanded_count() const { return d.expander.stats().expanded; }
+
+  /// Entry storage estimate for the FOCAL set (node-based; same factor as
+  /// the parallel engine's accounting).
+  std::size_t open_memory_bytes() const {
+    return open.size() * sizeof(FocalEntry) * 3;
+  }
+
+  std::size_t memory_now() const {
+    return d.arena.memory_bytes() + d.seen.memory_bytes() +
+           open_memory_bytes();
+  }
+
+  void maybe_progress(KernelGuard& guard) {
+    guard.maybe_progress(expanded_count(), fmin_at_pop, d.incumbent_len);
+  }
+};
+
+SearchResult run_focal(SearchDriver& d) {
+  FocalPolicy p(d);
+  const StateIndex root = d.arena.add(make_root());
+  d.seen.insert(d.arena.sig(root));
+  p.open.insert({d.arena.hot(root).f, 0.0, 0.0, root});
+
+  const double bound_factor =
+      (1.0 + p.eps) * std::max(1.0, d.config.h_weight);
+
+  if (const auto hit = run_search_loop(d.guard, p))
+    return d.finish(*hit, false, bound_factor, p.max_open,
+                    p.open_memory_bytes());
+
+  if (p.bound_reached)
+    return d.finish(p.bound_exact ? Termination::kOptimal
+                                  : Termination::kBoundedOptimal,
+                    true, p.bound_exact ? 1.0 : bound_factor, p.max_open,
+                    p.open_memory_bytes());
+
+  if (p.goal_popped) {
+    const bool is_exact =
+        p.current.f <= p.fmin_at_pop + 1e-9 && d.config.h_weight == 1.0;
+    return d.finish(is_exact ? Termination::kOptimal
+                             : Termination::kBoundedOptimal,
+                    true, is_exact ? 1.0 : bound_factor, p.max_open,
+                    p.open_memory_bytes());
   }
 
   return d.finish(Termination::kOptimal, d.config.h_weight == 1.0,
-                  d.config.h_weight == 1.0 ? 1.0 : bound_factor, max_open, 0);
+                  d.config.h_weight == 1.0 ? 1.0 : bound_factor, p.max_open,
+                  p.open_memory_bytes());
 }
 
 }  // namespace
@@ -253,6 +335,7 @@ SearchResult astar_schedule(const SearchProblem& problem,
                             const SearchConfig& config) {
   OPTSCHED_REQUIRE(config.epsilon >= 0.0, "epsilon must be >= 0");
   OPTSCHED_REQUIRE(config.h_weight >= 1.0, "h_weight must be >= 1");
+  StateArena::require_packable(problem.num_nodes(), problem.num_procs());
   SearchDriver driver(problem, config);
   return config.epsilon > 0.0 ? run_focal(driver) : run_astar(driver);
 }

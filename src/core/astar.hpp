@@ -29,11 +29,24 @@ struct SearchStats {
   std::uint64_t pruned_upper_bound = 0;
   std::uint64_t skipped_equivalence = 0;
   std::uint64_t skipped_isomorphism = 0;
+  /// Context loads rebuilt from the root vs. delta-replayed from the
+  /// previously loaded state (ExpansionContext::move_to), and the total
+  /// assignment applications across both — the per-expansion replay cost
+  /// the delta path amortizes (assignments_replayed / expanded ≈ mean
+  /// replay length; a full-replay engine would pay the mean state depth).
+  std::uint64_t loads_full = 0;
+  std::uint64_t loads_incremental = 0;
+  std::uint64_t assignments_replayed = 0;
   std::size_t max_open_size = 0;
   /// Search-state memory: arena + CLOSED + OPEN for best-first engines,
-  /// the O(v) working set for IDA*, summed across PPEs for the parallel
-  /// engine. 0 means the producing engine does not track memory.
+  /// the bounded DFS working set for IDA*, summed across PPEs for the
+  /// parallel engine. 0 means the producing engine does not track memory.
   std::size_t peak_memory_bytes = 0;
+  /// The state arena's hot/cold split (core/state.hpp): hot is the
+  /// search loop's resident working set, cold holds signatures + finish
+  /// times touched only at generation/dedup/transfer time.
+  std::size_t arena_hot_bytes = 0;
+  std::size_t arena_cold_bytes = 0;
   double elapsed_seconds = 0.0;
 
   void absorb(const ExpandStats& e) {
@@ -43,6 +56,9 @@ struct SearchStats {
     pruned_upper_bound += e.pruned_upper_bound;
     skipped_equivalence += e.skipped_equivalence;
     skipped_isomorphism += e.skipped_isomorphism;
+    loads_full += e.loads_full;
+    loads_incremental += e.loads_incremental;
+    assignments_replayed += e.assignments_replayed;
   }
 };
 

@@ -34,6 +34,8 @@ ExpansionContext::ExpansionContext(const SearchProblem& problem)
   pending_parents_.assign(v, 0);
   ready_.reserve(v);
   chain_.reserve(v);
+  path_.reserve(v);
+  undo_.reserve(v);
   assignment_seq_.reserve(v);
 }
 
@@ -50,11 +52,28 @@ double ExpansionContext::start_time(NodeId n, ProcId p) const {
   return std::max(proc_ready_[p], dat);
 }
 
-void ExpansionContext::load(const StateArena& arena, StateIndex index) {
-  const auto& graph = problem_->graph();
-  const auto& machine = problem_->machine();
+void ExpansionContext::ready_insert(NodeId n) {
+  const std::uint32_t rank = problem_->priority_rank(n);
+  const auto it = std::lower_bound(
+      ready_.begin(), ready_.end(), rank, [&](NodeId a, std::uint32_t r) {
+        return problem_->priority_rank(a) < r;
+      });
+  ready_.insert(it, n);
+}
 
-  // Reset.
+void ExpansionContext::ready_remove(NodeId n) {
+  const std::uint32_t rank = problem_->priority_rank(n);
+  const auto it = std::lower_bound(
+      ready_.begin(), ready_.end(), rank, [&](NodeId a, std::uint32_t r) {
+        return problem_->priority_rank(a) < r;
+      });
+  OPTSCHED_ASSERT(it != ready_.end() && *it == n);
+  ready_.erase(it);
+}
+
+void ExpansionContext::reset() {
+  const auto& graph = problem_->graph();
+  std::fill(finish_.begin(), finish_.end(), 0.0);
   std::fill(proc_of_.begin(), proc_of_.end(), machine::kInvalidProc);
   std::fill(proc_ready_.begin(), proc_ready_.end(), 0.0);
   std::fill(busy_.begin(), busy_.end(), false);
@@ -62,56 +81,149 @@ void ExpansionContext::load(const StateArena& arena, StateIndex index) {
   nmax_ = dag::kInvalidNode;
   depth_ = 0;
   assignment_seq_.clear();
-
-  // Walk to the root, then replay forward.
-  chain_.clear();
-  for (StateIndex i = index; i != kNoParent; i = arena[i].parent) {
-    if (arena[i].is_root()) break;
-    chain_.push_back(i);
-  }
-  for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
-    const State& s = arena[*it];
-    const double st = start_time(s.node, s.proc);
-    const double ft =
-        st + machine.exec_time(graph.weight(s.node), s.proc);
-    // Replay is deterministic: recomputed times must equal stored ones.
-    OPTSCHED_ASSERT(ft == s.finish);
-    finish_[s.node] = ft;
-    proc_of_[s.node] = s.proc;
-    proc_ready_[s.proc] = ft;
-    busy_[s.proc] = true;
-    assignment_seq_.emplace_back(s.node, s.proc);
-    ++depth_;
-  }
-  // g = max finish time; nmax = node attaining it (first in replay order
-  // on ties — deterministic, matching the child-construction rule).
-  for (const auto& [n, p] : assignment_seq_) {
-    (void)p;
-    if (finish_[n] > g_ || nmax_ == dag::kInvalidNode) {
-      g_ = finish_[n];
-      nmax_ = n;
-    }
-  }
-  OPTSCHED_ASSERT(depth_ == arena[index].depth);
-
-  // Ready list: unscheduled nodes whose parents are all scheduled, ordered
-  // by the paper's priority (descending b-level + t-level via rank).
-  for (NodeId n = 0; n < problem_->num_nodes(); ++n) {
-    std::uint32_t pending = 0;
-    if (proc_of_[n] == machine::kInvalidProc)
-      for (const auto& [parent, cost] : graph.parents(n)) {
-        (void)cost;
-        if (proc_of_[parent] == machine::kInvalidProc) ++pending;
-      }
-    pending_parents_[n] = pending;
-  }
+  path_.clear();
+  undo_.clear();
   ready_.clear();
-  for (NodeId n = 0; n < problem_->num_nodes(); ++n)
-    if (proc_of_[n] == machine::kInvalidProc && pending_parents_[n] == 0)
-      ready_.push_back(n);
+  for (NodeId n = 0; n < problem_->num_nodes(); ++n) {
+    const auto pending =
+        static_cast<std::uint32_t>(graph.num_parents(n));
+    pending_parents_[n] = pending;
+    if (pending == 0) ready_.push_back(n);
+  }
   std::sort(ready_.begin(), ready_.end(), [&](NodeId a, NodeId b) {
     return problem_->priority_rank(a) < problem_->priority_rank(b);
   });
+}
+
+double ExpansionContext::apply(NodeId n, ProcId p) {
+  const auto& graph = problem_->graph();
+  const double st = start_time(n, p);
+  const double ft =
+      st + problem_->machine().exec_time(graph.weight(n), p);
+  undo_.push_back({n, p, proc_ready_[p], g_, nmax_,
+                   static_cast<bool>(busy_[p])});
+  finish_[n] = ft;
+  proc_of_[n] = p;
+  proc_ready_[p] = ft;
+  busy_[p] = true;
+  // g = max finish time; nmax = node attaining it, first in chain order on
+  // ties — deterministic, matching the child-construction rule.
+  if (ft > g_ || nmax_ == dag::kInvalidNode) {
+    g_ = std::max(g_, ft);
+    nmax_ = n;
+  }
+  ready_remove(n);
+  for (const auto& [child, cost] : graph.children(n)) {
+    (void)cost;
+    if (--pending_parents_[child] == 0) ready_insert(child);
+  }
+  assignment_seq_.emplace_back(n, p);
+  ++depth_;
+  return ft;
+}
+
+void ExpansionContext::rewind_one() {
+  OPTSCHED_ASSERT(!undo_.empty());
+  const Undo u = undo_.back();
+  undo_.pop_back();
+  const auto& graph = problem_->graph();
+  for (const auto& [child, cost] : graph.children(u.node)) {
+    (void)cost;
+    if (pending_parents_[child]++ == 0) ready_remove(child);
+  }
+  ready_insert(u.node);
+  finish_[u.node] = 0.0;
+  proc_of_[u.node] = machine::kInvalidProc;
+  proc_ready_[u.proc] = u.prev_proc_ready;
+  busy_[u.proc] = u.prev_busy;
+  g_ = u.prev_g;
+  nmax_ = u.prev_nmax;
+  --depth_;
+  assignment_seq_.pop_back();
+}
+
+void ExpansionContext::replay_state(const StateArena& arena, StateIndex i) {
+  const HotState& s = arena.hot(i);
+  const double ft = apply(s.node(), s.proc());
+  // Replay is deterministic: recomputed times must equal stored ones.
+  OPTSCHED_ASSERT(ft == arena.finish(i));
+  (void)ft;
+  path_.push_back(i);
+}
+
+void ExpansionContext::load(const StateArena& arena, StateIndex index) {
+  reset();
+
+  // Walk to the root, then replay forward.
+  chain_.clear();
+  for (StateIndex i = index; i != kNoParent; i = arena.hot(i).parent) {
+    if (arena.hot(i).is_root()) break;
+    chain_.push_back(i);
+  }
+  for (auto it = chain_.rbegin(); it != chain_.rend(); ++it)
+    replay_state(arena, *it);
+  OPTSCHED_ASSERT(depth_ == arena.hot(index).depth());
+
+  arena_ = &arena;
+  loaded_ = index;
+  attached_ = true;
+  if (stats_) {
+    ++stats_->loads_full;
+    stats_->assignments_replayed += depth_;
+  }
+}
+
+void ExpansionContext::move_to(const StateArena& arena, StateIndex index) {
+  if (!attached_ || arena_ != &arena || loaded_ >= arena.size()) {
+    load(arena, index);
+    return;
+  }
+  if (index == loaded_) {
+    // Already there (re-expansion); the context is bit-identical.
+    if (stats_) ++stats_->loads_incremental;
+    return;
+  }
+
+  // Walk the target's ancestry until it meets the loaded path: the first
+  // ancestor that sits on path_ at its own depth is the LCA (equal arena
+  // index == equal state == equal chain below it). Everything walked over
+  // is the divergent suffix to replay.
+  chain_.clear();
+  std::uint32_t lca_depth = 0;
+  for (StateIndex i = index; !arena.hot(i).is_root();
+       i = arena.hot(i).parent) {
+    const std::uint32_t d = arena.hot(i).depth();
+    if (d <= depth_ && path_[d - 1] == i) {
+      lca_depth = d;
+      break;
+    }
+    chain_.push_back(i);
+  }
+
+  const std::uint32_t target_depth = arena.hot(index).depth();
+  const std::uint32_t rewind = depth_ - lca_depth;
+  const auto replay = static_cast<std::uint32_t>(chain_.size());
+  // Divergence threshold: the delta performs rewind + replay assignment
+  // ops; a full rebuild replays target_depth (plus an O(v) reset that the
+  // delta skips). Fall back when the delta would not do less work.
+  if (rewind + replay > target_depth) {
+    load(arena, index);
+    return;
+  }
+
+  while (depth_ > lca_depth) {
+    rewind_one();
+    path_.pop_back();
+  }
+  for (auto it = chain_.rbegin(); it != chain_.rend(); ++it)
+    replay_state(arena, *it);
+  OPTSCHED_ASSERT(depth_ == target_depth);
+
+  loaded_ = index;
+  if (stats_) {
+    ++stats_->loads_incremental;
+    stats_->assignments_replayed += replay;
+  }
 }
 
 Expander::Expander(const SearchProblem& problem, const SearchConfig& config)
@@ -119,6 +231,7 @@ Expander::Expander(const SearchProblem& problem, const SearchConfig& config)
   h_scratch_.assign(problem.num_nodes(), 0.0);
   proc_rep_.assign(problem.num_procs(), 0);
   class_taken_.assign(problem.num_nodes(), false);
+  ctx_.set_stats(&stats_);
 }
 
 sched::Schedule reconstruct_schedule(const SearchProblem& problem,
@@ -126,16 +239,16 @@ sched::Schedule reconstruct_schedule(const SearchProblem& problem,
                                      StateIndex goal_index) {
   // Collect assignments root -> goal, then replay them through Schedule.
   std::vector<std::pair<NodeId, ProcId>> seq;
-  for (StateIndex i = goal_index; i != kNoParent; i = arena[i].parent) {
-    if (arena[i].is_root()) break;
-    seq.emplace_back(arena[i].node, arena[i].proc);
+  for (StateIndex i = goal_index; i != kNoParent; i = arena.hot(i).parent) {
+    if (arena.hot(i).is_root()) break;
+    seq.emplace_back(arena.hot(i).node(), arena.hot(i).proc());
   }
   std::reverse(seq.begin(), seq.end());
 
   sched::Schedule schedule(problem.graph(), problem.machine(), problem.comm());
   for (const auto& [node, proc] : seq) schedule.append(node, proc);
   OPTSCHED_ASSERT(schedule.complete());
-  OPTSCHED_ASSERT(schedule.makespan() == arena[goal_index].g);
+  OPTSCHED_ASSERT(schedule.makespan() == arena.hot(goal_index).g);
   return schedule;
 }
 

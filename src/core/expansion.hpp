@@ -4,9 +4,16 @@
 //
 // States store only their last assignment (core/state.hpp); the full
 // partial-schedule context — per-node finish times and processors, per-
-// processor ready times, the ready list — is reconstructed here in
-// O(depth + e) by replaying the chain. The replay is deterministic, so the
-// recomputed times equal the stored ones exactly (asserted).
+// processor ready times, the ready list — lives in ExpansionContext.
+// A full rebuild (`load`) replays the whole chain in O(depth + e).
+// `move_to` exploits frontier locality instead: consecutive pops from OPEN
+// are usually near each other in the search tree, so it finds the lowest
+// common ancestor of the currently loaded state and the target, rewinds
+// assignments back to the LCA through an undo stack, and replays only the
+// divergent suffix — falling back to `load` when the delta would do more
+// assignment work than a full replay. Both paths are deterministic, so the
+// recomputed times equal the stored ones exactly (asserted), and the
+// full/incremental split is observable through ExpandStats.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +36,9 @@ struct ExpandStats {
   std::uint64_t pruned_upper_bound = 0;
   std::uint64_t skipped_equivalence = 0;  ///< ready nodes skipped (Def. 3)
   std::uint64_t skipped_isomorphism = 0;  ///< processors skipped (Def. 2)
+  std::uint64_t loads_full = 0;           ///< context rebuilt from the root
+  std::uint64_t loads_incremental = 0;    ///< context delta-replayed via LCA
+  std::uint64_t assignments_replayed = 0; ///< apply ops across all loads
 
   void merge(const ExpandStats& o) {
     expanded += o.expanded;
@@ -37,17 +47,39 @@ struct ExpandStats {
     pruned_upper_bound += o.pruned_upper_bound;
     skipped_equivalence += o.skipped_equivalence;
     skipped_isomorphism += o.skipped_isomorphism;
+    loads_full += o.loads_full;
+    loads_incremental += o.loads_incremental;
+    assignments_replayed += o.assignments_replayed;
   }
 };
 
 /// Reconstructed schedule context of one state. One instance per search
-/// thread; all storage is reused across load() calls.
+/// thread; all storage is reused across load()/move_to() calls.
 class ExpansionContext {
  public:
   explicit ExpansionContext(const SearchProblem& problem);
 
-  /// Rebuild the context for `arena[index]`.
+  /// Rebuild the context for `arena[index]` from scratch.
   void load(const StateArena& arena, StateIndex index);
+
+  /// Bring the context to `arena[index]` by rewinding to the lowest common
+  /// ancestor of the currently loaded state and replaying the divergent
+  /// suffix; falls back to load() past the divergence threshold (or when
+  /// nothing valid is loaded). Bit-exact with a fresh load().
+  void move_to(const StateArena& arena, StateIndex index);
+
+  /// Forget the loaded state (e.g. the arena was cleared or swapped).
+  void invalidate() noexcept { attached_ = false; }
+
+  /// The arena dropped every index >= first_dropped (StateArena::truncate);
+  /// forget the loaded state if it was among them. Surviving indices keep
+  /// their contents, so a loaded state below the cut stays valid.
+  void invalidate_from(StateIndex first_dropped) noexcept {
+    if (attached_ && loaded_ >= first_dropped) attached_ = false;
+  }
+
+  /// Counter sink for load/replay accounting (may be null).
+  void set_stats(ExpandStats* stats) noexcept { stats_ = stats; }
 
   const SearchProblem& problem() const noexcept { return *problem_; }
 
@@ -60,7 +92,8 @@ class ExpansionContext {
   NodeId nmax() const noexcept { return nmax_; }
   std::uint32_t depth() const noexcept { return depth_; }
 
-  /// Ready nodes in the paper's priority order (descending b+t level).
+  /// Ready nodes in the paper's priority order (descending b+t level),
+  /// maintained incrementally across apply/rewind.
   const std::vector<NodeId>& ready() const noexcept { return ready_; }
 
   /// Earliest start of `n` on `p` given this context (append semantics).
@@ -79,6 +112,29 @@ class ExpansionContext {
  private:
   friend class Expander;
 
+  /// Undo record for one applied assignment.
+  struct Undo {
+    NodeId node;
+    ProcId proc;
+    double prev_proc_ready;
+    double prev_g;
+    NodeId prev_nmax;
+    bool prev_busy;
+  };
+
+  /// Reset to the empty schedule (O(v + p)).
+  void reset();
+  /// Schedule `n` on `p` on top of the current context; returns the finish
+  /// time. Maintains ready list, pending counts, and the undo stack.
+  double apply(NodeId n, ProcId p);
+  /// Undo the most recent apply().
+  void rewind_one();
+  /// apply() the stored assignment of arena[i] and record it on the path.
+  void replay_state(const StateArena& arena, StateIndex i);
+
+  void ready_insert(NodeId n);
+  void ready_remove(NodeId n);
+
   const SearchProblem* problem_;
   std::vector<double> finish_;
   std::vector<ProcId> proc_of_;
@@ -86,11 +142,18 @@ class ExpansionContext {
   std::vector<bool> busy_;
   std::vector<NodeId> ready_;
   std::vector<std::uint32_t> pending_parents_;
-  std::vector<StateIndex> chain_;  // scratch for the parent walk
+  std::vector<StateIndex> chain_;   // scratch for parent walks
+  std::vector<StateIndex> path_;    // arena indices root -> loaded, by depth
+  std::vector<Undo> undo_;          // parallel to path_
   std::vector<std::pair<NodeId, ProcId>> assignment_seq_;
   double g_ = 0.0;
   NodeId nmax_ = dag::kInvalidNode;
   std::uint32_t depth_ = 0;
+
+  const StateArena* arena_ = nullptr;
+  StateIndex loaded_ = 0;
+  bool attached_ = false;
+  ExpandStats* stats_ = nullptr;
 };
 
 /// Generates the successors of a state, applying the configured pruning.
@@ -101,7 +164,9 @@ class Expander {
   Expander(const SearchProblem& problem, const SearchConfig& config);
 
   /// Expand arena[index]. Every surviving successor is appended to `arena`
-  /// and reported through `emit(StateIndex, const State&)`. `seen` receives
+  /// and reported through `emit(StateIndex, const State&)`; the State
+  /// reference is the generation record, valid only during the callback
+  /// (copy it or re-read through the arena to keep it). `seen` receives
   /// the signatures of all surviving successors (duplicate filter).
   /// `prune_bound` is the current upper-bound threshold (the incumbent
   /// makespan, or the static U in paper-fidelity mode); children with
@@ -113,6 +178,12 @@ class Expander {
   ExpandStats& stats() noexcept { return stats_; }
   const ExpandStats& stats() const noexcept { return stats_; }
   const ExpansionContext& context() const noexcept { return ctx_; }
+
+  /// Forward arena invalidations to the owned context (IDA* truncation).
+  void invalidate_context_from(StateIndex first_dropped) noexcept {
+    ctx_.invalidate_from(first_dropped);
+  }
+  void invalidate_context() noexcept { ctx_.invalidate(); }
 
  private:
   /// Build the child state for (node -> proc) on top of the loaded context.
@@ -129,6 +200,9 @@ class Expander {
   std::vector<double> h_scratch_;
   std::vector<ProcId> proc_rep_;
   std::vector<bool> class_taken_;
+  /// Signature of the state being expanded, copied once per expand (a
+  /// reference into the cold array would dangle across arena growth).
+  util::Key128 parent_sig_{};
 };
 
 // ---- implementation of the templated members ----------------------------
@@ -136,8 +210,9 @@ class Expander {
 template <typename Emit>
 void Expander::expand(StateArena& arena, util::FlatSet128& seen,
                       StateIndex index, double prune_bound, Emit&& emit) {
-  ctx_.load(arena, index);
+  ctx_.move_to(arena, index);
   ++stats_.expanded;
+  parent_sig_ = arena.sig(index);
 
   const auto& autos = problem_->automorphisms();
   const std::uint32_t p = problem_->num_procs();
@@ -182,14 +257,14 @@ template <typename Emit>
 bool Expander::try_emit_child(StateArena& arena, util::FlatSet128& seen,
                               StateIndex parent_index, NodeId node,
                               ProcId proc, double prune_bound, Emit&& emit) {
-  const State& parent = arena[parent_index];
-
   const double st = ctx_.start_time(node, proc);
   const double ft =
       st + problem_->machine().exec_time(problem_->graph().weight(node), proc);
   const double child_g = std::max(ctx_.g_, ft);
 
   // Temporarily extend the context so the heuristic sees the child state.
+  // Only the fields ScheduleView reads are touched; the ready list, undo
+  // stack, and processor-ready times stay at the parent state.
   const NodeId saved_nmax = ctx_.nmax_;
   const double saved_g = ctx_.g_;
   ctx_.finish_[node] = ft;
@@ -220,7 +295,7 @@ bool Expander::try_emit_child(StateArena& arena, util::FlatSet128& seen,
     }
   }
 
-  const util::Key128 sig = extend_signature(parent.sig, node, proc, ft);
+  const util::Key128 sig = extend_signature(parent_sig_, node, proc, ft);
   if (config_.prune.duplicate_detection && !seen.insert(sig)) {
     ++stats_.duplicates_dropped;
     return false;
@@ -234,11 +309,11 @@ bool Expander::try_emit_child(StateArena& arena, util::FlatSet128& seen,
   child.parent = parent_index;
   child.node = node;
   child.proc = proc;
-  child.depth = parent.depth + 1;
+  child.depth = ctx_.depth_ + 1;
 
   const StateIndex idx = arena.add(child);
   ++stats_.generated;
-  emit(idx, arena[idx]);
+  emit(idx, child);
   return true;
 }
 

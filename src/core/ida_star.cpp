@@ -1,247 +1,160 @@
+// Iterative-deepening A*, expressed on the shared search kernel.
+//
+// Each threshold iteration is a depth-first probe: the kernel runs with a
+// LIFO frontier, so the pop order reproduces the classic recursive
+// formulation exactly (children are pushed in reverse priority order, best
+// on top). Two properties keep the memory footprint the O(v)-ish working
+// set that is IDA*'s whole point:
+//
+//   * Backtrack reclaim: arena indices are append-only and the frontier is
+//     LIFO, so when an entry is popped, every arena index above the highest
+//     index still on the stack is dead — the arena is truncated to that
+//     watermark (tracked O(1) via a prefix-maxima stack).
+//   * Delta replay: consecutive DFS pops are parent/child or near siblings,
+//     so ExpansionContext::move_to rewinds/replays one or two assignments
+//     per step — the same work the recursive apply/undo formulation did.
+//
+// Thresholds grow by the minimal overshoot, so the first goal found within
+// the current threshold is optimal. DFS probes do not deduplicate
+// (duplicate detection is forced off: a CLOSED set would reintroduce the
+// O(states) memory IDA* exists to avoid).
 #include "core/ida_star.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "core/search_kernel.hpp"
 #include "util/timer.hpp"
 
 namespace optsched::core {
 
 namespace {
 
-/// Incremental depth-first schedule state with apply/undo.
-class DfsState {
- public:
-  explicit DfsState(const SearchProblem& problem) : problem_(&problem) {
-    const auto v = problem.num_nodes();
-    finish_.assign(v, 0.0);
-    proc_of_.assign(v, machine::kInvalidProc);
-    proc_ready_.assign(problem.num_procs(), 0.0);
-    busy_count_.assign(problem.num_procs(), 0);
-    pending_.assign(v, 0);
-    for (NodeId n = 0; n < v; ++n)
-      pending_[n] = static_cast<std::uint32_t>(problem.graph().num_parents(n));
-    h_scratch_.assign(v, 0.0);
-  }
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  struct Undo {
-    NodeId node;
-    ProcId proc;
-    double prev_proc_ready;
-    double prev_g;
-    NodeId prev_nmax;
-  };
+struct IdaPolicy {
+  IdaPolicy(const SearchProblem& p, Expander& e, StateArena& a,
+            util::FlatSet128& dummy)
+      : problem(p), expander(e), arena(a), no_dedup(dummy) {}
 
-  double start_time(NodeId n, ProcId p) const {
-    const auto& graph = problem_->graph();
-    double dat = 0.0;
-    for (const auto& [parent, cost] : graph.parents(n))
-      dat = std::max(dat, finish_[parent] +
-                              problem_->machine().comm_delay(
-                                  cost, proc_of_[parent], p, problem_->comm()));
-    return std::max(proc_ready_[p], dat);
-  }
-
-  Undo apply(NodeId n, ProcId p) {
-    const double st = start_time(n, p);
-    const double ft =
-        st + problem_->machine().exec_time(problem_->graph().weight(n), p);
-    Undo undo{n, p, proc_ready_[p], g_, nmax_};
-    finish_[n] = ft;
-    proc_of_[n] = p;
-    proc_ready_[p] = ft;
-    ++busy_count_[p];
-    if (ft > g_ || nmax_ == dag::kInvalidNode) {
-      g_ = std::max(g_, ft);
-      nmax_ = n;
-    }
-    for (const auto& [child, cost] : problem_->graph().children(n)) {
-      (void)cost;
-      --pending_[child];
-    }
-    ++depth_;
-    assignments_.emplace_back(n, p);
-    return undo;
-  }
-
-  void revert(const Undo& undo) {
-    for (const auto& [child, cost] : problem_->graph().children(undo.node)) {
-      (void)cost;
-      ++pending_[child];
-    }
-    finish_[undo.node] = 0.0;
-    proc_of_[undo.node] = machine::kInvalidProc;
-    proc_ready_[undo.proc] = undo.prev_proc_ready;
-    --busy_count_[undo.proc];
-    g_ = undo.prev_g;
-    nmax_ = undo.prev_nmax;
-    --depth_;
-    assignments_.pop_back();
-  }
-
-  void ready_nodes(std::vector<NodeId>& out) const {
-    out.clear();
-    for (NodeId n = 0; n < problem_->num_nodes(); ++n)
-      if (proc_of_[n] == machine::kInvalidProc && pending_[n] == 0)
-        out.push_back(n);
-    std::sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
-      return problem_->priority_rank(a) < problem_->priority_rank(b);
-    });
-  }
-
-  std::vector<bool> busy_flags() const {
-    std::vector<bool> busy(problem_->num_procs());
-    for (ProcId p = 0; p < problem_->num_procs(); ++p)
-      busy[p] = busy_count_[p] > 0;
-    return busy;
-  }
-
-  double evaluate(HFunction fn) {
-    const ScheduleView view{finish_.data(), proc_of_.data(), g_, nmax_,
-                            depth_};
-    return evaluate_h(fn, *problem_, view, h_scratch_.data());
-  }
-
-  double g() const noexcept { return g_; }
-  std::uint32_t depth() const noexcept { return depth_; }
-
-  /// Resident working set — the whole point of IDA* is that this stays
-  /// O(v + p) regardless of how many states the probes visit.
-  std::size_t memory_bytes() const noexcept {
-    return finish_.capacity() * sizeof(double) +
-           proc_of_.capacity() * sizeof(ProcId) +
-           proc_ready_.capacity() * sizeof(double) +
-           busy_count_.capacity() * sizeof(std::uint32_t) +
-           pending_.capacity() * sizeof(std::uint32_t) +
-           h_scratch_.capacity() * sizeof(double) +
-           assignments_.capacity() * sizeof(std::pair<NodeId, ProcId>);
-  }
-  const std::vector<std::pair<NodeId, ProcId>>& assignments() const noexcept {
-    return assignments_;
-  }
-
- private:
-  const SearchProblem* problem_;
-  std::vector<double> finish_;
-  std::vector<ProcId> proc_of_;
-  std::vector<double> proc_ready_;
-  std::vector<std::uint32_t> busy_count_;
-  std::vector<std::uint32_t> pending_;
-  std::vector<double> h_scratch_;
-  std::vector<std::pair<NodeId, ProcId>> assignments_;
-  double g_ = 0.0;
-  NodeId nmax_ = dag::kInvalidNode;
-  std::uint32_t depth_ = 0;
-};
-
-struct IdaDriver {
   const SearchProblem& problem;
-  const SearchConfig& config;
-  DfsState dfs;
-  util::Timer timer;
-  SearchStats stats;
+  Expander& expander;
+  StateArena& arena;
+  util::FlatSet128& no_dedup;  ///< never inserted into (dedup forced off)
+
   double threshold = 0.0;
-  double next_threshold = std::numeric_limits<double>::infinity();
-  std::vector<std::pair<NodeId, ProcId>> best_assignments;
-  double best_len = std::numeric_limits<double>::infinity();
-  bool aborted = false;
-  Termination abort_reason = Termination::kOptimal;
+  double next_threshold = kInf;
+  double incumbent = kInf;  ///< heuristic upper bound (progress reporting)
 
-  IdaDriver(const SearchProblem& p, const SearchConfig& c)
-      : problem(p), config(c), dfs(p) {}
+  std::vector<StateIndex> stack;
+  std::vector<StateIndex> stack_max;  ///< prefix maxima of `stack`
+  std::vector<StateIndex> batch;      ///< scratch: one expansion's children
 
-  bool limits_hit() {
-    if (config.controls.cancel.cancelled()) {
-      aborted = true;
-      abort_reason = Termination::kCancelled;
-      return true;
-    }
-    if (config.max_expansions && stats.expanded >= config.max_expansions) {
-      aborted = true;
-      abort_reason = Termination::kExpansionLimit;
-      return true;
-    }
-    if (config.time_budget_ms > 0 && timer.millis() >= config.time_budget_ms) {
-      aborted = true;
-      abort_reason = Termination::kTimeLimit;
-      return true;
-    }
-    return false;
+  bool found = false;
+  std::vector<std::pair<NodeId, ProcId>> goal_assignments;
+  double goal_len = kInf;
+  std::size_t peak_memory = 0;
+  std::size_t peak_hot = 0;
+  std::size_t peak_cold = 0;
+
+  void push(StateIndex idx) {
+    stack_max.push_back(stack_max.empty()
+                            ? idx
+                            : std::max(stack_max.back(), idx));
+    stack.push_back(idx);
   }
 
-  /// Progress: the current threshold is the tightest known lower bound on
-  /// the optimum (every f below it was exhausted in earlier probes); the
-  /// incumbent is the heuristic upper bound until a goal ends the search.
-  void maybe_progress() {
-    if (!progress_gate.open(stats.expanded)) return;
-    config.controls.progress({stats.expanded, threshold,
-                              std::min(best_len, problem.upper_bound()),
-                              timer.seconds()});
+  /// Reset for the next threshold iteration (expansion stats persist).
+  void begin_iteration(double new_threshold) {
+    threshold = new_threshold;
+    next_threshold = kInf;
+    stack.clear();
+    stack_max.clear();
+    arena.clear();
+    expander.invalidate_context();
+    State root;
+    root.sig = root_signature();
+    root.parent = kNoParent;
+    push(arena.add(root));
   }
 
-  ProgressGate progress_gate{config.controls};
+  bool keep_searching() const { return !found; }
 
-  /// Depth-first probe; returns true when a goal within `threshold` was
-  /// found (search can stop: the first goal found at the current threshold
-  /// is optimal because thresholds grow by the minimal overshoot).
-  bool probe() {
-    if (limits_hit()) return false;
-
-    if (dfs.depth() == problem.num_nodes()) {
-      best_assignments = dfs.assignments();
-      best_len = dfs.g();
-      return true;
+  bool pop(StateIndex& out) {
+    if (stack.empty()) return false;
+    out = stack.back();
+    stack.pop_back();
+    stack_max.pop_back();
+    // Backtrack reclaim: with a LIFO frontier every arena index above the
+    // highest one still referenced is an exhausted subtree.
+    const StateIndex watermark =
+        std::max(out, stack_max.empty() ? 0 : stack_max.back());
+    if (static_cast<std::size_t>(watermark) + 1 < arena.size()) {
+      arena.truncate(watermark + 1);
+      expander.invalidate_context_from(watermark + 1);
     }
-    ++stats.expanded;
-    maybe_progress();
+    return true;
+  }
 
-    std::vector<NodeId> ready;
-    dfs.ready_nodes(ready);
+  bool on_empty() { return false; }  // iteration exhausted
 
-    std::vector<ProcId> rep(problem.num_procs());
-    if (config.prune.processor_isomorphism) {
-      problem.automorphisms().state_classes(dfs.busy_flags(), rep);
-    } else {
-      for (ProcId p = 0; p < problem.num_procs(); ++p) rep[p] = p;
+  StepAction classify(StateIndex idx) {
+    return arena.hot(idx).depth() == problem.num_nodes() ? StepAction::kGoal
+                                                         : StepAction::kExpand;
+  }
+
+  void on_goal(StateIndex idx) {
+    // First goal within the threshold: optimal (thresholds grow by the
+    // minimal overshoot, so nothing cheaper was skipped).
+    found = true;
+    goal_len = arena.hot(idx).g;
+    goal_assignments.clear();
+    for (StateIndex i = idx; i != kNoParent; i = arena.hot(i).parent) {
+      if (arena.hot(i).is_root()) break;
+      goal_assignments.emplace_back(arena.hot(i).node(),
+                                    arena.hot(i).proc());
     }
+    std::reverse(goal_assignments.begin(), goal_assignments.end());
+  }
 
-    std::vector<bool> class_taken(problem.num_nodes(), false);
-    for (const NodeId n : ready) {
-      if (config.prune.node_equivalence) {
-        const NodeId r = problem.equivalence().representative(n);
-        if (class_taken[r]) {
-          ++stats.skipped_equivalence;
-          continue;
-        }
-        class_taken[r] = true;
-      }
-      for (ProcId p = 0; p < problem.num_procs(); ++p) {
-        if (rep[p] != p) {
-          ++stats.skipped_isomorphism;
-          continue;
-        }
-        const auto undo = dfs.apply(n, p);
-        ++stats.generated;
-        const double f = dfs.g() + dfs.evaluate(config.h);
-        const bool over_ub =
-            config.prune.upper_bound &&
-            (config.prune.strict_upper_bound
-                 ? f > problem.upper_bound() + 1e-9
-                 : f >= problem.upper_bound() - 1e-9);
-        if (over_ub) {
-          ++stats.pruned_upper_bound;
-        } else if (f > threshold + 1e-9) {
-          next_threshold = std::min(next_threshold, f);
-        } else if (probe()) {
-          dfs.revert(undo);
-          return true;
-        }
-        dfs.revert(undo);
-        if (aborted) return false;
-      }
-    }
-    return false;
+  void expand(StateIndex idx) {
+    batch.clear();
+    expander.expand(arena, no_dedup, idx, problem.upper_bound(),
+                    [&](StateIndex k, const State& child) {
+                      const double f = child.f();
+                      if (f > threshold + 1e-9) {
+                        next_threshold = std::min(next_threshold, f);
+                        return;  // truncated; reclaimed at the next pop
+                      }
+                      batch.push_back(k);
+                    });
+    // Children arrive best-priority-first; push reversed so the best pops
+    // first — identical depth-first order to the recursive formulation.
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) push(*it);
+  }
+
+  void after_expand() {
+    const std::size_t stack_bytes =
+        (stack.capacity() + stack_max.capacity() + batch.capacity()) *
+        sizeof(StateIndex);
+    peak_hot = std::max(peak_hot, arena.hot_memory_bytes());
+    peak_cold = std::max(peak_cold, arena.cold_memory_bytes());
+    peak_memory =
+        std::max(peak_memory, arena.memory_bytes() + stack_bytes);
+  }
+
+  std::uint64_t expanded_count() const { return expander.stats().expanded; }
+
+  /// The memory cap is never binding for IDA* (documented contract): the
+  /// working set is bounded by the DFS path, not by states visited.
+  std::size_t memory_now() const { return 0; }
+
+  void maybe_progress(KernelGuard& guard) {
+    // The current threshold is the tightest known lower bound on the
+    // optimum (every f below it was exhausted in earlier probes); the
+    // incumbent is the heuristic upper bound until a goal ends the search.
+    guard.maybe_progress(expanded_count(), threshold, incumbent);
   }
 };
 
@@ -255,35 +168,64 @@ SearchResult ida_star_schedule(const SearchProblem& problem,
   OPTSCHED_REQUIRE(config.h_weight == 1.0,
                    "invalid argument: IDA* is exact-only and does not "
                    "support h_weight != 1 (use weighted A*)");
-  IdaDriver driver(problem, config);
+  StateArena::require_packable(problem.num_nodes(), problem.num_procs());
+
+  // DFS probes do not deduplicate: a CLOSED set would reintroduce the
+  // O(states) memory IDA* avoids (and the recursive formulation never had
+  // one). Everything else follows the caller's pruning config.
+  SearchConfig probe_config = config;
+  probe_config.prune.duplicate_detection = false;
+
+  util::Timer timer;
+  Expander expander(problem, probe_config);
+  StateArena arena;
+  util::FlatSet128 no_dedup(16);
+  IdaPolicy policy(problem, expander, arena, no_dedup);
+  policy.incumbent = problem.upper_bound();
+  KernelGuard guard(config.controls,
+                    {config.max_expansions, config.time_budget_ms,
+                     /*memory: never binding*/ 0},
+                    timer);
 
   // Initial threshold: f of the empty schedule.
-  driver.threshold = driver.dfs.evaluate(config.h);
-  bool found = false;
-  while (!found && !driver.aborted) {
-    driver.next_threshold = std::numeric_limits<double>::infinity();
-    found = driver.probe();
-    if (!found && !driver.aborted) {
-      if (!std::isfinite(driver.next_threshold)) break;  // space exhausted
-      driver.threshold = driver.next_threshold;
+  const double initial_threshold = [&] {
+    const auto v = problem.num_nodes();
+    std::vector<double> finish(v, 0.0);
+    std::vector<ProcId> proc_of(v, machine::kInvalidProc);
+    std::vector<double> scratch(v, 0.0);
+    const ScheduleView empty{finish.data(), proc_of.data(), 0.0,
+                             dag::kInvalidNode, 0};
+    return evaluate_h(config.h, problem, empty, scratch.data());
+  }();
+
+  std::optional<Termination> aborted;
+  double threshold = initial_threshold;
+  while (!policy.found && !aborted) {
+    policy.begin_iteration(threshold);
+    aborted = run_search_loop(guard, policy);
+    if (!policy.found && !aborted) {
+      if (!std::isfinite(policy.next_threshold)) break;  // space exhausted
+      threshold = policy.next_threshold;
     }
   }
 
   sched::Schedule schedule(problem.graph(), problem.machine(), problem.comm());
-  if (found) {
-    for (const auto& [n, p] : driver.best_assignments) schedule.append(n, p);
+  if (policy.found) {
+    for (const auto& [n, p] : policy.goal_assignments) schedule.append(n, p);
   } else {
     schedule = problem.upper_bound_schedule();
   }
   sched::validate(schedule);
 
-  SearchResult result{std::move(schedule), 0.0, !driver.aborted, 1.0,
-                      driver.aborted ? driver.abort_reason
-                                     : Termination::kOptimal,
-                      driver.stats};
+  SearchResult result{std::move(schedule), 0.0, !aborted, 1.0,
+                      aborted ? *aborted : Termination::kOptimal,
+                      {}};
+  result.stats.absorb(expander.stats());
   result.makespan = result.schedule.makespan();
-  result.stats.elapsed_seconds = driver.timer.seconds();
-  result.stats.peak_memory_bytes = driver.dfs.memory_bytes();
+  result.stats.elapsed_seconds = timer.seconds();
+  result.stats.peak_memory_bytes = policy.peak_memory;
+  result.stats.arena_hot_bytes = policy.peak_hot;
+  result.stats.arena_cold_bytes = policy.peak_cold;
   return result;
 }
 

@@ -1,22 +1,38 @@
-// Search states and the state arena.
+// Search states and the structure-of-arrays state arena.
 //
 // A state is one assignment step: "schedule `node` on `proc`", chained to
 // its parent state. The full partial schedule a state denotes is recovered
-// by walking the parent chain and replaying the assignments (O(depth) with
-// a small constant — see core/expansion.hpp), so a state itself stays at
-// ~56 bytes regardless of graph size. The paper identifies memory as the
-// binding resource for A*; this layout keeps millions of states resident.
+// by replaying the parent chain (incrementally — see core/expansion.hpp),
+// so a state stays small regardless of graph size. The paper identifies
+// memory as the binding resource for A*; this layout keeps millions of
+// states resident.
 //
-// States are immutable once created and live in an arena (std::deque gives
-// stable addresses and index-based parent links that serialize trivially
-// for the parallel algorithm's state transfers).
+// The arena splits each state into a *hot* and a *cold* record:
+//
+//   HotState (24 bytes)   f, g, parent link, packed node/proc/depth — the
+//                         fields the pop -> stale-filter -> replay path
+//                         reads for every state it touches.
+//   ColdState (24 bytes)  the 128-bit duplicate-detection signature and the
+//                         stored finish time — read only when a state is
+//                         generated (signature extension), deduplicated, or
+//                         transferred between PPEs.
+//
+// Keeping the two apart more than halves the resident working set of the
+// search loop versus the former 56-byte AoS record: consecutive frontier
+// pops touch only the hot array, and the cold array stays out of cache
+// until the next generation burst. `State` remains as the generation-time
+// value type; `StateArena::add` splits it.
+//
+// Both arrays are plain vectors: all access is by index, and no caller may
+// hold a reference across an `add` (growth reallocates).
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "dag/graph.hpp"
 #include "machine/machine.hpp"
+#include "util/assert.hpp"
 #include "util/flat_set.hpp"
 
 namespace optsched::core {
@@ -24,6 +40,15 @@ namespace optsched::core {
 using StateIndex = std::uint32_t;
 inline constexpr StateIndex kNoParent = static_cast<StateIndex>(-1);
 
+/// Packed-field capacity of the hot record (12/8/12 bits for
+/// node/proc/depth, top code reserved as the root sentinel). Far beyond
+/// what any exact state-space search can enumerate; engines validate their
+/// problem against these before building an arena.
+inline constexpr std::uint32_t kMaxArenaNodes = (1u << 12) - 2;  // 4094
+inline constexpr std::uint32_t kMaxArenaProcs = (1u << 8) - 2;   // 254
+
+/// Generation-time state record (the full AoS view). Built by the expander
+/// for each surviving child, split into hot/cold by StateArena::add.
 struct State {
   util::Key128 sig;          ///< order-independent partial-schedule identity
   double finish = 0.0;       ///< finish time of `node`
@@ -38,38 +63,125 @@ struct State {
   bool is_root() const noexcept { return parent == kNoParent && depth == 0; }
 };
 
+/// Resident per-state record of the search loop. Exactly 24 bytes.
+struct HotState {
+  double f = 0.0;            ///< g + h, fixed at generation time
+  double g = 0.0;
+  StateIndex parent = kNoParent;
+  std::uint32_t packed = 0;  ///< node:12 | proc:8 | depth:12
+
+  static constexpr std::uint32_t kNodeShift = 20;
+  static constexpr std::uint32_t kProcShift = 12;
+  static constexpr std::uint32_t kNodeMask = 0xfff;
+  static constexpr std::uint32_t kProcMask = 0xff;
+  static constexpr std::uint32_t kDepthMask = 0xfff;
+
+  static std::uint32_t pack(dag::NodeId node, machine::ProcId proc,
+                            std::uint32_t depth) noexcept {
+    // kInvalidNode / kInvalidProc truncate to the all-ones sentinel codes.
+    return ((node & kNodeMask) << kNodeShift) |
+           ((proc & kProcMask) << kProcShift) | (depth & kDepthMask);
+  }
+
+  dag::NodeId node() const noexcept {
+    const std::uint32_t raw = (packed >> kNodeShift) & kNodeMask;
+    return raw == kNodeMask ? dag::kInvalidNode : raw;
+  }
+  machine::ProcId proc() const noexcept {
+    const std::uint32_t raw = (packed >> kProcShift) & kProcMask;
+    return raw == kProcMask ? machine::kInvalidProc : raw;
+  }
+  std::uint32_t depth() const noexcept { return packed & kDepthMask; }
+
+  /// Heuristic value, recovered from the stored sum. Exact enough for the
+  /// FOCAL tie-break (its only consumer); pushes at generation time use the
+  /// generation-record h directly.
+  double h() const noexcept { return f - g; }
+
+  bool is_root() const noexcept { return parent == kNoParent && depth() == 0; }
+};
+static_assert(sizeof(HotState) == 24, "hot state record must stay 24 bytes");
+
+/// Generation/dedup/transfer-time fields, kept off the search loop's path.
+struct ColdState {
+  util::Key128 sig;
+  double finish = 0.0;
+};
+
 class StateArena {
  public:
+  /// Engines call this once per solve: the packed hot record caps the
+  /// instance size (far above exact-search tractability either way).
+  static void require_packable(std::uint32_t num_nodes,
+                               std::uint32_t num_procs) {
+    OPTSCHED_REQUIRE(num_nodes <= kMaxArenaNodes,
+                     "state-space search supports at most 4094 nodes");
+    OPTSCHED_REQUIRE(num_procs <= kMaxArenaProcs,
+                     "state-space search supports at most 254 processors");
+  }
+
   StateIndex add(const State& s) {
-    const auto idx = static_cast<StateIndex>(states_.size());
-    states_.push_back(s);
+    const auto idx = static_cast<StateIndex>(hot_.size());
+    hot_.push_back({s.g + s.h, s.g, s.parent,
+                    HotState::pack(s.node, s.proc, s.depth)});
+    cold_.push_back({s.sig, s.finish});
     return idx;
   }
 
-  const State& operator[](StateIndex i) const {
-    OPTSCHED_ASSERT(i < states_.size());
-    return states_[i];
+  const HotState& hot(StateIndex i) const {
+    OPTSCHED_ASSERT(i < hot_.size());
+    return hot_[i];
   }
 
-  /// Mutable access — used only to patch the heuristic value of imported
-  /// states after replay (parallel transfers); search states are otherwise
-  /// immutable.
-  State& at(StateIndex i) {
-    OPTSCHED_ASSERT(i < states_.size());
-    return states_[i];
+  const util::Key128& sig(StateIndex i) const {
+    OPTSCHED_ASSERT(i < cold_.size());
+    return cold_[i].sig;
   }
 
-  std::size_t size() const noexcept { return states_.size(); }
+  double finish(StateIndex i) const {
+    OPTSCHED_ASSERT(i < cold_.size());
+    return cold_[i].finish;
+  }
 
+  /// Re-derive f after recomputing h — used only to patch imported states
+  /// after a PPE transfer so re-sharing them sends the right bound.
+  void patch_h(StateIndex i, double h) {
+    OPTSCHED_ASSERT(i < hot_.size());
+    hot_[i].f = hot_[i].g + h;
+  }
+
+  std::size_t size() const noexcept { return hot_.size(); }
+
+  void clear() noexcept {
+    hot_.clear();
+    cold_.clear();
+  }
+
+  /// Drop every state with index >= new_size (IDA*'s backtrack reclaim).
+  /// Indices below new_size keep their contents; callers that cache loaded
+  /// indices must invalidate anything at or above the cut.
+  void truncate(std::size_t new_size) {
+    if (new_size < hot_.size()) {
+      hot_.resize(new_size);
+      cold_.resize(new_size);
+    }
+  }
+
+  /// Resident footprint of the search loop's working set.
+  std::size_t hot_memory_bytes() const noexcept {
+    return hot_.capacity() * sizeof(HotState);
+  }
+  /// Generation/transfer-time footprint (signatures + stored finish times).
+  std::size_t cold_memory_bytes() const noexcept {
+    return cold_.capacity() * sizeof(ColdState);
+  }
   std::size_t memory_bytes() const noexcept {
-    return states_.size() * sizeof(State);
+    return hot_memory_bytes() + cold_memory_bytes();
   }
 
  private:
-  std::deque<State> states_;
+  std::vector<HotState> hot_;
+  std::vector<ColdState> cold_;
 };
-
-/// Root (empty-schedule) state.
-State make_root_state();
 
 }  // namespace optsched::core

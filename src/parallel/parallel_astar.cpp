@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/open_list.hpp"
+#include "core/search_kernel.hpp"
 #include "core/signature.hpp"
 #include "util/timer.hpp"
 
@@ -15,12 +16,14 @@ namespace optsched::par {
 
 using core::Expander;
 using core::kNoParent;
+using core::KernelGuard;
 using core::OpenEntry;
 using core::OpenList;
 using core::SearchProblem;
 using core::State;
 using core::StateArena;
 using core::StateIndex;
+using core::StepAction;
 using dag::NodeId;
 using machine::ProcId;
 
@@ -192,14 +195,23 @@ struct Shared {
   }
 };
 
+/// One search worker. The main loop is the shared kernel
+/// (core/search_kernel.hpp) instantiated over this PPE's thread-local
+/// frontier/arena; Ppe itself is the kernel policy.
 class Ppe {
  public:
   Ppe(Shared& shared, std::uint32_t id)
       : shared_(shared),
         id_(id),
         expander_(shared.problem, shared.config.search),
+        import_ctx_(shared.problem),
+        import_scratch_(shared.problem.num_nodes(), 0.0),
+        import_finish_(shared.problem.num_nodes(), 0.0),
+        import_proc_of_(shared.problem.num_nodes(), machine::kInvalidProc),
+        import_proc_ready_(shared.problem.num_procs(), 0.0),
         seen_(1 << 10),
-        open_(shared.config.search.epsilon) {}
+        open_(shared.config.search.epsilon),
+        progress_gate_(shared.config.search.controls) {}
 
   void run();
 
@@ -211,6 +223,87 @@ class Ppe {
   std::size_t memory_bytes() const {
     return arena_.memory_bytes() + seen_.memory_bytes() +
            open_.memory_bytes();
+  }
+  std::size_t arena_hot_bytes() const { return arena_.hot_memory_bytes(); }
+  std::size_t arena_cold_bytes() const { return arena_.cold_memory_bytes(); }
+
+  // ---- kernel policy interface -------------------------------------------
+
+  bool keep_searching() const {
+    return !shared_.done.load(std::memory_order_acquire);
+  }
+
+  bool pop(StateIndex& out) {
+    // Fast-drop a fully dominated frontier (everything >= incumbent).
+    if (!open_.empty() && dominated()) open_.clear();
+    if (open_.empty()) return false;
+    shared_.status[id_].idle.store(false, std::memory_order_release);
+    out = open_.pop_best();
+    return true;
+  }
+
+  /// Empty frontier: idle/steal dance. Always continues the loop — either
+  /// the mailbox refills OPEN, or global quiescence flips the done flag
+  /// that keep_searching() observes.
+  bool on_empty() {
+    shared_.status[id_].idle.store(true, std::memory_order_release);
+    publish();
+    drain_mailbox(std::chrono::microseconds(200));
+    if (!open_.empty()) {
+      shared_.status[id_].idle.store(false, std::memory_order_release);
+      return true;
+    }
+    // Sound termination: all PPEs idle and nothing in flight.
+    bool all_idle = true;
+    for (std::uint32_t i = 0; i < shared_.config.num_ppes; ++i)
+      if (!shared_.status[i].idle.load(std::memory_order_acquire)) {
+        all_idle = false;
+        break;
+      }
+    if (all_idle && !shared_.net.anything_in_flight())
+      shared_.done.store(true, std::memory_order_release);
+    return true;
+  }
+
+  StepAction classify(StateIndex idx) {
+    const core::HotState& s = arena_.hot(idx);
+    if (s.depth() == shared_.problem.num_nodes()) return StepAction::kGoal;
+    if (exact() && s.f >= shared_.incumbent() - 1e-9)
+      return StepAction::kSkip;  // stale
+    return StepAction::kExpand;
+  }
+
+  void on_goal(StateIndex idx) {
+    shared_.offer_incumbent(arena_.hot(idx).g, assignment_sequence(idx));
+  }
+
+  void expand(StateIndex idx) {
+    expander_.expand(arena_, seen_, idx, prune_bound(),
+                     [&](StateIndex child_idx, const State& child) {
+                       accept_child(child_idx, child);
+                     });
+    shared_.total_expanded.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void after_expand() {
+    if (++period_counter_ >= period_) {
+      period_counter_ = 0;
+      communicate();
+      ++round_;
+      period_ = period_for_round(round_);
+    }
+  }
+
+  std::uint64_t expanded_count() const {
+    return shared_.total_expanded.load(std::memory_order_relaxed);
+  }
+
+  std::size_t memory_now() const { return memory_bytes(); }
+
+  /// Progress goes through the shared serialized reporter; the local gate
+  /// only bounds how often this PPE takes the shared lock.
+  void maybe_progress(KernelGuard&) {
+    if (progress_gate_.open(expanded_count())) shared_.maybe_progress();
   }
 
  private:
@@ -236,11 +329,17 @@ class Ppe {
                                         std::memory_order_release);
   }
 
+  std::uint32_t period_for_round(std::uint32_t round) const {
+    const std::uint32_t v = shared_.problem.num_nodes();
+    const std::uint32_t shifted = round + 1 >= 31 ? 0u : (v >> (round + 1));
+    return std::max(shifted, shared_.config.min_period);
+  }
+
   std::vector<std::pair<NodeId, ProcId>> assignment_sequence(StateIndex idx) {
     std::vector<std::pair<NodeId, ProcId>> seq;
-    for (StateIndex i = idx; i != kNoParent; i = arena_[i].parent) {
-      if (arena_[i].is_root()) break;
-      seq.emplace_back(arena_[i].node, arena_[i].proc);
+    for (StateIndex i = idx; i != kNoParent; i = arena_.hot(i).parent) {
+      if (arena_.hot(i).is_root()) break;
+      seq.emplace_back(arena_.hot(i).node(), arena_.hot(i).proc());
     }
     std::reverse(seq.begin(), seq.end());
     return seq;
@@ -262,16 +361,22 @@ class Ppe {
   void drain_mailbox(std::chrono::microseconds wait);
   void communicate();
   void initial_distribution();
-  bool check_limits();
 
   Shared& shared_;
   std::uint32_t id_;
   Expander expander_;
+  core::ExpansionContext import_ctx_;   ///< reused across imports
+  std::vector<double> import_scratch_;  ///< h-evaluation scratch
+  std::vector<double> import_finish_;   ///< replay scratch, ditto
+  std::vector<ProcId> import_proc_of_;
+  std::vector<double> import_proc_ready_;
   StateArena arena_;
   util::FlatSet128 seen_;
   PpeOpen open_;
+  core::ProgressGate progress_gate_;
   std::uint32_t round_ = 0;
   std::uint64_t period_counter_ = 0;
+  std::uint64_t period_ = 0;
   std::uint32_t rr_cursor_ = 0;  ///< round-robin pointer for load sharing
 };
 
@@ -281,9 +386,12 @@ void Ppe::import_state(const StateMsg& msg) {
   const auto& machine = problem.machine();
 
   // Replay the assignment sequence, creating the chain of states locally.
-  std::vector<double> finish(graph.num_nodes(), 0.0);
-  std::vector<ProcId> proc_of(graph.num_nodes(), machine::kInvalidProc);
-  std::vector<double> proc_ready(machine.num_procs(), 0.0);
+  auto& finish = import_finish_;
+  auto& proc_of = import_proc_of_;
+  auto& proc_ready = import_proc_ready_;
+  std::fill(finish.begin(), finish.end(), 0.0);
+  std::fill(proc_of.begin(), proc_of.end(), machine::kInvalidProc);
+  std::fill(proc_ready.begin(), proc_ready.end(), 0.0);
 
   StateIndex parent = kNoParent;
   util::Key128 sig = core::root_signature();
@@ -296,7 +404,6 @@ void Ppe::import_state(const StateMsg& msg) {
   root.parent = kNoParent;
   parent = arena_.add(root);
 
-  State last{};
   for (const auto& [node, proc] : msg.assignments) {
     double dat = 0.0;
     for (const auto& [par, cost] : graph.parents(node))
@@ -322,7 +429,6 @@ void Ppe::import_state(const StateMsg& msg) {
     s.proc = proc;
     s.depth = depth;
     parent = arena_.add(s);
-    last = s;
   }
   OPTSCHED_ASSERT(depth == msg.assignments.size());
 
@@ -334,14 +440,12 @@ void Ppe::import_state(const StateMsg& msg) {
   // Recompute h for the transferred frontier state. msg.f lower-bounds the
   // recomputed f only up to the sender's h function, which is identical —
   // so the values must agree.
-  core::ExpansionContext ctx(problem);
-  ctx.load(arena_, parent);
-  std::vector<double> scratch(graph.num_nodes(), 0.0);
+  import_ctx_.move_to(arena_, parent);
   const double h =
-      core::evaluate_h(shared_.config.search.h, problem, ctx.view(),
-                       scratch.data()) *
+      core::evaluate_h(shared_.config.search.h, problem, import_ctx_.view(),
+                       import_scratch_.data()) *
       shared_.config.search.h_weight;
-  arena_.at(parent).h = h;  // so re-sharing this state sends the right f
+  arena_.patch_h(parent, h);  // so re-sharing this state sends the right f
   OPTSCHED_ASSERT(std::abs((g + h) - msg.f) < 1e-6);
 
   seen_.insert(sig);  // best effort; duplicates tolerated by design
@@ -404,12 +508,11 @@ void Ppe::communicate() {
     std::uint32_t cursor = 0;
     std::vector<std::vector<StateMsg>> outbound(neighbors.size());
     for (const StateIndex idx : children) {
+      const core::HotState& c = arena_.hot(idx);
       if (cursor == 0) {
-        const State& c = arena_[idx];
-        open_.push(c.f(), c.g, c.h, idx);
+        open_.push(c.f, c.g, c.h(), idx);
       } else {
-        const State& c = arena_[idx];
-        outbound[cursor - 1].push_back({assignment_sequence(idx), c.f()});
+        outbound[cursor - 1].push_back({assignment_sequence(idx), c.f});
       }
       cursor = (cursor + 1) % (static_cast<std::uint32_t>(neighbors.size()) + 1);
     }
@@ -441,9 +544,8 @@ void Ppe::communicate() {
           open_.extract_surplus(std::min<std::size_t>(surplus, 256));
       std::vector<std::vector<StateMsg>> outbound(deficit.size());
       for (const StateIndex idx : extracted) {
-        const State& s = arena_[idx];
         outbound[rr_cursor_ % deficit.size()].push_back(
-            {assignment_sequence(idx), s.f()});
+            {assignment_sequence(idx), arena_.hot(idx).f});
         ++rr_cursor_;
       }
       for (std::size_t k = 0; k < deficit.size(); ++k) {
@@ -474,11 +576,11 @@ void Ppe::initial_distribution() {
   seen_.insert(root.sig);
 
   OpenList frontier;
-  frontier.push({arena_[root_idx].f(), 0.0, root_idx});
+  frontier.push({arena_.hot(root_idx).f, 0.0, root_idx});
   while (!frontier.empty() && frontier.size() < q) {
     const OpenEntry e = frontier.pop();
-    if (arena_[e.index].depth == shared_.problem.num_nodes()) {
-      shared_.offer_incumbent(arena_[e.index].g,
+    if (arena_.hot(e.index).depth() == shared_.problem.num_nodes()) {
+      shared_.offer_incumbent(arena_.hot(e.index).g,
                               assignment_sequence(e.index));
       continue;
     }
@@ -508,106 +610,41 @@ void Ppe::initial_distribution() {
       owner = static_cast<std::uint32_t>(j - q) % q;
     }
     if (owner == id_) {
-      const State& s = arena_[entries[j].index];
-      open_.push(s.f(), s.g, s.h, entries[j].index);
+      const core::HotState& s = arena_.hot(entries[j].index);
+      open_.push(s.f, s.g, s.h(), entries[j].index);
     }
   }
   publish();
 }
 
-bool Ppe::check_limits() {
-  const auto& cfg = shared_.config.search;
-  if (cfg.controls.cancel.cancelled()) {
-    shared_.abort_reason.store(3);
-    shared_.done.store(true);
-    return true;
-  }
-  if (cfg.max_expansions &&
-      shared_.total_expanded.load(std::memory_order_relaxed) >=
-          cfg.max_expansions) {
-    shared_.abort_reason.store(1);
-    shared_.done.store(true);
-    return true;
-  }
-  if (cfg.time_budget_ms > 0 &&
-      shared_.timer.millis() >= cfg.time_budget_ms) {
-    shared_.abort_reason.store(2);
-    shared_.done.store(true);
-    return true;
-  }
-  // The memory cap is enforced as a per-PPE share: each PPE only sees its
-  // own arena, and arenas are append-only so the shares sum to the cap.
-  if (cfg.max_memory_bytes &&
-      memory_bytes() >= cfg.max_memory_bytes / shared_.config.num_ppes) {
-    shared_.abort_reason.store(4);
-    shared_.done.store(true);
-    return true;
-  }
-  shared_.maybe_progress();
-  return false;
-}
-
 void Ppe::run() {
   initial_distribution();
 
-  const std::uint32_t v = shared_.problem.num_nodes();
-  auto period_for_round = [&](std::uint32_t round) {
-    const std::uint32_t shifted = round + 1 >= 31 ? 0u : (v >> (round + 1));
-    return std::max(shifted, shared_.config.min_period);
-  };
-  std::uint64_t period = period_for_round(round_);
-  std::uint64_t limit_check = 0;
+  period_counter_ = 0;
+  period_ = period_for_round(round_);
 
-  while (!shared_.done.load(std::memory_order_acquire)) {
-    // Post-increment so the very first iteration checks — a pre-cancelled
-    // token must stop the search before any expansion happens.
-    if ((limit_check++ & 0x3f) == 0 && check_limits()) break;
+  // The shared kernel owns limits/cancellation (polled every 64 pops, as
+  // the hand-rolled loop did) against the shared run timer; the memory cap
+  // is a per-PPE share: each PPE only sees its own arena, and arenas are
+  // append-only so the shares sum to the cap.
+  const auto& cfg = shared_.config.search;
+  KernelGuard::Limits limits{cfg.max_expansions, cfg.time_budget_ms, 0};
+  if (cfg.max_memory_bytes)
+    limits.max_memory_bytes = std::max<std::size_t>(
+        1, cfg.max_memory_bytes / shared_.config.num_ppes);
+  KernelGuard guard(cfg.controls, limits, shared_.timer, /*poll_period=*/64);
 
-    // Fast-drop a fully dominated frontier (everything >= incumbent).
-    if (!open_.empty() && dominated()) open_.clear();
-
-    if (open_.empty()) {
-      shared_.status[id_].idle.store(true, std::memory_order_release);
-      publish();
-      drain_mailbox(std::chrono::microseconds(200));
-      if (!open_.empty()) {
-        shared_.status[id_].idle.store(false, std::memory_order_release);
-        continue;
-      }
-      // Sound termination: all PPEs idle and nothing in flight.
-      bool all_idle = true;
-      for (std::uint32_t i = 0; i < shared_.config.num_ppes; ++i)
-        if (!shared_.status[i].idle.load(std::memory_order_acquire)) {
-          all_idle = false;
-          break;
-        }
-      if (all_idle && !shared_.net.anything_in_flight())
-        shared_.done.store(true, std::memory_order_release);
-      continue;
+  if (const auto hit = core::run_search_loop(guard, *this)) {
+    int code = 0;
+    switch (*hit) {
+      case core::Termination::kExpansionLimit: code = 1; break;
+      case core::Termination::kTimeLimit: code = 2; break;
+      case core::Termination::kCancelled: code = 3; break;
+      case core::Termination::kMemoryLimit: code = 4; break;
+      default: break;
     }
-
-    shared_.status[id_].idle.store(false, std::memory_order_release);
-    const StateIndex idx = open_.pop_best();
-    const State& s = arena_[idx];
-
-    if (s.depth == v) {
-      shared_.offer_incumbent(s.g, assignment_sequence(idx));
-      continue;
-    }
-    if (exact() && s.f() >= shared_.incumbent() - 1e-9) continue;  // stale
-
-    expander_.expand(arena_, seen_, idx, prune_bound(),
-                     [&](StateIndex child_idx, const State& child) {
-                       accept_child(child_idx, child);
-                     });
-    shared_.total_expanded.fetch_add(1, std::memory_order_relaxed);
-
-    if (++period_counter_ >= period) {
-      period_counter_ = 0;
-      communicate();
-      ++round_;
-      period = period_for_round(round_);
-    }
+    shared_.abort_reason.store(code);
+    shared_.done.store(true);
   }
   shared_.status[id_].idle.store(true, std::memory_order_release);
 }
@@ -619,6 +656,7 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
   OPTSCHED_REQUIRE(config.num_ppes >= 1, "need at least one PPE");
   OPTSCHED_REQUIRE(config.search.h_weight >= 1.0, "h_weight must be >= 1");
   OPTSCHED_REQUIRE(config.search.epsilon >= 0.0, "epsilon must be >= 0");
+  StateArena::require_packable(problem.num_nodes(), problem.num_procs());
 
   Shared shared(problem, config);
   std::vector<std::unique_ptr<Ppe>> ppes;
@@ -679,6 +717,8 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
   for (const auto& ppe : ppes) {
     out.result.stats.absorb(ppe->stats());
     out.result.stats.peak_memory_bytes += ppe->memory_bytes();
+    out.result.stats.arena_hot_bytes += ppe->arena_hot_bytes();
+    out.result.stats.arena_cold_bytes += ppe->arena_cold_bytes();
     out.par_stats.expanded_per_ppe.push_back(ppe->stats().expanded);
   }
   out.result.stats.elapsed_seconds = shared.timer.seconds();

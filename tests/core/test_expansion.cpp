@@ -58,9 +58,9 @@ TEST(Expansion, RootOfPaperExampleGeneratesOneState) {
   Fixture fx(g, m);
   const auto kids = fx.expand(fx.root);
   ASSERT_EQ(kids.size(), 1u);
-  EXPECT_EQ(fx.arena[kids[0]].node, 0u);
-  EXPECT_EQ(fx.arena[kids[0]].proc, 0u);
-  EXPECT_DOUBLE_EQ(fx.arena[kids[0]].g, 2.0);
+  EXPECT_EQ(fx.arena.hot(kids[0]).node(), 0u);
+  EXPECT_EQ(fx.arena.hot(kids[0]).proc(), 0u);
+  EXPECT_DOUBLE_EQ(fx.arena.hot(kids[0]).g, 2.0);
 }
 
 TEST(Expansion, SecondLevelOfPaperExampleGeneratesFourStates) {
@@ -84,10 +84,10 @@ TEST(Expansion, SecondLevelOfPaperExampleGeneratesFourStates) {
   for (const auto& e : expected) {
     bool found = false;
     for (const StateIndex k : level2) {
-      const State& s = fx.arena[k];
-      if (s.node == e.node && s.proc == e.proc) {
+      const HotState& s = fx.arena.hot(k);
+      if (s.node() == e.node && s.proc() == e.proc) {
         EXPECT_DOUBLE_EQ(s.g, e.g);
-        EXPECT_DOUBLE_EQ(s.h, e.h);
+        EXPECT_DOUBLE_EQ(s.h(), e.h);
         found = true;
       }
     }
@@ -180,14 +180,14 @@ TEST(Expansion, ContextReplayMatchesSchedule) {
   sched::Schedule reference(g, m);
 
   StateIndex cur = fx.root;
-  while (fx.arena[cur].depth < g.num_nodes()) {
+  while (fx.arena.hot(cur).depth() < g.num_nodes()) {
     const auto kids = fx.expand(cur);
     ASSERT_FALSE(kids.empty());
     cur = kids[0];
-    reference.append(fx.arena[cur].node, fx.arena[cur].proc);
-    EXPECT_DOUBLE_EQ(fx.arena[cur].finish,
-                     reference.placement(fx.arena[cur].node).finish);
-    EXPECT_DOUBLE_EQ(fx.arena[cur].g, reference.makespan());
+    reference.append(fx.arena.hot(cur).node(), fx.arena.hot(cur).proc());
+    EXPECT_DOUBLE_EQ(fx.arena.finish(cur),
+                     reference.placement(fx.arena.hot(cur).node()).finish);
+    EXPECT_DOUBLE_EQ(fx.arena.hot(cur).g, reference.makespan());
   }
 }
 
@@ -210,7 +210,7 @@ TEST(Expansion, ReconstructScheduleRoundTrip) {
   const auto m = Machine::paper_ring3();
   Fixture fx(g, m);
   StateIndex cur = fx.root;
-  while (fx.arena[cur].depth < g.num_nodes()) {
+  while (fx.arena.hot(cur).depth() < g.num_nodes()) {
     const auto kids = fx.expand(cur);
     ASSERT_FALSE(kids.empty());
     cur = kids.back();
@@ -218,7 +218,7 @@ TEST(Expansion, ReconstructScheduleRoundTrip) {
   const sched::Schedule s = reconstruct_schedule(fx.problem, fx.arena, cur);
   EXPECT_TRUE(s.complete());
   EXPECT_NO_THROW(sched::validate(s));
-  EXPECT_DOUBLE_EQ(s.makespan(), fx.arena[cur].g);
+  EXPECT_DOUBLE_EQ(s.makespan(), fx.arena.hot(cur).g);
 }
 
 TEST(Expansion, GeneratedCountsConsistent) {

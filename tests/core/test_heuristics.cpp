@@ -27,7 +27,7 @@ State root_state() {
 /// hide its completion value from the branch that reaches it second.
 double best_completion(const SearchProblem& problem, Expander& expander,
                        StateArena& arena, StateIndex idx) {
-  if (arena[idx].depth == problem.num_nodes()) return arena[idx].g;
+  if (arena.hot(idx).depth() == problem.num_nodes()) return arena.hot(idx).g;
   util::FlatSet128 unused(16);
   std::vector<StateIndex> kids;
   expander.expand(arena, unused, idx, kInf,
@@ -83,7 +83,8 @@ TEST_P(Admissibility, HNeverExceedsTrueRemainingCost) {
     const double opt = best_completion(problem, expander, arena, cur);
     ASSERT_LT(opt, kInf);
     EXPECT_LE(h, opt - ctx.g() + 1e-9)
-        << to_string(hfn) << " inadmissible at depth " << arena[cur].depth;
+        << to_string(hfn) << " inadmissible at depth "
+        << arena.hot(cur).depth();
     ++checked;
   }
   EXPECT_EQ(checked, 8);
@@ -110,12 +111,13 @@ TEST(Heuristics, PaperValueOnFigure1Root) {
   const StateIndex root_idx = arena.add(root_state());
   seen.insert(root_signature());
 
-  std::vector<const State*> kids;
+  // The emitted State reference is only valid during the callback: copy.
+  std::vector<State> kids;
   expander.expand(arena, seen, root_idx, kInf,
-                  [&](StateIndex, const State& c) { kids.push_back(&c); });
+                  [&](StateIndex, const State& c) { kids.push_back(c); });
   ASSERT_EQ(kids.size(), 1u);  // processor isomorphism: one state only
-  EXPECT_DOUBLE_EQ(kids[0]->g, 2.0);
-  EXPECT_DOUBLE_EQ(kids[0]->h, 10.0);
+  EXPECT_DOUBLE_EQ(kids[0].g, 2.0);
+  EXPECT_DOUBLE_EQ(kids[0].h, 10.0);
 }
 
 TEST(Heuristics, GoalStatesHaveZeroH) {
@@ -131,13 +133,13 @@ TEST(Heuristics, GoalStatesHaveZeroH) {
     const double st = ctx.start_time(n, 0);
     const double ft = st + g.weight(n);
     State child;
-    child.sig = extend_signature(arena[cur].sig, n, 0, ft);
+    child.sig = extend_signature(arena.sig(cur), n, 0, ft);
     child.finish = ft;
     child.g = std::max(ctx.g(), ft);
     child.parent = cur;
     child.node = n;
     child.proc = 0;
-    child.depth = arena[cur].depth + 1;
+    child.depth = arena.hot(cur).depth() + 1;
     cur = arena.add(child);
   }
   ctx.load(arena, cur);

@@ -1,0 +1,146 @@
+// Randomized property test for ExpansionContext::move_to (delta replay):
+// moving the context to any state of a search tree — by LCA rewind +
+// suffix replay or by threshold fallback — must leave it bit-exact with a
+// fresh full load() of the same state. Exercised across random DAGs,
+// machine topologies (ring / mesh / hypercube / heterogeneous clique), and
+// both communication modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/expansion.hpp"
+#include "dag/generators.hpp"
+#include "util/rng.hpp"
+
+namespace optsched::core {
+namespace {
+
+using machine::CommMode;
+using machine::Machine;
+
+struct Topology {
+  const char* name;
+  Machine machine;
+};
+
+std::vector<Topology> topologies() {
+  std::vector<Topology> t;
+  t.push_back({"ring4", Machine::ring(4)});
+  t.push_back({"mesh2x2", Machine::mesh(2, 2)});
+  t.push_back({"hypercube3", Machine::hypercube(3)});
+  t.push_back({"hetero-clique3",
+               Machine::fully_connected(3, {1.0, 2.0, 1.5})});
+  return t;
+}
+
+/// Every observable of the two contexts must agree exactly — replay is
+/// deterministic, so even the doubles are compared bit-for-bit (EXPECT_EQ,
+/// not near).
+void expect_bit_exact(const SearchProblem& problem,
+                      const ExpansionContext& delta,
+                      const ExpansionContext& fresh) {
+  ASSERT_EQ(delta.depth(), fresh.depth());
+  EXPECT_EQ(delta.g(), fresh.g());
+  EXPECT_EQ(delta.nmax(), fresh.nmax());
+  EXPECT_EQ(delta.ready(), fresh.ready());
+  EXPECT_EQ(delta.assignments(), fresh.assignments());
+  for (NodeId n = 0; n < problem.num_nodes(); ++n) {
+    ASSERT_EQ(delta.scheduled(n), fresh.scheduled(n)) << "node " << n;
+    EXPECT_EQ(delta.proc_of(n), fresh.proc_of(n)) << "node " << n;
+    EXPECT_EQ(delta.finish_time(n), fresh.finish_time(n)) << "node " << n;
+  }
+  for (ProcId p = 0; p < problem.num_procs(); ++p)
+    EXPECT_EQ(delta.proc_ready(p), fresh.proc_ready(p)) << "proc " << p;
+  EXPECT_EQ(delta.busy(), fresh.busy());
+}
+
+class DeltaReplay
+    : public ::testing::TestWithParam<std::tuple<std::size_t, CommMode,
+                                                 std::uint64_t>> {};
+
+TEST_P(DeltaReplay, MoveToMatchesFullLoadEverywhere) {
+  const auto [topo_index, comm, seed] = GetParam();
+  const Topology topo = topologies()[topo_index];
+
+  dag::RandomDagParams params;
+  params.num_nodes = 12 + static_cast<std::uint32_t>(seed % 5);
+  params.ccr = seed % 2 == 0 ? 1.0 : 10.0;
+  params.seed = 4242 + seed;
+  const dag::TaskGraph g = dag::random_dag(params);
+  const SearchProblem problem(g, topo.machine, comm);
+
+  SearchConfig cfg;  // all prunings on: the tree the real engines search
+  Expander expander(problem, cfg);
+  StateArena arena;
+  util::FlatSet128 seen(1 << 10);
+  util::Rng rng(seed * 7919 + topo_index * 131 + 17);
+
+  State root;
+  root.sig = root_signature();
+  root.parent = kNoParent;
+  std::vector<StateIndex> pool{arena.add(root)};
+  seen.insert(root.sig);
+
+  // Grow a ragged search tree by expanding random pool states (duplicates
+  // and goals are simply not re-expanded).
+  for (int burst = 0; burst < 40; ++burst) {
+    const StateIndex idx =
+        pool[rng.uniform_u64(0, pool.size() - 1)];
+    if (arena.hot(idx).depth() == problem.num_nodes()) continue;
+    expander.expand(arena, seen, idx, /*prune_bound=*/1e300,
+                    [&](StateIndex k, const State&) { pool.push_back(k); });
+  }
+  ASSERT_GT(pool.size(), 10u);
+
+  ExpandStats delta_stats;
+  ExpansionContext delta(problem);
+  delta.set_stats(&delta_stats);
+  ExpansionContext fresh(problem);
+
+  // Phase 1 — random teleports across the whole tree (forces a mix of
+  // fallback full loads and genuine LCA rewinds).
+  for (int trial = 0; trial < 60; ++trial) {
+    const StateIndex idx = pool[rng.uniform_u64(0, pool.size() - 1)];
+    delta.move_to(arena, idx);
+    fresh.load(arena, idx);
+    expect_bit_exact(problem, delta, fresh);
+  }
+
+  // Phase 2 — a frontier-local walk (parent/child/sibling hops), the case
+  // delta replay exists for: every step must be incremental-capable and
+  // still bit-exact.
+  StateIndex cur = pool[rng.uniform_u64(0, pool.size() - 1)];
+  for (int step = 0; step < 60; ++step) {
+    const auto& s = arena.hot(cur);
+    switch (rng.uniform_u64(0, 2)) {
+      case 0:  // parent (stay at root if already there)
+        if (!s.is_root()) cur = s.parent;
+        break;
+      default: {  // random pool member sharing this state's parent, or any
+        std::vector<StateIndex> near;
+        for (const StateIndex c : pool)
+          if (arena.hot(c).parent == s.parent && c != cur) near.push_back(c);
+        cur = near.empty() ? pool[rng.uniform_u64(0, pool.size() - 1)]
+                           : near[rng.uniform_u64(0, near.size() - 1)];
+        break;
+      }
+    }
+    delta.move_to(arena, cur);
+    fresh.load(arena, cur);
+    expect_bit_exact(problem, delta, fresh);
+  }
+
+  // The walk must have exercised both paths, or the test proves nothing.
+  EXPECT_GT(delta_stats.loads_incremental, 0u) << topo.name;
+  EXPECT_GT(delta_stats.loads_full, 0u) << topo.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesCommModesSeeds, DeltaReplay,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 3),
+                       ::testing::Values(CommMode::kUnitDistance,
+                                         CommMode::kHopScaled),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace optsched::core
