@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# End-to-end suite snapshot: run the workload suite runner itself over the
+# bench corpus and emit its JSON report for the perf trajectory (committed
+# as BENCH_pr<N>.json when a PR moves an engine or the runner). Usage:
+#
+#   bench/run_suite.sh [build-dir] [out.json] [jobs]
+#
+# Unlike bench_micro (per-operation costs), this records whole-solve
+# behaviour per engine — expansion counts, delta-load ratios, peak
+# memory — with the differential oracle and ScheduleValidator armed, so a
+# perf regression that breaks correctness fails the snapshot instead of
+# silently recording it.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_suite_local.json}
+JOBS=${3:-$(nproc)}
+
+BIN="$BUILD_DIR/examples/optsched_cli"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . &&" \
+       "cmake --build $BUILD_DIR --target optsched_cli)" >&2
+  exit 1
+fi
+
+"$BIN" suite \
+  --corpus "$(dirname "$0")/corpus_bench.txt" \
+  --engines astar,ida,chenyu \
+  --jobs "$JOBS" \
+  --json "$OUT"
+
+echo "wrote $OUT"

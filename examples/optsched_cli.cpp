@@ -13,9 +13,19 @@
 //   $ ./optsched_cli graph.tg --engine ida --opts h=composite,prune=all
 //   $ ./optsched_cli --demo --engine portfolio   # race all optimal engines
 //   $ ./optsched_cli --list-engines
+//
+// The `suite` subcommand fans a workload corpus (workload/corpus.hpp) out
+// across a thread pool, cross-checks engines with the differential oracle,
+// and emits CSV/JSON reports. Exit status is nonzero on any oracle
+// mismatch, validator violation, or solve error:
+//
+//   $ ./optsched_cli suite --corpus tests/data/corpus_smoke.txt
+//       --engines astar,ida,chenyu --jobs 4 --csv report.csv
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "api/registry.hpp"
 #include "dag/graph.hpp"
@@ -24,6 +34,9 @@
 #include "machine/spec.hpp"
 #include "sched/metrics.hpp"
 #include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workload/corpus.hpp"
+#include "workload/suite.hpp"
 
 using namespace optsched;
 
@@ -49,9 +62,93 @@ std::string verdict_for(const api::SolveResult& r) {
   return std::string("incumbent only: ") + core::to_string(r.reason);
 }
 
+/// `optsched_cli suite ...` — run a scenario corpus through the workload
+/// suite runner. argv[0] here is the literal "suite".
+int suite_main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("corpus", "corpus file, one scenario spec per line (required)")
+      .describe("engines", "comma-separated registry names, or 'optimal' "
+                           "for every serial optimality-proving engine "
+                           "that honors budgets/cancellation "
+                           "(default optimal)")
+      .describe("jobs", "worker threads sharding the corpus "
+                        "(default hardware concurrency)")
+      .describe("budget-ms", "per-instance time budget (default unlimited)")
+      .describe("max-expansions",
+                "per-instance expansion budget (default unlimited)")
+      .describe("max-memory-mb",
+                "per-instance search-memory cap (default unlimited)")
+      .describe("no-validate", "skip ScheduleValidator on returned schedules")
+      .describe("no-oracle", "skip the cross-engine differential oracle")
+      .describe("csv", "write the per-run report table to this file")
+      .describe("json", "write the full JSON report to this file")
+      .describe("progress", "print one line per finished run");
+  if (cli.maybe_print_help(
+          "Run a workload corpus across engines with an oracle"))
+    return 0;
+  cli.validate();
+
+  OPTSCHED_REQUIRE(cli.has("corpus"), "suite requires --corpus <file>");
+  const auto corpus = workload::load_corpus_file(cli.get("corpus", ""));
+
+  workload::SuiteConfig config;
+  const std::string engines = cli.get("engines", "optimal");
+  // The default set excludes engines that ignore limits and cancellation
+  // (the brute-force `exhaustive` oracle would hang with no way to budget
+  // or abort the run) and multithreaded ones (their expanded/generated/
+  // peak-memory stats are timing-dependent, which would break the
+  // documented rerun-and-diff determinism of the report).
+  config.engines =
+      engines == "optimal"
+          ? api::SolverRegistry::instance().names_matching(
+                [](const api::EngineCaps& caps) {
+                  return caps.optimal && caps.anytime && !caps.parallel;
+                })
+          : util::split(engines, ',');
+  const std::int64_t jobs = cli.get_int(
+      "jobs", std::max(1u, std::thread::hardware_concurrency()));
+  OPTSCHED_REQUIRE(jobs >= 1, "--jobs must be >= 1");
+  config.jobs = static_cast<unsigned>(jobs);
+  config.limits.time_budget_ms = cli.get_double("budget-ms", 0.0);
+  const std::int64_t max_expansions = cli.get_int("max-expansions", 0);
+  OPTSCHED_REQUIRE(max_expansions >= 0, "--max-expansions must be >= 0");
+  config.limits.max_expansions = static_cast<std::uint64_t>(max_expansions);
+  const std::int64_t max_memory_mb = cli.get_int("max-memory-mb", 0);
+  OPTSCHED_REQUIRE(max_memory_mb >= 0, "--max-memory-mb must be >= 0");
+  config.limits.max_memory_bytes =
+      static_cast<std::size_t>(max_memory_mb) * 1024 * 1024;
+  config.validate_schedules = !cli.get_bool("no-validate");
+  config.differential_oracle = !cli.get_bool("no-oracle");
+  if (cli.get_bool("progress"))
+    config.on_record = [](const workload::SuiteRecord& rec) {
+      std::fprintf(stderr, "  [%zu] %s: makespan %.2f (%s)%s\n", rec.instance,
+                   rec.engine.c_str(), rec.makespan, rec.termination.c_str(),
+                   rec.error.empty() ? "" : " ERROR");
+    };
+
+  const workload::SuiteReport report = workload::run_suite(corpus, config);
+  std::printf("%s", report.summary().c_str());
+
+  if (cli.has("csv")) {
+    std::ofstream out(cli.get("csv", ""));
+    OPTSCHED_REQUIRE(out.good(), "cannot write --csv file");
+    workload::write_csv(report, out);
+    std::printf("wrote %s\n", cli.get("csv", "").c_str());
+  }
+  if (cli.has("json")) {
+    std::ofstream out(cli.get("json", ""));
+    OPTSCHED_REQUIRE(out.good(), "cannot write --json file");
+    workload::write_json(report, out);
+    std::printf("wrote %s\n", cli.get("json", "").c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
+  if (argc >= 2 && std::string(argv[1]) == "suite")
+    return suite_main(argc - 1, argv + 1);
   util::Cli cli(argc, argv);
   cli.describe("machine", "target machine, kind:size (default clique:4)")
       .describe("engine", engine_help())
@@ -70,7 +167,9 @@ int main(int argc, char** argv) try {
       .describe("demo", "schedule the paper's Figure 1 example")
       .describe("list-engines", "list registered engines and exit")
       .describe("markdown", "with --list-engines: emit a markdown table");
-  if (cli.maybe_print_help("Schedule a task-graph file")) return 0;
+  if (cli.maybe_print_help("Schedule a task-graph file (also: "
+                           "`optsched_cli suite --help` for corpus runs)"))
+    return 0;
   cli.validate();
 
   if (cli.get_bool("list-engines")) {

@@ -71,6 +71,15 @@ std::vector<std::string> SolverRegistry::names() const {
   return out;  // std::map iteration is already sorted
 }
 
+std::vector<std::string> SolverRegistry::names_matching(
+    const std::function<bool(const EngineCaps&)>& pred) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, info] : engines_)
+    if (pred(info.caps)) out.push_back(name);
+  return out;
+}
+
 EngineInfo SolverRegistry::info(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = engines_.find(name);

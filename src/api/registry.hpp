@@ -44,6 +44,12 @@ class SolverRegistry {
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;  ///< sorted
 
+  /// Sorted names of every engine whose capabilities satisfy `pred` —
+  /// e.g. the suite runner's default engine set is
+  /// `names_matching([](const EngineCaps& c) { return c.optimal; })`.
+  std::vector<std::string> names_matching(
+      const std::function<bool(const EngineCaps&)>& pred) const;
+
   /// Metadata for one engine; throws InvalidRequest (listing the
   /// registered names) when unknown.
   EngineInfo info(const std::string& name) const;

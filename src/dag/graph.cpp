@@ -112,6 +112,20 @@ void TaskGraph::finalize() {
   finalized_ = true;
 }
 
+bool identical_graphs(const TaskGraph& a, const TaskGraph& b) {
+  OPTSCHED_REQUIRE(a.finalized() && b.finalized(),
+                   "identical_graphs requires finalized graphs");
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges())
+    return false;
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    if (a.weight(n) != b.weight(n) || a.name(n) != b.name(n)) return false;
+    const auto ca = a.children(n);
+    const auto cb = b.children(n);
+    if (!std::equal(ca.begin(), ca.end(), cb.begin(), cb.end())) return false;
+  }
+  return true;
+}
+
 TaskGraph paper_figure1() {
   TaskGraph g;
   const NodeId n1 = g.add_node(2, "n1");

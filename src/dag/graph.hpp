@@ -136,6 +136,12 @@ class TaskGraph {
   std::vector<NodeId> topo_, entries_, exits_;
 };
 
+/// Bit-exact equality of two finalized graphs: same node count, weights,
+/// names, and adjacency (edges with exactly equal costs, in CSR order).
+/// This is the workload round-trip oracle — a ScenarioSpec must
+/// rematerialize to an identical_graphs() twin after serialize/parse.
+bool identical_graphs(const TaskGraph& a, const TaskGraph& b);
+
 /// The 6-node example DAG of the paper's Figure 1(a). Edge costs are
 /// reconstructed from the published t-level/b-level/static-level table
 /// (Figure 2): (n1,n2)=1, (n1,n3)=1, (n1,n4)=2, (n2,n5)=1, (n3,n5)=1,

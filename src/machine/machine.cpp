@@ -140,4 +140,8 @@ Machine Machine::star(std::uint32_t p) {
   return Machine(std::move(adj), {}, "star" + std::to_string(p));
 }
 
+bool identical_machines(const Machine& a, const Machine& b) {
+  return a.adj_ == b.adj_ && a.speeds_ == b.speeds_ && a.name_ == b.name_;
+}
+
 }  // namespace optsched::machine

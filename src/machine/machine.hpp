@@ -89,6 +89,11 @@ class Machine {
     return c * static_cast<double>(hop_distance(from, to));
   }
 
+  /// Bit-exact equality: same adjacency lists, speeds, and topology name.
+  /// The workload round-trip oracle — a serialized machine spec must
+  /// rebuild an identical twin.
+  friend bool identical_machines(const Machine& a, const Machine& b);
+
  private:
   void compute_hops();
 
@@ -100,5 +105,7 @@ class Machine {
   double max_speed_ = 1.0;
   std::string name_;
 };
+
+bool identical_machines(const Machine& a, const Machine& b);
 
 }  // namespace optsched::machine

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "sched/validator.hpp"
+
 namespace optsched::sched {
 
 Schedule::Schedule(const dag::TaskGraph& graph, const machine::Machine& machine,
@@ -66,41 +68,8 @@ std::uint32_t Schedule::procs_used() const {
 }
 
 void validate(const Schedule& s) {
-  const auto& g = s.graph();
-  const auto& m = s.machine();
-
-  for (NodeId n = 0; n < g.num_nodes(); ++n)
-    OPTSCHED_REQUIRE(s.scheduled(n),
-                     "schedule incomplete: task " + g.name(n) + " unplaced");
-
-  for (ProcId p = 0; p < m.num_procs(); ++p) {
-    const auto& list = s.proc_slots(p);
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      const auto& slot = list[i];
-      const double exec = m.exec_time(g.weight(slot.node), p);
-      OPTSCHED_REQUIRE(std::abs((slot.finish - slot.start) - exec) < 1e-9,
-                       "task " + g.name(slot.node) +
-                           " duration does not match its execution time");
-      if (i > 0)
-        OPTSCHED_REQUIRE(list[i - 1].finish <= slot.start + 1e-9,
-                         "tasks " + g.name(list[i - 1].node) + " and " +
-                             g.name(slot.node) + " overlap on processor " +
-                             std::to_string(p));
-    }
-  }
-
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
-    const Placement& pn = s.placement(n);
-    for (const auto& [parent, cost] : g.parents(n)) {
-      const Placement& pp = s.placement(parent);
-      const double earliest =
-          pp.finish + m.comm_delay(cost, pp.proc, pn.proc, s.comm_mode());
-      OPTSCHED_REQUIRE(
-          pn.start >= earliest - 1e-9,
-          "precedence violation: " + g.name(n) + " starts before data from " +
-              g.name(parent) + " can arrive");
-    }
-  }
+  const auto violations = ScheduleValidator().check(s);
+  if (!violations.empty()) throw util::Error(violations.front().message);
 }
 
 std::string render_gantt(const Schedule& s, std::size_t width) {

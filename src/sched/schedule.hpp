@@ -95,7 +95,9 @@ class Schedule {
 /// Validate a (complete) schedule: every task placed exactly once, no
 /// overlap on any processor, and every task starts no earlier than each
 /// parent's finish plus the communication delay. Throws util::Error with a
-/// precise message on the first violation.
+/// precise message on the first violation. Implemented on top of
+/// ScheduleValidator (sched/validator.hpp), which reports *all* violations
+/// with typed kinds for the suite runner and property tests.
 void validate(const Schedule& schedule);
 
 /// ASCII Gantt chart (one row per processor) for reports and examples.

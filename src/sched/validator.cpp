@@ -1,0 +1,79 @@
+#include "sched/validator.hpp"
+
+#include <cmath>
+
+namespace optsched::sched {
+
+const char* to_string(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kUnplaced: return "unplaced";
+    case Violation::Kind::kBadTiming: return "bad-timing";
+    case Violation::Kind::kOverlap: return "overlap";
+    case Violation::Kind::kPrecedence: return "precedence";
+  }
+  return "?";
+}
+
+std::vector<Violation> ScheduleValidator::check(const Schedule& s) const {
+  const auto& g = s.graph();
+  const auto& m = s.machine();
+  std::vector<Violation> out;
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    if (!s.scheduled(n))
+      out.push_back({Violation::Kind::kUnplaced, n,
+                     "schedule incomplete: task " + g.name(n) + " unplaced"});
+
+  for (ProcId p = 0; p < m.num_procs(); ++p) {
+    const auto& list = s.proc_slots(p);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const auto& slot = list[i];
+      if (!(std::isfinite(slot.start) && slot.start >= -tolerance_)) {
+        out.push_back({Violation::Kind::kBadTiming, slot.node,
+                       "task " + g.name(slot.node) +
+                           " has a negative or non-finite start time"});
+      }
+      const double exec = m.exec_time(g.weight(slot.node), p);
+      if (!(std::abs((slot.finish - slot.start) - exec) < tolerance_))
+        out.push_back({Violation::Kind::kBadTiming, slot.node,
+                       "task " + g.name(slot.node) +
+                           " duration does not match its execution time"});
+      if (i > 0 && !(list[i - 1].finish <= slot.start + tolerance_))
+        out.push_back({Violation::Kind::kOverlap, slot.node,
+                       "tasks " + g.name(list[i - 1].node) + " and " +
+                           g.name(slot.node) + " overlap on processor " +
+                           std::to_string(p)});
+    }
+  }
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!s.scheduled(n)) continue;
+    const Placement& pn = s.placement(n);
+    for (const auto& [parent, cost] : g.parents(n)) {
+      if (!s.scheduled(parent)) continue;  // already reported as kUnplaced
+      const Placement& pp = s.placement(parent);
+      const double earliest =
+          pp.finish + m.comm_delay(cost, pp.proc, pn.proc, s.comm_mode());
+      if (!(pn.start >= earliest - tolerance_))
+        out.push_back({Violation::Kind::kPrecedence, n,
+                       "precedence violation: " + g.name(n) +
+                           " starts before data from " + g.name(parent) +
+                           " can arrive"});
+    }
+  }
+  return out;
+}
+
+std::string ScheduleValidator::report(const Schedule& s) const {
+  std::string out;
+  for (const Violation& v : check(s)) {
+    out += '[';
+    out += to_string(v.kind);
+    out += "] ";
+    out += v.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace optsched::sched

@@ -1,0 +1,63 @@
+// Standalone schedule validator — the differential-oracle backbone.
+//
+// Unlike sched::validate (which throws on the first problem, the right
+// behaviour for library callers asserting an invariant), ScheduleValidator
+// collects *every* violation with a typed kind, so the suite runner and the
+// workload property tests can report all of what is wrong with a schedule
+// in one pass and aggregate violation kinds across a corpus.
+//
+// Checked invariants, in order:
+//  * completeness  — every task placed exactly once (kUnplaced);
+//  * timing        — start >= 0 and finite, duration == exec_time on the
+//                    assigned processor (kBadTiming);
+//  * exclusivity   — no two tasks overlap on any processor (kOverlap);
+//  * precedence    — every task starts no earlier than each parent's finish
+//                    plus the communication delay of the connecting edge
+//                    under the schedule's CommMode (kPrecedence).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace optsched::sched {
+
+struct Violation {
+  enum class Kind {
+    kUnplaced,    ///< a task was never placed
+    kBadTiming,   ///< negative/non-finite start or duration != exec time
+    kOverlap,     ///< two tasks overlap on one processor
+    kPrecedence,  ///< a task starts before a parent's data can arrive
+  };
+
+  Kind kind;
+  dag::NodeId node;     ///< the offending task (the child for kPrecedence)
+  std::string message;  ///< human-readable, names the tasks involved
+};
+
+const char* to_string(Violation::Kind kind);
+
+class ScheduleValidator {
+ public:
+  /// `tolerance` absorbs floating-point noise in start/finish arithmetic;
+  /// the default matches the historical sched::validate slack.
+  explicit ScheduleValidator(double tolerance = 1e-9)
+      : tolerance_(tolerance) {}
+
+  /// All violations, in check order (empty == the schedule is feasible).
+  std::vector<Violation> check(const Schedule& schedule) const;
+
+  /// True when check() would return no violations.
+  bool valid(const Schedule& schedule) const {
+    return check(schedule).empty();
+  }
+
+  /// One line per violation ("" when feasible) for logs and reports.
+  std::string report(const Schedule& schedule) const;
+
+ private:
+  double tolerance_;
+};
+
+}  // namespace optsched::sched

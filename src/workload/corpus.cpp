@@ -1,0 +1,91 @@
+#include "workload/corpus.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace optsched::workload {
+
+namespace {
+
+/// Expand one corpus line into specs: either a plain spec line, or a line
+/// with a `seeds=A..B` token producing one spec per seed.
+void expand_line(const std::string& line, std::vector<ScenarioSpec>& out) {
+  std::string spec_text;
+  std::uint64_t lo = 0, hi = 0;
+  bool have_range = false;
+  bool have_seed = false;
+  for (const auto& token : util::split_ws(line)) {
+    if (token.rfind("seeds=", 0) == 0) {
+      OPTSCHED_REQUIRE(!have_range, "duplicate 'seeds=' token");
+      const std::string range = token.substr(6);
+      const auto dots = range.find("..");
+      OPTSCHED_REQUIRE(dots != std::string::npos,
+                       "seeds= expects A..B, got '" + range + "'");
+      lo = util::parse_u64(range.substr(0, dots), "seeds range bound");
+      hi = util::parse_u64(range.substr(dots + 2), "seeds range bound");
+      OPTSCHED_REQUIRE(lo <= hi && hi - lo < 100000,
+                       "seeds range '" + range + "' is empty or too large");
+      have_range = true;
+      continue;
+    }
+    if (token.rfind("seed=", 0) == 0) have_seed = true;
+    spec_text += token;
+    spec_text += ' ';
+  }
+  OPTSCHED_REQUIRE(!(have_seed && have_range),
+                   "a line cannot carry both seed= and seeds=");
+  if (!have_range) {
+    out.push_back(ScenarioSpec::parse(spec_text));
+    return;
+  }
+  ScenarioSpec spec = ScenarioSpec::parse(spec_text);
+  // Bound-inclusive without overflow: `seed <= hi` would loop forever when
+  // hi == UINT64_MAX.
+  for (std::uint64_t seed = lo;; ++seed) {
+    spec.seed = seed;
+    out.push_back(spec);
+    if (seed == hi) break;
+  }
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> parse_corpus(std::istream& in) {
+  std::vector<ScenarioSpec> corpus;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = util::trim(line);
+    if (line.empty()) continue;
+    try {
+      expand_line(line, corpus);
+    } catch (const util::Error& e) {
+      throw util::Error("corpus line " + std::to_string(line_no) + ": " +
+                        e.what());
+    }
+  }
+  return corpus;
+}
+
+std::vector<ScenarioSpec> load_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  OPTSCHED_REQUIRE(in.good(), "cannot open corpus file '" + path + "'");
+  return parse_corpus(in);
+}
+
+std::string format_corpus(const std::vector<ScenarioSpec>& corpus) {
+  std::string out;
+  for (const auto& spec : corpus) {
+    out += spec.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace optsched::workload

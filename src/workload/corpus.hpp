@@ -1,0 +1,29 @@
+// Corpus files: one ScenarioSpec per line, '#' comments, blank lines
+// ignored. A line may carry `seeds=A..B` instead of `seed=N`, expanding to
+// one spec per seed in [A, B] — so a 10-line committed file can describe a
+// few hundred deterministic instances:
+//
+//   # smoke corpus: tiny instances every optimal engine can finish
+//   family=random nodes=6 ccr=1 machine=clique:2 seeds=100..119
+//   family=forkjoin width=4 jitter=1 machine=ring:3 comm=hop seeds=1..10
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.hpp"
+
+namespace optsched::workload {
+
+/// Parse a corpus stream; errors are reported as util::Error prefixed with
+/// the 1-based line number.
+std::vector<ScenarioSpec> parse_corpus(std::istream& in);
+
+std::vector<ScenarioSpec> load_corpus_file(const std::string& path);
+
+/// One canonical spec line per entry (comments and seeds= ranges are not
+/// preserved; the output is the fully expanded corpus).
+std::string format_corpus(const std::vector<ScenarioSpec>& corpus);
+
+}  // namespace optsched::workload

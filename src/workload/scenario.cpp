@@ -1,0 +1,274 @@
+#include "workload/scenario.hpp"
+
+#include <cmath>
+
+#include "dag/generators.hpp"
+#include "dag/stg.hpp"
+#include "machine/spec.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace optsched::workload {
+
+namespace {
+
+/// Declared shape parameters per family; anything else in a spec line is a
+/// typo and is rejected at parse time.
+struct FamilyDef {
+  std::vector<std::string> required;
+  std::vector<std::string> optional;
+};
+
+const std::map<std::string, FamilyDef>& families() {
+  static const std::map<std::string, FamilyDef> defs = {
+      {"random", {{"nodes"}, {"ccr", "meancomp", "meanchild"}}},
+      {"layered", {{"layers", "width"}, {"meancomp", "meancomm", "jitter"}}},
+      {"forkjoin", {{"width"}, {"meancomp", "meancomm", "jitter"}}},
+      {"outtree", {{"branch", "depth"}, {"meancomp", "meancomm", "jitter"}}},
+      {"intree", {{"branch", "depth"}, {"meancomp", "meancomm", "jitter"}}},
+      {"diamond", {{"half"}, {"meancomp", "meancomm", "jitter"}}},
+      {"chain", {{"length"}, {"meancomp", "meancomm", "jitter"}}},
+      {"independent", {{"count"}, {"meancomp", "jitter"}}},
+      {"gauss", {{"dim"}, {"meancomp", "meancomm", "jitter"}}},
+      {"fft", {{"points"}, {"meancomp", "meancomm", "jitter"}}},
+      {"stg", {{}, {"ccr"}}},  // plus the required string param `path`
+  };
+  return defs;
+}
+
+bool declares(const FamilyDef& def, const std::string& key) {
+  for (const auto& k : def.required)
+    if (k == key) return true;
+  for (const auto& k : def.optional)
+    if (k == key) return true;
+  return false;
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    OPTSCHED_REQUIRE(used == value.size() && std::isfinite(v),
+                     "malformed number '" + value + "' for '" + key + "'");
+    // Every shape parameter is a count, mean cost, ratio, or flag: negative
+    // or astronomically large values are typos, and bounding them here keeps
+    // downstream float-to-int casts (jitter draws) in range.
+    OPTSCHED_REQUIRE(v >= 0 && v <= 1e9,
+                     "parameter '" + key + "' out of range [0, 1e9]");
+    return v;
+  } catch (const util::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw util::Error("malformed number '" + value + "' for '" + key + "'");
+  }
+}
+
+double get(const std::map<std::string, double>& params, const std::string& key,
+           double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+std::uint32_t get_u32(const std::map<std::string, double>& params,
+                      const std::string& key) {
+  const auto it = params.find(key);
+  // parse() checks required keys, but specs can also be built field by
+  // field in code — a missing key must throw, not abort.
+  OPTSCHED_REQUIRE(it != params.end(),
+                   "missing required parameter '" + key + "'");
+  const double v = it->second;
+  OPTSCHED_REQUIRE(v == std::floor(v) && v >= 0 && v <= 1e9,
+                   "'" + key + "' must be a non-negative integer");
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Integer draw from U{1, 2*mean - 1} (mean exactly `mean` for mean >= 1)
+/// — the same recipe as the paper's §4.1 random costs.
+double uniform_with_mean(util::Rng& rng, double mean) {
+  // parse_number bounds parsed params, but specs can be built in code; the
+  // cast below is UB for means outside the int64 range.
+  OPTSCHED_REQUIRE(mean >= 0 && mean <= 1e9,
+                   "cost mean out of range [0, 1e9]");
+  const auto hi =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(2 * mean) - 1);
+  return static_cast<double>(rng.uniform_i64(1, hi));
+}
+
+/// Rebuild `g` with seeded per-node/per-edge costs (same structure and
+/// names). Node weights are drawn first in id order, then edge costs in
+/// CSR (node, child) order, so the result is a pure function of (g, seed).
+dag::TaskGraph jittered(const dag::TaskGraph& g, std::uint64_t seed,
+                        double mean_comp, double mean_comm) {
+  util::Rng rng(seed);
+  dag::TaskGraph out;
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n)
+    out.add_node(uniform_with_mean(rng, mean_comp), g.name(n));
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n)
+    for (const auto& [child, cost] : g.children(n))
+      out.add_edge(n, child, uniform_with_mean(rng, mean_comm));
+  out.finalize();
+  return out;
+}
+
+dag::TaskGraph build_graph(const ScenarioSpec& s) {
+  const auto& p = s.params;
+  if (s.family == "random") {
+    dag::RandomDagParams rp;
+    rp.num_nodes = get_u32(p, "nodes");
+    rp.ccr = get(p, "ccr", 1.0);
+    rp.mean_comp = get(p, "meancomp", 40.0);
+    rp.mean_children = get(p, "meanchild", -1.0);
+    rp.seed = s.seed;
+    return dag::random_dag(rp);
+  }
+  if (s.family == "stg") {
+    dag::StgOptions opt;
+    opt.ccr = get(p, "ccr", 0.0);
+    opt.seed = s.seed;
+    return dag::read_stg_file(s.path, opt);
+  }
+
+  const double comp = get(p, "meancomp", 40.0);
+  const double comm = get(p, "meancomm", 40.0);
+  dag::TaskGraph g = [&] {
+    if (s.family == "layered")
+      return dag::layered(get_u32(p, "layers"), get_u32(p, "width"), comp,
+                          comm);
+    if (s.family == "forkjoin")
+      return dag::fork_join(get_u32(p, "width"), comp, comm);
+    if (s.family == "outtree")
+      return dag::out_tree(get_u32(p, "branch"), get_u32(p, "depth"), comp,
+                           comm);
+    if (s.family == "intree")
+      return dag::in_tree(get_u32(p, "branch"), get_u32(p, "depth"), comp,
+                          comm);
+    if (s.family == "diamond")
+      return dag::diamond(get_u32(p, "half"), comp, comm);
+    if (s.family == "chain")
+      return dag::chain(get_u32(p, "length"), comp, comm);
+    if (s.family == "independent")
+      return dag::independent_tasks(get_u32(p, "count"), comp);
+    if (s.family == "gauss")
+      return dag::gaussian_elimination(get_u32(p, "dim"), comp, comm);
+    if (s.family == "fft") return dag::fft(get_u32(p, "points"), comp, comm);
+    throw util::Error("unknown scenario family '" + s.family + "'");
+  }();
+  if (get(p, "jitter", 0.0) != 0.0) g = jittered(g, s.seed, comp, comm);
+  return g;
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  const auto tokens = util::split_ws(text);
+  OPTSCHED_REQUIRE(!tokens.empty(), "empty scenario spec");
+
+  ScenarioSpec spec;
+  // Pass 1: find the family so shape parameters can be checked against its
+  // declared set regardless of token order.
+  for (const auto& token : tokens) {
+    if (token.rfind("family=", 0) == 0) {
+      OPTSCHED_REQUIRE(spec.family.empty(),
+                       "duplicate 'family=' in scenario spec");
+      spec.family = token.substr(7);
+    }
+  }
+  OPTSCHED_REQUIRE(!spec.family.empty(),
+                   "scenario spec needs a 'family=' token (one of " +
+                       util::join(family_names(), ", ") + ")");
+  const auto fam = families().find(spec.family);
+  OPTSCHED_REQUIRE(fam != families().end(),
+                   "unknown scenario family '" + spec.family + "' (one of " +
+                       util::join(family_names(), ", ") + ")");
+
+  bool have_machine = false, have_comm = false, have_seed = false;
+  for (const auto& token : tokens) {
+    const auto eq = token.find('=');
+    OPTSCHED_REQUIRE(eq != std::string::npos && eq > 0,
+                     "scenario token '" + token + "' is not key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    OPTSCHED_REQUIRE(!value.empty(),
+                     "scenario token '" + token + "' has an empty value");
+    if (key == "family") continue;
+    if (key == "machine") {
+      OPTSCHED_REQUIRE(!have_machine, "duplicate 'machine=' in scenario spec");
+      machine::machine_from_spec(value);  // fail at parse, not materialize
+      spec.machine_spec = value;
+      have_machine = true;
+    } else if (key == "comm") {
+      OPTSCHED_REQUIRE(!have_comm, "duplicate 'comm=' in scenario spec");
+      have_comm = true;
+      if (value == "unit") {
+        spec.comm = machine::CommMode::kUnitDistance;
+      } else if (value == "hop") {
+        spec.comm = machine::CommMode::kHopScaled;
+      } else {
+        throw util::Error("comm must be 'unit' or 'hop', got '" + value + "'");
+      }
+    } else if (key == "seed") {
+      OPTSCHED_REQUIRE(!have_seed, "duplicate 'seed=' in scenario spec");
+      have_seed = true;
+      spec.seed = util::parse_u64(value, "seed");
+    } else if (key == "path") {
+      OPTSCHED_REQUIRE(spec.family == "stg",
+                       "'path' is only valid for the stg family");
+      OPTSCHED_REQUIRE(spec.path.empty(), "duplicate 'path=' in scenario spec");
+      OPTSCHED_REQUIRE(value.find('#') == std::string::npos,
+                       "stg path must not contain '#' (corpus comment "
+                       "delimiter)");
+      spec.path = value;
+    } else {
+      OPTSCHED_REQUIRE(declares(fam->second, key),
+                       "family '" + spec.family +
+                           "' does not declare parameter '" + key + "'");
+      OPTSCHED_REQUIRE(!spec.params.count(key),
+                       "duplicate parameter '" + key + "'");
+      spec.params[key] = parse_number(key, value);
+    }
+  }
+
+  for (const auto& required : fam->second.required)
+    OPTSCHED_REQUIRE(spec.params.count(required),
+                     "family '" + spec.family + "' requires parameter '" +
+                         required + "'");
+  if (spec.family == "stg")
+    OPTSCHED_REQUIRE(!spec.path.empty(), "family 'stg' requires path=<file>");
+  return spec;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::string out = "family=" + family;
+  for (const auto& [key, value] : params)
+    out += " " + key + "=" + util::format_number(value);
+  if (family == "stg") {
+    // The canonical line must parse back: the tokenizer splits on
+    // whitespace and the corpus reader strips '#' comments, so a path
+    // containing either cannot be represented.
+    OPTSCHED_REQUIRE(
+        path.find_first_of(" \t#") == std::string::npos,
+        "stg path '" + path + "' contains whitespace or '#' and cannot be "
+        "serialized to a corpus line");
+    out += " path=" + path;
+  }
+  out += " machine=" + machine_spec;
+  out += std::string(" comm=") +
+         (comm == machine::CommMode::kUnitDistance ? "unit" : "hop");
+  out += " seed=" + std::to_string(seed);
+  return out;
+}
+
+Instance ScenarioSpec::materialize() const {
+  OPTSCHED_REQUIRE(families().count(family),
+                   "unknown scenario family '" + family + "'");
+  return Instance{to_string(), build_graph(*this),
+                  machine::machine_from_spec(machine_spec), comm};
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : families()) names.push_back(name);
+  return names;
+}
+
+}  // namespace optsched::workload

@@ -1,0 +1,84 @@
+// Parameterized scenario families — the reusable instance corpus.
+//
+// A ScenarioSpec is a compact, fully deterministic description of one
+// scheduling instance: a generator family, its shape parameters, a machine
+// topology spec, a communication mode, and a seed. A spec materializes a
+// complete Instance (task graph + machine + comm mode) and serializes
+// to/from one line of text, so a corpus file fully describes a suite run:
+//
+//   family=random nodes=8 ccr=1 machine=ring:3 comm=unit seed=42
+//   family=forkjoin width=5 jitter=1 machine=clique:3@1,2,4 comm=hop seed=7
+//   family=outtree branch=2 depth=3 machine=hypercube:2 seed=3
+//
+// Families (shape parameters; (r) = required):
+//   random       nodes(r), ccr, meancomp, meanchild   — the paper's §4.1
+//                recipe; the seed drives all cost and wiring draws.
+//   layered      layers(r), width(r)   — fully connected consecutive ranks
+//   forkjoin     width(r)              — entry -> width tasks -> exit
+//   outtree      branch(r), depth(r)   — complete out-tree
+//   intree       branch(r), depth(r)   — complete reduction tree
+//   diamond      half(r)               — split/merge widths 1..half..1
+//   chain        length(r)             — sequential program
+//   independent  count(r)              — embarrassingly parallel
+//   gauss        dim(r)                — Gaussian-elimination column sweep
+//   fft          points(r)             — radix-2 butterfly (power of two)
+//   stg          path(r), ccr          — Standard Task Graph file import;
+//                the seed drives synthesized comm costs when ccr > 0.
+//
+// The structured families also accept meancomp/meancomm (mean node and
+// edge costs, default 40; named as in the random family — `comm` is the
+// communication-mode key) and jitter: with jitter=1 the uniform template
+// costs are replaced by per-node/per-edge integer draws from
+// U{1, 2*mean-1} seeded by the spec seed, turning each deterministic
+// skeleton into a seeded family of instances — the same uniform-with-mean
+// recipe as the random family.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "machine/machine.hpp"
+
+namespace optsched::workload {
+
+/// A materialized scenario: everything a SolveRequest borrows.
+struct Instance {
+  std::string name;  ///< the canonical spec line that produced it
+  dag::TaskGraph graph;
+  machine::Machine machine;
+  machine::CommMode comm = machine::CommMode::kUnitDistance;
+};
+
+class ScenarioSpec {
+ public:
+  /// Parse one spec line of whitespace-separated key=value tokens (see the
+  /// header comment for the grammar). Unknown families, undeclared or
+  /// missing shape parameters, malformed numbers, and bad machine specs
+  /// all throw util::Error naming the offending token.
+  static ScenarioSpec parse(const std::string& text);
+
+  /// Canonical one-line form; parse(to_string()) reconstructs an equal
+  /// spec, and equal specs materialize bit-identical instances.
+  std::string to_string() const;
+
+  /// Deterministically build the instance (same spec -> identical graph,
+  /// machine, and comm mode, bit for bit).
+  Instance materialize() const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
+  std::string family;
+  std::map<std::string, double> params;  ///< family shape parameters
+  std::string path;                      ///< stg family: graph file path
+  std::string machine_spec = "clique:2";
+  machine::CommMode comm = machine::CommMode::kUnitDistance;
+  std::uint64_t seed = 1;
+};
+
+/// All registered family names, sorted (for --help and error messages).
+std::vector<std::string> family_names();
+
+}  // namespace optsched::workload

@@ -1,0 +1,401 @@
+#include "workload/suite.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "api/registry.hpp"
+#include "sched/validator.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace optsched::workload {
+
+namespace {
+
+/// A failure line tagged with its instance index so the collected lists
+/// can be sorted into corpus order after the (unordered) parallel run.
+struct Tagged {
+  std::size_t instance;
+  std::string line;
+};
+
+void sort_into(std::vector<Tagged>& tagged, std::vector<std::string>& out) {
+  std::stable_sort(tagged.begin(), tagged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.instance < b.instance;
+                   });
+  out.reserve(tagged.size());
+  for (auto& t : tagged) out.push_back(std::move(t.line));
+}
+
+/// Differential oracle over one instance's records (see suite.hpp).
+void check_oracle(const std::vector<ScenarioSpec>& corpus, std::size_t i,
+                  const SuiteRecord* recs, std::size_t count, double tol,
+                  std::vector<Tagged>& mismatches) {
+  double optimal = 0.0;
+  const SuiteRecord* reference = nullptr;
+  for (std::size_t e = 0; e < count; ++e) {
+    const SuiteRecord& r = recs[e];
+    if (!r.error.empty() || !r.proved_optimal || r.bound_factor != 1.0)
+      continue;
+    if (!reference) {
+      reference = &r;
+      optimal = r.makespan;
+    } else if (std::abs(r.makespan - optimal) > tol) {
+      mismatches.push_back(
+          {i, "instance " + std::to_string(i) + " [" + corpus[i].to_string() +
+                  "]: " + r.engine + " proved " + std::to_string(r.makespan) +
+                  " but " + reference->engine + " proved " +
+                  std::to_string(optimal)});
+    }
+  }
+  if (!reference) return;
+  for (std::size_t e = 0; e < count; ++e) {
+    const SuiteRecord& r = recs[e];
+    if (!r.error.empty() || &r == reference) continue;
+    if (r.proved_optimal && r.bound_factor == 1.0) continue;  // checked above
+    const char* why = nullptr;
+    if (r.makespan < optimal - tol) {
+      why = "is below the proved optimum";
+    } else if (r.proved_optimal && r.bound_factor > 1.0 &&
+               r.makespan > r.bound_factor * optimal + tol) {
+      why = "exceeds its proved suboptimality bound";
+    }
+    if (why)
+      mismatches.push_back(
+          {i, "instance " + std::to_string(i) + " [" + corpus[i].to_string() +
+                  "]: " + r.engine + " makespan " + std::to_string(r.makespan) +
+                  " " + why + " (" + std::to_string(optimal) + " by " +
+                  reference->engine + ")"});
+  }
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// JSON has no Infinity/NaN literals: non-finite doubles (the
+/// bound_factor of a result that proved nothing) serialize as null.
+std::string json_number(double v) {
+  return std::isfinite(v) ? util::format_number(v) : "null";
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
+                      const SuiteConfig& config) {
+  OPTSCHED_REQUIRE(!config.engines.empty(),
+                   "suite needs at least one engine");
+  auto& registry = api::SolverRegistry::instance();
+  for (const auto& name : config.engines)
+    registry.info(name);  // throws InvalidRequest on an unknown engine
+
+  const std::size_t num_instances = corpus.size();
+  const std::size_t num_engines = config.engines.size();
+
+  SuiteReport report;
+  report.engines = config.engines;
+  report.instances = num_instances;
+  report.records.resize(num_instances * num_engines);
+  for (std::size_t i = 0; i < num_instances; ++i)
+    for (std::size_t e = 0; e < num_engines; ++e) {
+      SuiteRecord& rec = report.records[i * num_engines + e];
+      rec.instance = i;
+      rec.spec = corpus[i].to_string();
+      rec.family = corpus[i].family;
+      rec.engine = config.engines[e];
+    }
+  if (num_instances == 0) {
+    report.jobs = 0;
+    return report;
+  }
+
+  const unsigned jobs = static_cast<unsigned>(std::clamp<std::size_t>(
+      config.jobs ? config.jobs : 1, 1, num_instances));
+  report.jobs = jobs;
+
+  util::Timer wall;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;  // guards the tagged lists and on_record
+  std::vector<Tagged> mismatches, failures, errors;
+
+  auto worker = [&] {
+    const sched::ScheduleValidator validator;
+    while (true) {
+      if (config.cancel.cancelled()) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_instances) return;
+      SuiteRecord* recs = report.records.data() + i * num_engines;
+
+      std::optional<Instance> instance;
+      try {
+        instance.emplace(corpus[i].materialize());
+      } catch (const std::exception& ex) {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t e = 0; e < num_engines; ++e)
+          recs[e].error = ex.what();
+        errors.push_back({i, "instance " + std::to_string(i) + " [" +
+                                 corpus[i].to_string() +
+                                 "]: materialize failed: " + ex.what()});
+        continue;
+      }
+
+      for (std::size_t e = 0; e < num_engines; ++e) {
+        SuiteRecord& rec = recs[e];
+        rec.nodes = instance->graph.num_nodes();
+        rec.edges = instance->graph.num_edges();
+        rec.procs = instance->machine.num_procs();
+
+        api::SolveRequest request(instance->graph, instance->machine,
+                                  instance->comm);
+        request.limits = config.limits;
+        request.cancel = config.cancel;
+
+        const util::Timer timer;
+        try {
+          const api::SolveResult result = api::solve(rec.engine, request);
+          rec.makespan = result.makespan;
+          rec.proved_optimal = result.proved_optimal;
+          rec.bound_factor = result.bound_factor;
+          rec.termination = core::to_string(result.reason);
+          rec.expanded = result.stats.search.expanded;
+          rec.generated = result.stats.search.generated;
+          rec.loads_full = result.stats.search.loads_full;
+          rec.loads_incremental = result.stats.search.loads_incremental;
+          rec.peak_memory_bytes = result.stats.search.peak_memory_bytes;
+          rec.arena_hot_bytes = result.stats.search.arena_hot_bytes;
+          rec.arena_cold_bytes = result.stats.search.arena_cold_bytes;
+          rec.valid = true;
+          if (config.validate_schedules) {
+            const auto violations = validator.check(result.schedule);
+            if (!violations.empty()) {
+              rec.valid = false;
+              const std::lock_guard<std::mutex> lock(mu);
+              for (const auto& v : violations)
+                failures.push_back(
+                    {i, "instance " + std::to_string(i) + " [" + rec.spec +
+                            "] " + rec.engine + ": [" +
+                            sched::to_string(v.kind) + "] " + v.message});
+            }
+          }
+        } catch (const std::exception& ex) {
+          rec.error = ex.what();
+          const std::lock_guard<std::mutex> lock(mu);
+          errors.push_back({i, "instance " + std::to_string(i) + " [" +
+                                   rec.spec + "] " + rec.engine + ": " +
+                                   ex.what()});
+        }
+        rec.time_ms = timer.millis();
+        if (config.on_record) {
+          const std::lock_guard<std::mutex> lock(mu);
+          config.on_record(rec);
+        }
+      }
+
+      if (config.differential_oracle) {
+        std::vector<Tagged> local;
+        check_oracle(corpus, i, recs, num_engines, config.oracle_tolerance,
+                     local);
+        if (!local.empty()) {
+          const std::lock_guard<std::mutex> lock(mu);
+          for (auto& t : local) mismatches.push_back(std::move(t));
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  // Read the token itself, not a worker-observed flag: a cancellation that
+  // lands after the last index is claimed must still mark the report (its
+  // in-flight solves returned truncated incumbents).
+  report.cancelled = config.cancel.cancelled();
+  if (report.cancelled)
+    for (auto& rec : report.records)
+      if (rec.termination.empty() && rec.error.empty()) rec.error = "not-run";
+
+  sort_into(mismatches, report.oracle_mismatches);
+  sort_into(failures, report.validator_failures);
+  sort_into(errors, report.errors);
+  report.wall_ms = wall.millis();
+  return report;
+}
+
+std::string SuiteReport::summary() const {
+  std::ostringstream out;
+  out << "suite: " << instances << " instances x " << engines.size()
+      << " engines, " << jobs << " jobs, " << util::format_seconds(wall_ms / 1e3)
+      << (cancelled ? " (CANCELLED)" : "") << "\n";
+
+  util::Table table({"engine", "runs", "optimal", "mean makespan",
+                     "mean expanded", "delta loads", "total time"});
+  for (const auto& engine : engines) {
+    util::Accumulator makespan, expanded, time_ms;
+    std::uint64_t runs = 0, proved = 0, delta = 0;
+    for (const auto& rec : records) {
+      if (rec.engine != engine || !rec.error.empty()) continue;
+      ++runs;
+      if (rec.proved_optimal) ++proved;
+      makespan.add(rec.makespan);
+      expanded.add(static_cast<double>(rec.expanded));
+      delta += rec.loads_incremental;
+      time_ms.add(rec.time_ms);
+    }
+    table.row()
+        .cell(engine)
+        .cell(runs)
+        .cell(proved)
+        .cell(makespan.mean())
+        .cell(expanded.mean(), 1)
+        .cell(delta)
+        .cell(util::format_seconds(time_ms.sum() / 1e3));
+  }
+  table.print(out);
+
+  auto dump = [&out](const char* title, const std::vector<std::string>& list) {
+    if (list.empty()) return;
+    out << title << " (" << list.size() << "):\n";
+    for (const auto& line : list) out << "  " << line << "\n";
+  };
+  dump("ORACLE MISMATCHES", oracle_mismatches);
+  dump("VALIDATOR FAILURES", validator_failures);
+  dump("ERRORS", errors);
+  if (ok()) out << "oracle: all engines agree; all schedules valid\n";
+  return out.str();
+}
+
+void write_csv(const SuiteReport& report, std::ostream& out) {
+  out << "instance,family,engine,nodes,edges,procs,makespan,proved_optimal,"
+         "bound_factor,termination,expanded,generated,loads_full,"
+         "loads_incremental,peak_memory_bytes,arena_hot_bytes,"
+         "arena_cold_bytes,valid,error,spec,time_ms\n";
+  for (const auto& r : report.records) {
+    out << r.instance << ',' << r.family << ',' << r.engine << ',' << r.nodes
+        << ',' << r.edges << ',' << r.procs << ',' << util::format_number(r.makespan)
+        << ',' << (r.proved_optimal ? 1 : 0) << ','
+        << util::format_number(r.bound_factor) << ',' << r.termination << ','
+        << r.expanded << ',' << r.generated << ',' << r.loads_full << ','
+        << r.loads_incremental << ',' << r.peak_memory_bytes << ','
+        << r.arena_hot_bytes << ',' << r.arena_cold_bytes << ','
+        << (r.valid ? 1 : 0) << ',' << csv_escape(r.error) << ','
+        << csv_escape(r.spec) << ',' << util::format_number(r.time_ms) << '\n';
+  }
+}
+
+void write_json(const SuiteReport& report, std::ostream& out) {
+  auto string_list = [&](const std::vector<std::string>& list) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (i) s += ", ";
+      s += '"' + json_escape(list[i]) + '"';
+    }
+    return s + "]";
+  };
+
+  out << "{\n  \"suite\": {\"instances\": " << report.instances
+      << ", \"jobs\": " << report.jobs << ", \"ok\": "
+      << (report.ok() ? "true" : "false") << ", \"cancelled\": "
+      << (report.cancelled ? "true" : "false")
+      << ", \"engines\": " << string_list(report.engines)
+      << ", \"wall_ms\": " << json_number(report.wall_ms) << "},\n";
+
+  out << "  \"aggregates\": {";
+  bool first_engine = true;
+  for (const auto& engine : report.engines) {
+    util::Accumulator makespan, time_ms;
+    std::uint64_t runs = 0, proved = 0, expanded = 0, delta = 0;
+    std::size_t peak = 0;
+    for (const auto& r : report.records) {
+      if (r.engine != engine || !r.error.empty()) continue;
+      ++runs;
+      if (r.proved_optimal) ++proved;
+      makespan.add(r.makespan);
+      expanded += r.expanded;
+      delta += r.loads_incremental;
+      peak = std::max(peak, r.peak_memory_bytes);
+      time_ms.add(r.time_ms);
+    }
+    out << (first_engine ? "\n" : ",\n") << "    \"" << json_escape(engine)
+        << "\": {\"runs\": " << runs << ", \"proved_optimal\": " << proved
+        << ", \"mean_makespan\": " << json_number(makespan.mean())
+        << ", \"total_expanded\": " << expanded
+        << ", \"total_loads_incremental\": " << delta
+        << ", \"max_peak_memory_bytes\": " << peak
+        << ", \"total_time_ms\": " << json_number(time_ms.sum()) << "}";
+    first_engine = false;
+  }
+  out << "\n  },\n";
+
+  out << "  \"oracle_mismatches\": " << string_list(report.oracle_mismatches)
+      << ",\n  \"validator_failures\": "
+      << string_list(report.validator_failures)
+      << ",\n  \"errors\": " << string_list(report.errors) << ",\n";
+
+  out << "  \"records\": [\n";
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    const auto& r = report.records[i];
+    out << "    {\"instance\": " << r.instance << ", \"family\": \""
+        << json_escape(r.family) << "\", \"engine\": \""
+        << json_escape(r.engine) << "\", \"nodes\": " << r.nodes
+        << ", \"edges\": " << r.edges << ", \"procs\": " << r.procs
+        << ", \"makespan\": " << json_number(r.makespan)
+        << ", \"proved_optimal\": " << (r.proved_optimal ? "true" : "false")
+        << ", \"bound_factor\": " << json_number(r.bound_factor)
+        << ", \"termination\": \"" << json_escape(r.termination)
+        << "\", \"expanded\": " << r.expanded
+        << ", \"generated\": " << r.generated
+        << ", \"loads_full\": " << r.loads_full
+        << ", \"loads_incremental\": " << r.loads_incremental
+        << ", \"peak_memory_bytes\": " << r.peak_memory_bytes
+        << ", \"arena_hot_bytes\": " << r.arena_hot_bytes
+        << ", \"arena_cold_bytes\": " << r.arena_cold_bytes
+        << ", \"valid\": " << (r.valid ? "true" : "false") << ", \"error\": \""
+        << json_escape(r.error) << "\", \"spec\": \"" << json_escape(r.spec)
+        << "\", \"time_ms\": " << json_number(r.time_ms) << "}"
+        << (i + 1 < report.records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace optsched::workload

@@ -1,0 +1,110 @@
+// SuiteRunner: fan a scenario corpus out across a thread pool of
+// SolveRequests and aggregate one report.
+//
+// Sharding is per instance: workers claim corpus indices from an atomic
+// counter, materialize the instance once, run every configured engine on
+// it sequentially (so the per-instance differential oracle sees all
+// results together), validate every returned schedule with
+// ScheduleValidator, and write records into preallocated (instance,
+// engine) slots — the report is therefore deterministic regardless of the
+// thread count or completion order; only the timing column varies.
+//
+// The differential oracle per instance:
+//  * all proved-optimal results (bound_factor == 1) must agree on the
+//    makespan;
+//  * a proved bounded result (Aε*) must lie in
+//    [optimal, bound_factor * optimal];
+//  * every other result (heuristics, budget-limited incumbents) must be
+//    >= the proved optimum.
+// Any disagreement is recorded as an oracle mismatch and fails ok().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "workload/scenario.hpp"
+
+namespace optsched::workload {
+
+struct SuiteConfig {
+  std::vector<std::string> engines;  ///< registry names; must be non-empty
+  unsigned jobs = 1;                 ///< worker threads (clamped to corpus)
+  api::SolveLimits limits{};         ///< per-instance budgets (0 = none)
+  bool validate_schedules = true;    ///< run ScheduleValidator on every run
+  bool differential_oracle = true;   ///< cross-check engines per instance
+  double oracle_tolerance = 1e-6;    ///< absolute makespan slack
+  core::CancellationToken cancel{};  ///< aborts the whole suite
+  /// Called once per finished run, serialized under an internal mutex
+  /// (suitable for progress lines from any worker).
+  std::function<void(const struct SuiteRecord&)> on_record;
+};
+
+/// One (instance, engine) run. For serial engines every field except
+/// time_ms is a pure function of the spec and engine, so reports diff
+/// cleanly across runs; multithreaded engines (`parallel`, `portfolio`)
+/// report timing-dependent search stats, which is why the CLI's default
+/// engine set is serial-only.
+struct SuiteRecord {
+  std::size_t instance = 0;  ///< corpus index
+  std::string spec;          ///< canonical scenario line
+  std::string family;
+  std::string engine;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::uint32_t procs = 0;
+  double makespan = 0.0;
+  bool proved_optimal = false;
+  double bound_factor = 0.0;
+  std::string termination;
+  std::uint64_t expanded = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t loads_full = 0;
+  std::uint64_t loads_incremental = 0;
+  std::size_t peak_memory_bytes = 0;
+  std::size_t arena_hot_bytes = 0;
+  std::size_t arena_cold_bytes = 0;
+  bool valid = false;  ///< ScheduleValidator verdict (true when disabled)
+  std::string error;   ///< exception text; empty on success
+  double time_ms = 0.0;
+};
+
+struct SuiteReport {
+  /// (instance, engine) row-major: records[i * engines + e].
+  std::vector<SuiteRecord> records;
+  std::vector<std::string> engines;
+  std::vector<std::string> oracle_mismatches;
+  std::vector<std::string> validator_failures;
+  std::vector<std::string> errors;  ///< materialize/solve exceptions
+  std::size_t instances = 0;
+  unsigned jobs = 0;
+  bool cancelled = false;
+  double wall_ms = 0.0;
+
+  /// No mismatches, no validator failures, no errors, not cancelled.
+  bool ok() const {
+    return oracle_mismatches.empty() && validator_failures.empty() &&
+           errors.empty() && !cancelled;
+  }
+
+  /// Human-readable per-engine aggregate table plus the failure lists.
+  std::string summary() const;
+};
+
+/// Run the whole corpus. Throws util::Error on an empty engine list or an
+/// engine name the registry does not know (before any work starts).
+SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
+                      const SuiteConfig& config);
+
+/// One header row plus one row per record; `time_ms` is the only
+/// nondeterministic column (last).
+void write_csv(const SuiteReport& report, std::ostream& out);
+
+/// Full report as JSON: suite metadata, per-engine aggregates, failure
+/// lists, and all records (time fields last).
+void write_json(const SuiteReport& report, std::ostream& out);
+
+}  // namespace optsched::workload

@@ -1,98 +1,103 @@
-// Cross-engine fuzzing: many small random instances, every engine, one
-// oracle. Instances are kept tiny (v <= 7, p <= 3) so the exhaustive
-// enumerator stays fast and *every* seed can run — no vetting needed at
-// this size, which is what makes this a fuzz suite rather than a fixture.
+// Cross-engine fuzzing: many small instances, every engine, one oracle.
+// Instances are drawn from the workload scenario families (workload/
+// scenario.hpp) — the same corpus machinery the suite runner and property
+// tests use — and kept tiny (v <= 9, p <= 3) so the exhaustive enumerator
+// stays fast and *every* seed can run, which is what makes this a fuzz
+// suite rather than a fixture.
 #include <gtest/gtest.h>
 
-#include "bnb/chen_yu.hpp"
-#include "bnb/exhaustive.hpp"
-#include "core/astar.hpp"
-#include "core/ida_star.hpp"
-#include "dag/generators.hpp"
-#include "parallel/parallel_astar.hpp"
+#include "api/registry.hpp"
+#include "sched/validator.hpp"
+#include "workload/scenario.hpp"
 
 namespace optsched {
 namespace {
 
-using machine::Machine;
+using workload::Instance;
+using workload::ScenarioSpec;
 
-struct FuzzCase {
-  std::uint64_t seed;
-  std::uint32_t nodes;
-  double ccr;
-  std::uint32_t procs;
-};
+class CrossEngineFuzz : public ::testing::TestWithParam<std::string> {};
 
-class CrossEngineFuzz : public ::testing::TestWithParam<FuzzCase> {};
+TEST_P(CrossEngineFuzz, AllEnginesMatchExhaustiveOracle) {
+  const Instance instance = ScenarioSpec::parse(GetParam()).materialize();
+  api::SolveRequest request(instance.graph, instance.machine, instance.comm);
+  const sched::ScheduleValidator validator;
 
-TEST_P(CrossEngineFuzz, AllEnginesMatchOracle) {
-  const FuzzCase c = GetParam();
-  dag::RandomDagParams p;
-  p.num_nodes = c.nodes;
-  p.ccr = c.ccr;
-  p.seed = c.seed;
-  const auto g = dag::random_dag(p);
-  const auto m = Machine::fully_connected(c.procs);
-  const core::SearchProblem problem(g, m);
+  const double oracle = api::solve("exhaustive", request).makespan;
 
-  const double oracle = bnb::exhaustive_schedule(g, m).makespan;
+  for (const char* engine : {"astar", "ida", "chenyu"}) {
+    const api::SolveResult result = api::solve(engine, request);
+    EXPECT_DOUBLE_EQ(result.makespan, oracle) << engine;
+    EXPECT_TRUE(result.proved_optimal) << engine;
+    EXPECT_TRUE(validator.valid(result.schedule))
+        << engine << "\n" << validator.report(result.schedule);
+  }
 
-  const auto astar = core::astar_schedule(problem);
-  EXPECT_DOUBLE_EQ(astar.makespan, oracle) << "A*";
-  EXPECT_TRUE(astar.proved_optimal);
+  api::SolveRequest parallel = request;
+  parallel.options["ppes"] = "3";
+  const api::SolveResult par = api::solve("parallel", parallel);
+  EXPECT_DOUBLE_EQ(par.makespan, oracle) << "parallel";
+  EXPECT_TRUE(validator.valid(par.schedule));
 
-  EXPECT_DOUBLE_EQ(core::ida_star_schedule(problem).makespan, oracle)
-      << "IDA*";
-  EXPECT_DOUBLE_EQ(bnb::chen_yu_schedule(problem).makespan, oracle)
-      << "Chen&Yu";
-
-  par::ParallelConfig pc;
-  pc.num_ppes = 3;
-  EXPECT_DOUBLE_EQ(par::parallel_astar_schedule(problem, pc).result.makespan,
-                   oracle)
-      << "parallel";
-
-  core::SearchConfig eps;
-  eps.epsilon = 0.3;
-  const auto approx = core::astar_schedule(problem, eps);
+  api::SolveRequest bounded = request;
+  bounded.options["epsilon"] = "0.3";
+  const api::SolveResult approx = api::solve("aeps", bounded);
   EXPECT_LE(approx.makespan, 1.3 * oracle + 1e-9) << "Aeps*";
   EXPECT_GE(approx.makespan, oracle - 1e-9) << "Aeps*";
+  EXPECT_TRUE(validator.valid(approx.schedule));
 }
 
-std::vector<FuzzCase> fuzz_cases() {
-  std::vector<FuzzCase> cases;
+/// The fuzz corpus: the paper's random recipe over CCR x machine size,
+/// plus every jittered structured family — all via the shared workload
+/// generators, no private DAG-building code.
+std::vector<std::string> fuzz_specs() {
+  std::vector<std::string> specs;
   for (std::uint64_t seed = 100; seed < 120; ++seed)
-    cases.push_back({seed, 6, seed % 3 == 0   ? 0.1
-                              : seed % 3 == 1 ? 1.0
-                                              : 10.0,
-                     static_cast<std::uint32_t>(2 + seed % 2)});
+    specs.push_back(
+        "family=random nodes=6 ccr=" +
+        std::string(seed % 3 == 0   ? "0.1"
+                    : seed % 3 == 1 ? "1"
+                                    : "10") +
+        " machine=clique:" + std::to_string(2 + seed % 2) +
+        " seed=" + std::to_string(seed));
   for (std::uint64_t seed = 200; seed < 212; ++seed)
-    cases.push_back({seed, 7, 1.0, 2});
-  return cases;
+    specs.push_back("family=random nodes=7 ccr=1 machine=clique:2 seed=" +
+                    std::to_string(seed));
+  const char* shapes[] = {
+      "family=forkjoin width=4 jitter=1",
+      "family=outtree branch=2 depth=3 jitter=1",
+      "family=intree branch=2 depth=3 jitter=1",
+      "family=diamond half=3 jitter=1",
+      "family=chain length=6 jitter=1",
+      "family=gauss dim=3 jitter=1",
+      "family=layered layers=2 width=3 jitter=1",
+  };
+  for (const char* shape : shapes)
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+      specs.push_back(std::string(shape) +
+                      " machine=clique:3 seed=" + std::to_string(seed));
+  return specs;
 }
 
-INSTANTIATE_TEST_SUITE_P(ManySeeds, CrossEngineFuzz,
-                         ::testing::ValuesIn(fuzz_cases()),
+INSTANTIATE_TEST_SUITE_P(WorkloadFamilies, CrossEngineFuzz,
+                         ::testing::ValuesIn(fuzz_specs()),
                          [](const auto& info) {
-                           return "seed" + std::to_string(info.param.seed) +
-                                  "v" + std::to_string(info.param.nodes) +
-                                  "p" + std::to_string(info.param.procs);
+                           return "case" + std::to_string(info.index);
                          });
 
 // Heterogeneous fuzz: speeds {1, 2, 4} exercise the fractional-time paths.
 class HeteroFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(HeteroFuzz, AStarMatchesOracleOnHeterogeneousMachines) {
-  dag::RandomDagParams p;
-  p.num_nodes = 6;
-  p.ccr = 1.0;
-  p.seed = GetParam();
-  const auto g = dag::random_dag(p);
-  const auto m = Machine::fully_connected(3, {1.0, 2.0, 4.0});
-  const double oracle = bnb::exhaustive_schedule(g, m).makespan;
-  const auto r = core::astar_schedule(g, m);
-  EXPECT_DOUBLE_EQ(r.makespan, oracle);
-  EXPECT_TRUE(r.proved_optimal);
+  const Instance instance =
+      ScenarioSpec::parse("family=random nodes=6 ccr=1 machine=clique:3@1,2,4 "
+                          "seed=" + std::to_string(GetParam()))
+          .materialize();
+  api::SolveRequest request(instance.graph, instance.machine, instance.comm);
+  const double oracle = api::solve("exhaustive", request).makespan;
+  const api::SolveResult result = api::solve("astar", request);
+  EXPECT_DOUBLE_EQ(result.makespan, oracle);
+  EXPECT_TRUE(result.proved_optimal);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeteroFuzz,
@@ -103,18 +108,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, HeteroFuzz,
 class TopologyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(TopologyFuzz, ChainAndStarMatchOracleHopScaled) {
-  dag::RandomDagParams p;
-  p.num_nodes = 6;
-  p.ccr = 1.0;
-  p.seed = GetParam();
-  const auto g = dag::random_dag(p);
-  for (const Machine& m : {Machine::chain(3), Machine::star(3)}) {
-    const double oracle =
-        bnb::exhaustive_schedule(g, m, machine::CommMode::kHopScaled)
-            .makespan;
-    const auto r =
-        core::astar_schedule(g, m, {}, machine::CommMode::kHopScaled);
-    EXPECT_DOUBLE_EQ(r.makespan, oracle) << m.topology_name();
+  for (const char* machine : {"chain:3", "star:3"}) {
+    const Instance instance =
+        ScenarioSpec::parse("family=random nodes=6 ccr=1 comm=hop machine=" +
+                            std::string(machine) +
+                            " seed=" + std::to_string(GetParam()))
+            .materialize();
+    api::SolveRequest request(instance.graph, instance.machine, instance.comm);
+    const double oracle = api::solve("exhaustive", request).makespan;
+    EXPECT_DOUBLE_EQ(api::solve("astar", request).makespan, oracle) << machine;
   }
 }
 

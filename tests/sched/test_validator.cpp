@@ -1,0 +1,101 @@
+// ScheduleValidator: the differential-oracle backbone must catch every
+// class of infeasible schedule and stay quiet on feasible ones.
+#include "sched/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace optsched::sched {
+namespace {
+
+using machine::Machine;
+
+TEST(ScheduleValidator, AcceptsFeasibleSchedules) {
+  const auto g = dag::paper_figure1();
+  const Machine m = Machine::ring(3);
+  const Schedule s = upper_bound_schedule(g, m);
+  const ScheduleValidator validator;
+  EXPECT_TRUE(validator.valid(s));
+  EXPECT_TRUE(validator.check(s).empty());
+  EXPECT_EQ(validator.report(s), "");
+}
+
+TEST(ScheduleValidator, ReportsEveryUnplacedTask) {
+  const auto g = dag::chain(4, 10, 5);
+  const Machine m = Machine::fully_connected(2);
+  Schedule s(g, m);
+  s.append(0, 0);  // 3 of 4 tasks left unplaced
+  const auto violations = ScheduleValidator().check(s);
+  ASSERT_EQ(violations.size(), 3u);
+  for (const auto& v : violations)
+    EXPECT_EQ(v.kind, Violation::Kind::kUnplaced);
+}
+
+TEST(ScheduleValidator, CatchesPrecedenceViolation) {
+  const auto g = dag::chain(2, 10, 5);
+  const Machine m = Machine::fully_connected(2);
+  Schedule s(g, m);
+  s.place(0, 0, 0.0);
+  s.place(1, 1, 3.0);  // data arrives at 10 + 5 = 15, starts at 3
+  const auto violations = ScheduleValidator().check(s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations.front().kind, Violation::Kind::kPrecedence);
+  EXPECT_EQ(violations.front().node, 1u);
+}
+
+TEST(ScheduleValidator, CatchesOverlapOnOneProcessor) {
+  const auto g = dag::independent_tasks(2, 10);
+  const Machine m = Machine::fully_connected(1);
+  Schedule s(g, m);
+  s.place(0, 0, 0.0);
+  s.place(1, 0, 5.0);  // overlaps [0, 10)
+  const auto violations = ScheduleValidator().check(s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations.front().kind, Violation::Kind::kOverlap);
+}
+
+TEST(ScheduleValidator, HonoursCommModeAndHeterogeneousSpeeds) {
+  const auto g = dag::chain(2, 8, 4);
+  const Machine m = Machine::chain(3);  // hops(0, 2) == 2
+  Schedule s(g, m, machine::CommMode::kHopScaled);
+  s.place(0, 0, 0.0);
+  // Unit-distance would allow a start at 8 + 4 = 12; hop-scaled requires
+  // 8 + 4 * 2 = 16.
+  s.place(1, 2, 12.0);
+  const auto violations = ScheduleValidator().check(s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations.front().kind, Violation::Kind::kPrecedence);
+}
+
+TEST(ScheduleValidator, CollectsMultipleViolationKindsInOnePass) {
+  const auto g = dag::chain(3, 10, 5);
+  const Machine m = Machine::fully_connected(1);
+  Schedule s(g, m);
+  s.place(0, 0, 0.0);
+  s.place(1, 0, 2.0);  // overlaps task 0 AND starts before its data
+  const auto violations = ScheduleValidator().check(s);
+  // unplaced (task 2) + overlap + precedence.
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kUnplaced);
+  EXPECT_EQ(violations[1].kind, Violation::Kind::kOverlap);
+  EXPECT_EQ(violations[2].kind, Violation::Kind::kPrecedence);
+  const std::string report = ScheduleValidator().report(s);
+  EXPECT_NE(report.find("[unplaced]"), std::string::npos);
+  EXPECT_NE(report.find("[overlap]"), std::string::npos);
+  EXPECT_NE(report.find("[precedence]"), std::string::npos);
+}
+
+TEST(ScheduleValidator, ValidateThrowsFirstViolation) {
+  const auto g = dag::chain(2, 10, 5);
+  const Machine m = Machine::fully_connected(2);
+  Schedule s(g, m);
+  EXPECT_THROW(validate(s), util::Error);  // incomplete
+  s.append(0, 0);
+  s.append(1, 1);
+  EXPECT_NO_THROW(validate(s));
+}
+
+}  // namespace
+}  // namespace optsched::sched

@@ -1,0 +1,40 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace optsched::util {
+namespace {
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("\r\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("  a b  "), "a b");
+}
+
+TEST(Strings, SplitOnDelimiter) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a", ','), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(split("", ',').empty());
+  // Empty fields are preserved, matching e.g. "a,,b".
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(Strings, SplitWsSkipsRuns) {
+  EXPECT_EQ(split_ws("  a \t b  c "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_EQ(split_ws("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+}  // namespace
+}  // namespace optsched::util

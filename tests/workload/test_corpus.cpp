@@ -1,0 +1,100 @@
+#include "workload/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace optsched::workload {
+namespace {
+
+TEST(Corpus, ParsesLinesSkippingCommentsAndBlanks) {
+  std::istringstream in(R"(
+# a comment line
+family=chain length=3 seed=4
+
+family=forkjoin width=2 machine=ring:3  # trailing comment
+)");
+  const auto corpus = parse_corpus(in);
+  ASSERT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus[0].family, "chain");
+  EXPECT_EQ(corpus[0].seed, 4u);
+  EXPECT_EQ(corpus[1].machine_spec, "ring:3");
+}
+
+TEST(Corpus, SeedsRangeExpandsInclusive) {
+  std::istringstream in("family=chain length=3 seeds=10..14\n");
+  const auto corpus = parse_corpus(in);
+  ASSERT_EQ(corpus.size(), 5u);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus[i].seed, 10 + i);
+    EXPECT_EQ(corpus[i].family, "chain");
+  }
+}
+
+TEST(Corpus, ErrorsCarryLineNumbers) {
+  std::istringstream in("family=chain length=3\nfamily=warp x=1\n");
+  try {
+    parse_corpus(in);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("corpus line 2"), std::string::npos);
+  }
+}
+
+TEST(Corpus, RejectsSeedAndSeedsTogether) {
+  std::istringstream in("family=chain length=3 seed=1 seeds=1..2\n");
+  EXPECT_THROW(parse_corpus(in), util::Error);
+}
+
+TEST(Corpus, SeedsRangeEndingAtUint64MaxTerminates) {
+  // The inclusive expansion must not increment past UINT64_MAX.
+  std::istringstream in(
+      "family=chain length=3 "
+      "seeds=18446744073709551613..18446744073709551615\n");
+  const auto corpus = parse_corpus(in);
+  ASSERT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.back().seed, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Corpus, RejectsSeedsWithTrailingGarbageOrSign) {
+  // stoull would silently read "1O" (letter O typo) as 1, running the
+  // wrong seed set; the strict parser must reject the whole line.
+  for (const char* line :
+       {"family=chain length=3 seeds=1O..20", "family=chain length=3 seeds=-3..-1",
+        "family=chain length=3 seeds=1..2x", "family=chain length=3 seed=7x"}) {
+    std::istringstream in(line);
+    EXPECT_THROW(parse_corpus(in), util::Error) << line;
+  }
+}
+
+TEST(Corpus, RejectsMalformedRanges) {
+  for (const char* line :
+       {"family=chain length=3 seeds=5..2", "family=chain length=3 seeds=5",
+        "family=chain length=3 seeds=a..b"}) {
+    std::istringstream in(line);
+    EXPECT_THROW(parse_corpus(in), util::Error) << line;
+  }
+}
+
+TEST(Corpus, FormatParsesBackToSameSpecs) {
+  std::istringstream in(
+      "family=chain length=3 seeds=1..3\n"
+      "family=random nodes=6 ccr=0.5 machine=star:3 comm=hop seed=9\n");
+  const auto corpus = parse_corpus(in);
+  std::istringstream round(format_corpus(corpus));
+  const auto reparsed = parse_corpus(round);
+  ASSERT_EQ(reparsed.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(reparsed[i], corpus[i]) << i;
+}
+
+TEST(Corpus, MissingFileThrows) {
+  EXPECT_THROW(load_corpus_file("/nonexistent/corpus.txt"), util::Error);
+}
+
+}  // namespace
+}  // namespace optsched::workload

@@ -1,0 +1,77 @@
+// Satellite property test: across 100+ randomized workload specs, every
+// polynomial list heuristic must (a) produce a schedule accepted by
+// ScheduleValidator and (b) never beat the proved A* optimum — the
+// sandwich that catches both infeasible heuristics and broken optimality
+// proofs in one sweep.
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "sched/validator.hpp"
+#include "workload/scenario.hpp"
+
+namespace optsched::workload {
+namespace {
+
+std::vector<std::string> property_specs() {
+  const char* machines[] = {"clique:2", "clique:3",       "ring:3",
+                            "mesh:2x2", "star:3",         "hypercube:2",
+                            "chain:3",  "clique:3@1,2,4"};
+  const char* ccrs[] = {"0.1", "1", "5"};
+  std::vector<std::string> specs;
+  // 48 random-family instances over machines x CCR x comm mode.
+  for (int i = 0; i < 48; ++i)
+    specs.push_back(std::string("family=random nodes=") +
+                    std::to_string(6 + i % 3) + " ccr=" + ccrs[i % 3] +
+                    " machine=" + machines[i % 8] +
+                    (i % 2 ? " comm=hop" : " comm=unit") +
+                    " seed=" + std::to_string(9000 + i));
+  // 64 jittered structured instances, 8 seeds per family.
+  const char* shapes[] = {
+      "family=layered layers=3 width=2 jitter=1",
+      "family=forkjoin width=5 jitter=1",
+      "family=outtree branch=2 depth=3 jitter=1",
+      "family=intree branch=2 depth=3 jitter=1",
+      "family=diamond half=3 jitter=1",
+      "family=chain length=8 jitter=1",
+      "family=independent count=7 jitter=1",
+      "family=gauss dim=3 jitter=1",
+  };
+  int salt = 0;
+  for (const char* shape : shapes)
+    for (int seed = 1; seed <= 8; ++seed) {
+      ++salt;
+      specs.push_back(std::string(shape) + " machine=" + machines[salt % 8] +
+                      (salt % 2 ? " comm=hop" : " comm=unit") +
+                      " seed=" + std::to_string(seed));
+    }
+  return specs;  // 112 specs
+}
+
+TEST(ListSchedulerProperty, NeverBeatsOptimalAndAlwaysFeasible) {
+  const auto specs = property_specs();
+  ASSERT_GE(specs.size(), 100u);
+  const sched::ScheduleValidator validator;
+  const char* heuristics[] = {"blevel", "hlfet", "mcp", "etf"};
+
+  for (const auto& text : specs) {
+    SCOPED_TRACE(text);
+    const Instance instance = ScenarioSpec::parse(text).materialize();
+    api::SolveRequest request(instance.graph, instance.machine, instance.comm);
+
+    const api::SolveResult optimal = api::solve("astar", request);
+    ASSERT_TRUE(optimal.proved_optimal);
+    EXPECT_TRUE(validator.valid(optimal.schedule))
+        << validator.report(optimal.schedule);
+
+    for (const char* engine : heuristics) {
+      SCOPED_TRACE(engine);
+      const api::SolveResult heuristic = api::solve(engine, request);
+      EXPECT_GE(heuristic.makespan, optimal.makespan - 1e-9);
+      EXPECT_TRUE(validator.valid(heuristic.schedule))
+          << validator.report(heuristic.schedule);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optsched::workload

@@ -1,0 +1,182 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dag/generators.hpp"
+#include "util/assert.hpp"
+
+namespace optsched::workload {
+namespace {
+
+TEST(ScenarioSpec, ParsesTokensInAnyOrder) {
+  const auto a = ScenarioSpec::parse(
+      "family=random nodes=8 ccr=0.5 machine=ring:3 comm=hop seed=7");
+  const auto b = ScenarioSpec::parse(
+      "seed=7 comm=hop machine=ring:3 ccr=0.5 nodes=8 family=random");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.family, "random");
+  EXPECT_EQ(a.machine_spec, "ring:3");
+  EXPECT_EQ(a.comm, machine::CommMode::kHopScaled);
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_DOUBLE_EQ(a.params.at("nodes"), 8.0);
+  EXPECT_DOUBLE_EQ(a.params.at("ccr"), 0.5);
+}
+
+TEST(ScenarioSpec, DefaultsAreCompact) {
+  const auto spec = ScenarioSpec::parse("family=chain length=5");
+  EXPECT_EQ(spec.machine_spec, "clique:2");
+  EXPECT_EQ(spec.comm, machine::CommMode::kUnitDistance);
+  EXPECT_EQ(spec.seed, 1u);
+}
+
+TEST(ScenarioSpec, CanonicalFormRoundTrips) {
+  const auto spec = ScenarioSpec::parse(
+      "family=outtree branch=2 depth=3 jitter=1 machine=mesh:2x2 seed=9");
+  const std::string canonical = spec.to_string();
+  EXPECT_EQ(ScenarioSpec::parse(canonical), spec);
+  EXPECT_EQ(ScenarioSpec::parse(canonical).to_string(), canonical);
+  // Canonical form is explicit about machine, comm, and seed.
+  EXPECT_NE(canonical.find("machine=mesh:2x2"), std::string::npos);
+  EXPECT_NE(canonical.find("comm=unit"), std::string::npos);
+  EXPECT_NE(canonical.find("seed=9"), std::string::npos);
+}
+
+TEST(ScenarioSpec, NonIntegralParamsSurviveRoundTrip) {
+  const auto spec =
+      ScenarioSpec::parse("family=random nodes=6 ccr=0.30000000000000004");
+  EXPECT_DOUBLE_EQ(ScenarioSpec::parse(spec.to_string()).params.at("ccr"),
+                   spec.params.at("ccr"));
+}
+
+TEST(ScenarioSpec, MaterializeIsDeterministic) {
+  const auto spec = ScenarioSpec::parse(
+      "family=random nodes=10 ccr=2 machine=hypercube:2 seed=31");
+  const Instance a = spec.materialize();
+  const Instance b = spec.materialize();
+  EXPECT_TRUE(dag::identical_graphs(a.graph, b.graph));
+  EXPECT_TRUE(machine::identical_machines(a.machine, b.machine));
+  EXPECT_EQ(a.comm, b.comm);
+  EXPECT_EQ(a.name, spec.to_string());
+}
+
+TEST(ScenarioSpec, SeedChangesRandomFamilyButNotSkeletons) {
+  auto spec = ScenarioSpec::parse("family=random nodes=10 seed=1");
+  const auto g1 = spec.materialize().graph;
+  spec.seed = 2;
+  const auto g2 = spec.materialize().graph;
+  EXPECT_FALSE(dag::identical_graphs(g1, g2));
+
+  // Without jitter a structured skeleton ignores the seed entirely.
+  auto tree = ScenarioSpec::parse("family=outtree branch=2 depth=3 seed=1");
+  const auto t1 = tree.materialize().graph;
+  tree.seed = 99;
+  EXPECT_TRUE(dag::identical_graphs(t1, tree.materialize().graph));
+}
+
+TEST(ScenarioSpec, JitterMakesSeededCostFamilies) {
+  auto spec = ScenarioSpec::parse(
+      "family=forkjoin width=4 jitter=1 meancomp=40 meancomm=20 seed=5");
+  const auto g1 = spec.materialize().graph;
+  spec.seed = 6;
+  const auto g2 = spec.materialize().graph;
+  // Same structure, different integer costs.
+  ASSERT_EQ(g1.num_nodes(), g2.num_nodes());
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_FALSE(dag::identical_graphs(g1, g2));
+  for (dag::NodeId n = 0; n < g1.num_nodes(); ++n) {
+    EXPECT_GE(g1.weight(n), 1.0);
+    EXPECT_LE(g1.weight(n), 79.0);
+    EXPECT_EQ(g1.weight(n), std::floor(g1.weight(n)));
+  }
+}
+
+TEST(ScenarioSpec, MaterializesEveryFamilyName) {
+  // Smallest sane instance of each generator family (stg needs a file and
+  // is covered by the round-trip suite).
+  const char* specs[] = {
+      "family=random nodes=4",
+      "family=layered layers=2 width=2",
+      "family=forkjoin width=2",
+      "family=outtree branch=2 depth=2",
+      "family=intree branch=2 depth=2",
+      "family=diamond half=2",
+      "family=chain length=3",
+      "family=independent count=3",
+      "family=gauss dim=3",
+      "family=fft points=2",
+  };
+  for (const char* text : specs) {
+    SCOPED_TRACE(text);
+    const Instance instance = ScenarioSpec::parse(text).materialize();
+    EXPECT_GE(instance.graph.num_nodes(), 3u);
+  }
+  EXPECT_EQ(family_names().size(), 11u);  // the ten above plus stg
+}
+
+TEST(ScenarioSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(ScenarioSpec::parse(""), util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("nodes=5"), util::Error);  // no family
+  EXPECT_THROW(ScenarioSpec::parse("family=warp nodes=5"), util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=random"), util::Error);  // nodes
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5 bogus=1"),
+               util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=abc"), util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5 machine=warp:3"),
+               util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5 comm=psychic"),
+               util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5 seed=xyz"),
+               util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=chain length=3 path=x"),
+               util::Error);  // path is stg-only
+  EXPECT_THROW(ScenarioSpec::parse("family=stg ccr=1"), util::Error);
+  EXPECT_THROW(
+      ScenarioSpec::parse("family=random nodes=5 family=random nodes=5"),
+      util::Error);
+  // Duplicates of every singleton key are typos, not last-one-wins.
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5 seed=1 seed=2"),
+               util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5 comm=unit comm=hop"),
+               util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=stg path=a.stg path=b.stg"),
+               util::Error);
+  // Trailing garbage after a seed must not be silently dropped.
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5 seed=7x"),
+               util::Error);
+  // Shape parameters are counts/means/ratios: negative or astronomically
+  // large values are typos (and would overflow the jitter draw's cast).
+  EXPECT_THROW(
+      ScenarioSpec::parse("family=chain length=3 jitter=1 meancomp=1e300"),
+      util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=chain length=3 meancomp=-5"),
+               util::Error);
+  // '#' in an stg path would be eaten by the corpus comment stripper.
+  EXPECT_THROW(ScenarioSpec::parse("family=stg path=a#b.stg"), util::Error);
+}
+
+TEST(ScenarioSpec, RejectsUnserializableStgPath) {
+  auto spec = ScenarioSpec::parse("family=stg path=ok.stg");
+  spec.path = "my graphs/a.stg";  // whitespace cannot survive tokenization
+  EXPECT_THROW(spec.to_string(), util::Error);
+}
+
+TEST(ScenarioSpec, ProgrammaticSpecMissingRequiredParamThrows) {
+  // Specs can be built field by field in code; a missing required shape
+  // parameter must surface as util::Error, not a process abort, so the
+  // suite runner can record it as a per-instance error.
+  ScenarioSpec spec;
+  spec.family = "chain";
+  EXPECT_THROW(spec.materialize(), util::Error);
+}
+
+TEST(ScenarioSpec, RejectsNonIntegralSizes) {
+  EXPECT_THROW(ScenarioSpec::parse("family=random nodes=5.5").materialize(),
+               util::Error);
+  EXPECT_THROW(ScenarioSpec::parse("family=chain length=-3").materialize(),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace optsched::workload

@@ -1,0 +1,214 @@
+// SuiteRunner: sharded fan-out must produce deterministic reports, and the
+// differential oracle / ScheduleValidator must actually catch engines that
+// lie about optimality or emit infeasible schedules (verified by
+// registering deliberately broken engines).
+#include "workload/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/registry.hpp"
+#include "sched/list_scheduler.hpp"
+#include "workload/corpus.hpp"
+
+namespace optsched::workload {
+namespace {
+
+std::vector<ScenarioSpec> small_corpus() {
+  std::istringstream in(R"(
+family=random nodes=6 ccr=1 machine=clique:2 seeds=100..105
+family=forkjoin width=4 jitter=1 machine=ring:3 comm=hop seeds=1..3
+family=gauss dim=3 jitter=1 machine=clique:3@1,2,4 seed=2
+)");
+  return parse_corpus(in);
+}
+
+/// Strip the trailing time_ms column so deterministic content can be
+/// compared across runs and thread counts.
+std::string csv_without_time(const SuiteReport& report) {
+  std::ostringstream os;
+  write_csv(report, os);
+  std::string out;
+  std::istringstream lines(os.str());
+  for (std::string line; std::getline(lines, line);)
+    out += line.substr(0, line.rfind(',')) + "\n";
+  return out;
+}
+
+TEST(SuiteRunner, RunsCorpusCleanAcrossEngines) {
+  SuiteConfig config;
+  config.engines = {"astar", "ida", "chenyu"};
+  config.jobs = 4;
+  const SuiteReport report = run_suite(small_corpus(), config);
+
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.instances, 10u);
+  ASSERT_EQ(report.records.size(), 30u);
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    const SuiteRecord& rec = report.records[i];
+    EXPECT_EQ(rec.instance, i / 3);                       // row-major layout
+    EXPECT_EQ(rec.engine, config.engines[i % 3]);
+    EXPECT_TRUE(rec.proved_optimal) << rec.spec;
+    EXPECT_TRUE(rec.valid);
+    EXPECT_EQ(rec.termination, "optimal");
+    EXPECT_TRUE(rec.error.empty());
+    EXPECT_GT(rec.makespan, 0.0);
+    EXPECT_GT(rec.nodes, 0u);
+  }
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("all engines agree"), std::string::npos);
+}
+
+TEST(SuiteRunner, ReportsAreDeterministicAcrossJobCounts) {
+  SuiteConfig config;
+  config.engines = {"astar", "chenyu"};
+  config.jobs = 1;
+  const SuiteReport serial = run_suite(small_corpus(), config);
+  config.jobs = 8;
+  const SuiteReport parallel = run_suite(small_corpus(), config);
+  EXPECT_EQ(csv_without_time(serial), csv_without_time(parallel));
+}
+
+TEST(SuiteRunner, OracleCatchesAnEngineThatLiesAboutOptimality) {
+  // An engine that returns a valid heuristic schedule but *claims* a
+  // proved-optimal makespan nobody else can reproduce.
+  class Liar : public api::Solver {
+   public:
+    api::SolveResult solve(const api::SolveRequest& request) const override {
+      api::SolveResult result(sched::upper_bound_schedule(
+          *request.graph, *request.machine, request.comm));
+      result.makespan = result.schedule.makespan() + 1000.0;
+      result.proved_optimal = true;
+      return result;
+    }
+  };
+  auto& registry = api::SolverRegistry::instance();
+  if (!registry.contains("test_liar"))
+    registry.add({"test_liar", "claims absurd proved makespans",
+                  api::EngineCaps{.optimal = true},
+                  {},
+                  [] { return std::make_unique<Liar>(); }});
+
+  SuiteConfig config;
+  config.engines = {"astar", "test_liar"};
+  const SuiteReport report = run_suite(small_corpus(), config);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.oracle_mismatches.size(), report.instances);
+  EXPECT_NE(report.oracle_mismatches.front().find("test_liar"),
+            std::string::npos);
+  EXPECT_TRUE(report.validator_failures.empty());  // schedules were feasible
+}
+
+TEST(SuiteRunner, ValidatorCatchesAnEngineEmittingInfeasibleSchedules) {
+  // An engine whose schedule ignores all precedence and data delays:
+  // every task starts at time 0 on processor 0.
+  class Slammer : public api::Solver {
+   public:
+    api::SolveResult solve(const api::SolveRequest& request) const override {
+      sched::Schedule schedule(*request.graph, *request.machine, request.comm);
+      for (dag::NodeId n : request.graph->topo_order())
+        schedule.place(n, 0, 0.0);
+      api::SolveResult result(std::move(schedule));
+      result.makespan = result.schedule.makespan();
+      return result;
+    }
+  };
+  auto& registry = api::SolverRegistry::instance();
+  if (!registry.contains("test_slammer"))
+    registry.add({"test_slammer", "stacks every task at t=0",
+                  api::EngineCaps{},
+                  {},
+                  [] { return std::make_unique<Slammer>(); }});
+
+  SuiteConfig config;
+  config.engines = {"test_slammer"};
+  const SuiteReport report = run_suite(small_corpus(), config);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.validator_failures.empty());
+  for (const auto& rec : report.records) EXPECT_FALSE(rec.valid);
+}
+
+TEST(SuiteRunner, HonoursPerInstanceBudgets) {
+  SuiteConfig config;
+  config.engines = {"astar"};
+  config.limits.max_expansions = 1;
+  std::istringstream in("family=random nodes=12 ccr=1 machine=clique:3\n");
+  const SuiteReport report = run_suite(parse_corpus(in), config);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_FALSE(report.records[0].proved_optimal);
+  EXPECT_EQ(report.records[0].termination, "expansion-limit");
+  // A budget-limited incumbent is still a valid schedule, not an error.
+  EXPECT_TRUE(report.records[0].valid);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(SuiteRunner, CancellationStopsTheSuite) {
+  SuiteConfig config;
+  config.engines = {"astar"};
+  config.cancel.cancel();  // cancelled before the pool even starts
+  const SuiteReport report = run_suite(small_corpus(), config);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_FALSE(report.ok());
+  for (const auto& rec : report.records) EXPECT_EQ(rec.error, "not-run");
+}
+
+TEST(SuiteRunner, ProgressCallbackSeesEveryRun) {
+  SuiteConfig config;
+  config.engines = {"astar", "chenyu"};
+  config.jobs = 4;
+  std::size_t calls = 0;
+  config.on_record = [&](const SuiteRecord&) { ++calls; };
+  const SuiteReport report = run_suite(small_corpus(), config);
+  EXPECT_EQ(calls, report.records.size());
+}
+
+TEST(SuiteRunner, RejectsUnknownOrEmptyEngines) {
+  SuiteConfig config;
+  EXPECT_THROW(run_suite(small_corpus(), config), util::Error);
+  config.engines = {"astar", "warp-drive"};
+  EXPECT_THROW(run_suite(small_corpus(), config), api::InvalidRequest);
+}
+
+TEST(SuiteRunner, WritesWellFormedCsvAndJson) {
+  SuiteConfig config;
+  config.engines = {"astar"};
+  const SuiteReport report = run_suite(small_corpus(), config);
+
+  std::ostringstream csv;
+  write_csv(report, csv);
+  std::istringstream lines(csv.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header.rfind("instance,family,engine,", 0), 0u);
+  EXPECT_NE(header.find(",time_ms"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::string line; std::getline(lines, line);) ++rows;
+  EXPECT_EQ(rows, report.records.size());
+
+  std::ostringstream json;
+  write_json(report, json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"suite\""), std::string::npos);
+  EXPECT_NE(text.find("\"aggregates\""), std::string::npos);
+  EXPECT_NE(text.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"records\""), std::string::npos);
+  // The hetero machine spec contains a comma: its CSV cell must be quoted.
+  EXPECT_NE(csv.str().find("\"family=gauss"), std::string::npos);
+}
+
+TEST(SuiteRunner, JsonStaysParseableWithUnprovedResults) {
+  // Heuristic engines report bound_factor = inf; JSON has no Infinity
+  // literal, so the writer must emit null instead of the bare token.
+  SuiteConfig config;
+  config.engines = {"blevel"};
+  config.differential_oracle = false;
+  const SuiteReport report = run_suite(small_corpus(), config);
+  std::ostringstream json;
+  write_json(report, json);
+  EXPECT_EQ(json.str().find(": inf"), std::string::npos) << json.str();
+  EXPECT_NE(json.str().find("\"bound_factor\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsched::workload
