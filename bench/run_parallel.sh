@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Parallel-transport sweep: ring vs work stealing at 1-8 PPEs over the
+# bench corpus, via the suite runner itself (differential oracle and
+# ScheduleValidator armed, so a transport bug fails the snapshot instead
+# of silently recording it). Committed as BENCH_pr5.json. Usage:
+#
+#   bench/run_parallel.sh [build-dir] [out.json]
+#
+# The headline comparison is duplicate work: with PPE-local SEEN sets the
+# ring re-expands every state that two PPEs reach independently, so its
+# total context loads (loads_full + loads_incremental ~ expansions) grow
+# with the PPE count; the work-stealing mode's hash-sharded table keeps
+# duplicate detection global, holding loads near the serial count. Compare
+# the per-engine `total_loads_full` + `total_loads_incremental` (and
+# `total_shard_hits` for how many cross-PPE duplicates the shards caught)
+# in the JSON aggregates.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_parallel_local.json}
+
+BIN="$BUILD_DIR/examples/optsched_cli"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . &&" \
+       "cmake --build $BUILD_DIR --target optsched_cli)" >&2
+  exit 1
+fi
+
+# Serial A* as the oracle reference, then both transports at 1-8 PPEs.
+ENGINES="astar"
+for mode in ring ws; do
+  for ppes in 1 2 4 8; do
+    ENGINES+=",parallel:mode=${mode}:ppes=${ppes}"
+  done
+done
+
+# --jobs 1: each parallel solve owns the machine, so the sweep measures
+# the transports, not contention between concurrently solved instances.
+"$BIN" suite \
+  --corpus "$(dirname "$0")/corpus_bench.txt" \
+  --engines "$ENGINES" \
+  --jobs 1 \
+  --json "$OUT"
+
+echo "wrote $OUT"

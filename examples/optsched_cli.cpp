@@ -67,7 +67,9 @@ std::string verdict_for(const api::SolveResult& r) {
 int suite_main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   cli.describe("corpus", "corpus file, one scenario spec per line (required)")
-      .describe("engines", "comma-separated registry names, or 'optimal' "
+      .describe("engines", "comma-separated engine specs "
+                           "name[:key=value...] (colon-separated options, "
+                           "e.g. parallel:mode=ws:ppes=4), or 'optimal' "
                            "for every serial optimality-proving engine "
                            "that honors budgets/cancellation "
                            "(default optimal)")
@@ -247,6 +249,39 @@ int main(int argc, char** argv) try {
                     result.stats.search.loads_incremental),
                 result.stats.search.arena_hot_bytes / 1024,
                 result.stats.search.arena_cold_bytes / 1024);
+  if (!result.stats.parallel_mode.empty()) {
+    // expanded_per_ppe is sorted descending (the per-thread attribution is
+    // timing-dependent); print the distribution plus min/max.
+    const auto& per_ppe = result.stats.expanded_per_ppe;
+    std::string balance;
+    for (const auto n : per_ppe)
+      balance += (balance.empty() ? "" : "/") + std::to_string(n);
+    std::printf("parallel[%s]: %zu PPEs, expanded max/min %llu/%llu (%s)\n",
+                result.stats.parallel_mode.c_str(), per_ppe.size(),
+                static_cast<unsigned long long>(
+                    per_ppe.empty() ? 0 : per_ppe.front()),
+                static_cast<unsigned long long>(
+                    per_ppe.empty() ? 0 : per_ppe.back()),
+                balance.c_str());
+    if (result.stats.parallel_mode == "ws")
+      std::printf("  stealing: %llu steals (%llu states) in %llu attempts, "
+                  "%llu donations; dedup: %u shards, %llu duplicates "
+                  "filtered\n",
+                  static_cast<unsigned long long>(result.stats.steals),
+                  static_cast<unsigned long long>(
+                      result.stats.states_transferred),
+                  static_cast<unsigned long long>(
+                      result.stats.steal_attempts),
+                  static_cast<unsigned long long>(result.stats.donations),
+                  result.stats.shards,
+                  static_cast<unsigned long long>(result.stats.shard_hits));
+    else
+      std::printf("  comm: %llu messages (%llu states), %llu rounds\n",
+                  static_cast<unsigned long long>(result.stats.messages_sent),
+                  static_cast<unsigned long long>(
+                      result.stats.states_transferred),
+                  static_cast<unsigned long long>(result.stats.comm_rounds));
+  }
   if (result.stats.engines_raced > 0)
     std::printf("portfolio: %u engines raced, '%s' won\n",
                 result.stats.engines_raced, result.engine.c_str());

@@ -4,6 +4,8 @@
 // into the engine's native config, parses the engine's declared options,
 // and normalizes the native result into a SolveResult. Option values that
 // fail to parse raise InvalidRequest before the engine runs.
+#include <algorithm>
+#include <functional>
 #include <limits>
 
 #include "api/builtin.hpp"
@@ -175,8 +177,26 @@ class ParallelSolver : public Solver {
         opt_int(request.options, "parallel", "ppes", 4, /*min_value=*/1));
     config.min_period = static_cast<std::uint32_t>(opt_int(
         request.options, "parallel", "min-period", 2, /*min_value=*/1));
+    config.steal_batch = static_cast<std::uint32_t>(opt_int(
+        request.options, "parallel", "steal-batch", 8, /*min_value=*/1));
+    const std::int64_t shards = opt_int(
+        request.options, "parallel", "shards", 0, /*min_value=*/0);
+    // The table allocates its shards eagerly (before the search's memory
+    // budget is ever polled), so bound the request here.
+    if (shards > 4096)
+      bad_option("parallel", "shards", std::to_string(shards), "<= 4096");
+    config.shards = static_cast<std::uint32_t>(shards);
     config.naive_termination =
         opt_bool(request.options, "parallel", "naive-term", false);
+    const auto mode = request.options.find("mode");
+    if (mode != request.options.end()) {
+      if (mode->second == "ring")
+        config.mode = par::TransportMode::kRing;
+      else if (mode->second == "ws")
+        config.mode = par::TransportMode::kWorkStealing;
+      else
+        bad_option("parallel", "mode", mode->second, "ring|ws");
+    }
     const auto it = request.options.find("topology");
     if (it != request.options.end()) {
       if (it->second == "ring")
@@ -194,10 +214,21 @@ class ParallelSolver : public Solver {
                                       request.comm);
     par::ParallelResult r = par::parallel_astar_schedule(problem, config);
     SolveResult out = from_search(std::move(r.result));
+    out.stats.parallel_mode = par::to_string(r.par_stats.mode);
     out.stats.messages_sent = r.par_stats.messages_sent;
     out.stats.states_transferred = r.par_stats.states_transferred;
     out.stats.comm_rounds = r.par_stats.comm_rounds;
+    out.stats.steal_attempts = r.par_stats.steal_attempts;
+    out.stats.steals = r.par_stats.steals;
+    out.stats.donations = r.par_stats.donations;
+    out.stats.shards = r.par_stats.shards;
+    out.stats.shard_hits = r.par_stats.shard_hits;
+    // Per-thread attribution is timing-dependent: report the sorted
+    // distribution so identical runs diff cleanly modulo load balance.
     out.stats.expanded_per_ppe = std::move(r.par_stats.expanded_per_ppe);
+    std::sort(out.stats.expanded_per_ppe.begin(),
+              out.stats.expanded_per_ppe.end(),
+              std::greater<std::uint64_t>());
     return out;
   }
 };
@@ -317,13 +348,19 @@ void register_builtin_engines(SolverRegistry& registry) {
        [] { return std::make_unique<IdaSolver>(); }});
   registry.add(
       {"parallel",
-       "multi-threaded parallel A*/Aeps* with PPE communication (Sec. 3.3)",
+       "multi-threaded parallel A*/Aeps*: ring (Sec. 3.3) or work stealing",
        {.optimal = true, .anytime = true, .parallel = true, .bounded = true},
        {{"ppes", "worker thread count (default 4)"},
+        {"mode", "transport: ring (paper Sec. 3.3) | ws (work stealing + "
+                 "sharded dedup); default ring"},
         {"epsilon", "approximation factor (default 0 = exact)"},
         {"h", "heuristic function: zero|paper|path|composite"},
-        {"topology", "PPE interconnect: ring|mesh|clique"},
-        {"min-period", "minimum expansions between comm rounds (default 2)"},
+        {"topology", "ring mode: PPE interconnect: ring|mesh|clique"},
+        {"min-period",
+         "ring mode: minimum expansions between comm rounds (default 2)"},
+        {"steal-batch", "ws mode: donation/steal batch size (default 8)"},
+        {"shards",
+         "ws mode: dedup-table shard count, <= 4096 (default 0 = 4x ppes)"},
         {"naive-term", "paper's first-goal termination: 0|1 (default 0)"}},
        [] { return std::make_unique<ParallelSolver>(); }});
   registry.add(

@@ -20,4 +20,16 @@ Options parse_options(const std::string& spec) {
   return out;
 }
 
+// Every ':' after the name is an option separator, so option *values*
+// cannot contain ':' or ',' — fine for all declared engine options
+// (portfolio's engines list is '+'-separated for exactly this reason).
+std::pair<std::string, Options> parse_engine_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, {}};
+  std::string opts = spec.substr(colon + 1);
+  for (char& c : opts)
+    if (c == ':') c = ',';
+  return {spec.substr(0, colon), parse_options(opts)};
+}
+
 }  // namespace optsched::api

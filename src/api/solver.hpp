@@ -32,6 +32,14 @@ using Options = std::map<std::string, std::string>;
 /// Throws util::Error on entries without '=' or with an empty key.
 Options parse_options(const std::string& spec);
 
+/// Parse an engine spec "name[:k=v[:k=v...]]" into the registry name plus
+/// its options — colon-separated so specs compose inside comma-separated
+/// engine lists (e.g. `--engines astar,parallel:mode=ws:ppes=4`). A bare
+/// name yields empty options. Option values must not contain ':' or ','
+/// (no declared engine option needs them; portfolio's engines list is
+/// '+'-separated).
+std::pair<std::string, Options> parse_engine_spec(const std::string& spec);
+
 /// Thrown for a malformed SolveRequest — unknown engine, option key the
 /// engine does not declare, unparsable option value, or an engine
 /// constraint violation (e.g. epsilon on the exact-only IDA*). Raised by
@@ -76,10 +84,20 @@ struct SolveRequest {
 struct SolveStats {
   core::SearchStats search{};          ///< expansions, memory, time, ...
   std::uint64_t paths_evaluated = 0;   ///< Chen & Yu underestimate work
-  std::uint64_t messages_sent = 0;     ///< parallel engine
-  std::uint64_t states_transferred = 0;
+  /// Parallel transport: "ring" or "ws" (empty for serial engines).
+  std::string parallel_mode;
+  std::uint64_t messages_sent = 0;     ///< parallel engine, ring mode
+  std::uint64_t states_transferred = 0;  ///< shipped over mailboxes or stolen
   std::uint64_t comm_rounds = 0;
-  std::vector<std::uint64_t> expanded_per_ppe;  ///< parallel load balance
+  std::uint64_t steal_attempts = 0;    ///< parallel engine, ws mode
+  std::uint64_t steals = 0;
+  std::uint64_t donations = 0;
+  std::uint32_t shards = 0;            ///< sharded dedup table (ws mode)
+  std::uint64_t shard_hits = 0;  ///< duplicates filtered by the shared table
+  /// Per-PPE expansion counts, sorted descending — per-thread attribution
+  /// is timing-dependent, so reports emit the distribution (and min/max/
+  /// total aggregates), never the PPE-id order.
+  std::vector<std::uint64_t> expanded_per_ppe;
   std::uint32_t engines_raced = 0;     ///< portfolio members launched
 };
 

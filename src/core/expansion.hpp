@@ -166,13 +166,17 @@ class Expander {
   /// Expand arena[index]. Every surviving successor is appended to `arena`
   /// and reported through `emit(StateIndex, const State&)`; the State
   /// reference is the generation record, valid only during the callback
-  /// (copy it or re-read through the arena to keep it). `seen` receives
-  /// the signatures of all surviving successors (duplicate filter).
-  /// `prune_bound` is the current upper-bound threshold (the incumbent
-  /// makespan, or the static U in paper-fidelity mode); children with
-  /// f >= bound (f > bound when strict_upper_bound) are discarded.
-  template <typename Emit>
-  void expand(StateArena& arena, util::FlatSet128& seen, StateIndex index,
+  /// (copy it or re-read through the arena to keep it). `seen` is the
+  /// pluggable duplicate-detection probe — any type with
+  /// `bool insert(const util::Key128&)` returning true for a first-seen
+  /// signature: the serial engines pass a thread-local FlatSet128, the
+  /// parallel transports pass their mode's structure (PPE-local set, or
+  /// the hash-sharded global table). `prune_bound` is the current
+  /// upper-bound threshold (the incumbent makespan, or the static U in
+  /// paper-fidelity mode); children with f >= bound (f > bound when
+  /// strict_upper_bound) are discarded.
+  template <typename Seen, typename Emit>
+  void expand(StateArena& arena, Seen& seen, StateIndex index,
               double prune_bound, Emit&& emit);
 
   ExpandStats& stats() noexcept { return stats_; }
@@ -188,10 +192,10 @@ class Expander {
  private:
   /// Build the child state for (node -> proc) on top of the loaded context.
   /// Returns false if the child was pruned.
-  template <typename Emit>
-  bool try_emit_child(StateArena& arena, util::FlatSet128& seen,
-                      StateIndex parent_index, NodeId node, ProcId proc,
-                      double prune_bound, Emit&& emit);
+  template <typename Seen, typename Emit>
+  bool try_emit_child(StateArena& arena, Seen& seen, StateIndex parent_index,
+                      NodeId node, ProcId proc, double prune_bound,
+                      Emit&& emit);
 
   const SearchProblem* problem_;
   SearchConfig config_;
@@ -207,9 +211,9 @@ class Expander {
 
 // ---- implementation of the templated members ----------------------------
 
-template <typename Emit>
-void Expander::expand(StateArena& arena, util::FlatSet128& seen,
-                      StateIndex index, double prune_bound, Emit&& emit) {
+template <typename Seen, typename Emit>
+void Expander::expand(StateArena& arena, Seen& seen, StateIndex index,
+                      double prune_bound, Emit&& emit) {
   ctx_.move_to(arena, index);
   ++stats_.expanded;
   parent_sig_ = arena.sig(index);
@@ -253,8 +257,8 @@ void Expander::expand(StateArena& arena, util::FlatSet128& seen,
   }
 }
 
-template <typename Emit>
-bool Expander::try_emit_child(StateArena& arena, util::FlatSet128& seen,
+template <typename Seen, typename Emit>
+bool Expander::try_emit_child(StateArena& arena, Seen& seen,
                               StateIndex parent_index, NodeId node,
                               ProcId proc, double prune_bound, Emit&& emit) {
   const double st = ctx_.start_time(node, proc);

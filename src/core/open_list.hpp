@@ -35,6 +35,22 @@ class OpenList {
     sift_up(heap_.size() - 1);
   }
 
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  /// Insert a batch of entries with one O(n) Floyd heapify instead of n
+  /// sift-ups — for transferred/stolen state batches, where the batch is
+  /// usually a sizable fraction of the frontier. Small batches into a big
+  /// heap fall back to per-entry sift-up, which is cheaper there.
+  void push_batch(const std::vector<OpenEntry>& batch) {
+    if (batch.empty()) return;
+    if (batch.size() < heap_.size() / 4) {
+      for (const OpenEntry& e : batch) push(e);
+      return;
+    }
+    heap_.insert(heap_.end(), batch.begin(), batch.end());
+    for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
+  }
+
   const OpenEntry& top() const {
     OPTSCHED_ASSERT(!heap_.empty());
     return heap_[0];

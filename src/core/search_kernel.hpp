@@ -11,6 +11,9 @@
 //                     progress-callback throttle, polled once per step.
 //   run_search_loop   the pop -> filter -> goal -> expand skeleton,
 //                     parameterized by an engine Policy.
+//   SharedIncumbent   the incumbent shared across search threads: lock-free
+//                     bound reads on the hot path, exact value + winning
+//                     payload behind a mutex (parallel engines).
 //
 // A Policy supplies the frontier discipline and the engine-specific
 // decisions (duck-typed; see the engines for examples):
@@ -37,14 +40,54 @@
 // shared implementation safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <utility>
 
 #include "core/config.hpp"
 #include "core/state.hpp"
 #include "util/timer.hpp"
 
 namespace optsched::core {
+
+/// Cross-thread incumbent shared by the parallel engines: the bound is a
+/// lock-free atomic for the hot paths (upper-bound pruning, frontier
+/// domination tests), while the exact value and the winning payload (the
+/// goal's assignment sequence) stay behind a mutex. Offers only ever
+/// improve the incumbent, so concurrent goal discoveries keep the best.
+template <typename Payload>
+class SharedIncumbent {
+ public:
+  explicit SharedIncumbent(double initial) : bound_(initial), exact_(initial) {}
+
+  /// Hot-path read of the current bound.
+  double bound() const { return bound_.load(std::memory_order_acquire); }
+
+  /// Register a complete solution; returns true when it improved the
+  /// incumbent (and consumed the payload).
+  bool offer(double value, Payload&& payload) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (value >= exact_ - 1e-12) return false;
+    exact_ = value;
+    payload_ = std::move(payload);
+    bound_.store(value, std::memory_order_release);
+    return true;
+  }
+
+  /// Exact value + payload copy (post-run result assembly).
+  std::pair<double, Payload> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {exact_, payload_};
+  }
+
+ private:
+  std::atomic<double> bound_;
+  mutable std::mutex mu_;
+  double exact_;     ///< guarded by mu_
+  Payload payload_;  ///< ditto
+};
 
 /// What the policy wants done with a popped frontier entry.
 enum class StepAction : std::uint8_t {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -18,18 +19,9 @@
 #include <utility>
 #include <vector>
 
-#include "dag/graph.hpp"
-#include "machine/machine.hpp"
+#include "parallel/transport.hpp"
 
 namespace optsched::par {
-
-/// A transferred search state: the assignment sequence from the root.
-/// The receiver replays it to rebuild times, signature and cost — the
-/// same few dozen bytes the Paragon implementation shipped.
-struct StateMsg {
-  std::vector<std::pair<dag::NodeId, machine::ProcId>> assignments;
-  double f = 0.0;  ///< sender's f value (receiver recomputes and asserts)
-};
 
 struct Message {
   std::vector<StateMsg> states;

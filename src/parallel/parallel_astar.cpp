@@ -1,11 +1,11 @@
 #include "parallel/parallel_astar.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <memory>
 #include <set>
 #include <thread>
+#include <utility>
 
 #include "core/open_list.hpp"
 #include "core/search_kernel.hpp"
@@ -36,6 +36,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// measured speedups compare like with like).
 class PpeOpen {
  public:
+  /// One frontier entry for batched pushes.
+  struct Item {
+    double f, g, h;
+    StateIndex index;
+  };
+
   explicit PpeOpen(double epsilon) : eps_(epsilon) {}
 
   bool empty() const {
@@ -56,6 +62,19 @@ class PpeOpen {
       set_.insert({f, g, h, idx});
     else
       heap_.push({f, g, idx});
+  }
+
+  /// Batched insert: one O(n) heapify for the heap case
+  /// (OpenList::push_batch) — used for transferred/stolen state batches.
+  void push_batch(const std::vector<Item>& items) {
+    if (eps_ > 0) {
+      for (const Item& it : items) set_.insert({it.f, it.g, it.h, it.index});
+      return;
+    }
+    std::vector<OpenEntry> entries;
+    entries.reserve(items.size());
+    for (const Item& it : items) entries.push_back({it.f, it.g, it.index});
+    heap_.push_batch(entries);
   }
 
   /// Remove and return the next state to expand (A*: min (f, -g);
@@ -96,6 +115,13 @@ class PpeOpen {
     return out;
   }
 
+  /// Remove the up-to-`count` best entries (work-stealing donations).
+  std::vector<StateIndex> extract_best(std::size_t count) {
+    std::vector<StateIndex> out;
+    while (out.size() < count && !empty()) out.push_back(pop_best());
+    return out;
+  }
+
   void clear() {
     heap_.clear();
     set_.clear();
@@ -123,56 +149,32 @@ class PpeOpen {
   std::set<Entry> set_;
 };
 
-struct alignas(64) PpeStatus {
-  std::atomic<double> min_f{kInf};
-  std::atomic<std::uint64_t> open_size{0};
-  std::atomic<bool> idle{false};
-};
-
 struct Shared {
   Shared(const SearchProblem& p, const ParallelConfig& c)
       : problem(p),
         config(c),
-        net(c.num_ppes, c.topology),
-        status(std::make_unique<PpeStatus[]>(c.num_ppes)) {
-    incumbent_len.store(p.upper_bound());
-    incumbent_exact = p.upper_bound();
-  }
+        incumbent(p.upper_bound()),
+        transport(make_transport(c, p, done)) {}
 
   const SearchProblem& problem;
   const ParallelConfig& config;
-  MailboxNetwork net;
-  std::unique_ptr<PpeStatus[]> status;
+  std::atomic<bool> done{false};  ///< before transport: it keeps a pointer
+  core::SharedIncumbent<std::vector<std::pair<NodeId, ProcId>>> incumbent;
+  std::unique_ptr<Transport> transport;
 
-  std::atomic<double> incumbent_len;  ///< hot-path read for pruning
-  std::mutex incumbent_mu;
-  double incumbent_exact;             ///< guarded by incumbent_mu
-  std::vector<std::pair<NodeId, ProcId>> incumbent_seq;  ///< ditto
-
-  std::atomic<bool> done{false};
   /// 0 none, 1 expansions, 2 time, 3 cancelled, 4 memory.
   std::atomic<int> abort_reason{0};
   std::atomic<std::uint64_t> total_expanded{0};
-  std::atomic<std::uint64_t> messages_sent{0};
-  std::atomic<std::uint64_t> states_transferred{0};
-  std::atomic<std::uint64_t> comm_rounds{0};
   util::Timer timer;
 
   /// Register a complete schedule; keeps the best across all PPEs.
   void offer_incumbent(double len,
                        std::vector<std::pair<NodeId, ProcId>> seq) {
-    const std::lock_guard<std::mutex> lock(incumbent_mu);
-    if (len < incumbent_exact - 1e-12) {
-      incumbent_exact = len;
-      incumbent_seq = std::move(seq);
-      incumbent_len.store(len, std::memory_order_release);
-      if (config.naive_termination) done.store(true);
-    }
+    if (incumbent.offer(len, std::move(seq)) && config.naive_termination)
+      done.store(true);
   }
 
-  double incumbent() const {
-    return incumbent_len.load(std::memory_order_acquire);
-  }
+  double incumbent_bound() const { return incumbent.bound(); }
 
   /// Progress callbacks are serialized here so PPEs can report from their
   /// own threads without requiring a thread-safe user callback.
@@ -186,19 +188,17 @@ struct Shared {
         total_expanded.load(std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(progress_mu);
     if (!progress_gate.open(expanded)) return;
-    double lower_bound = kInf;
-    for (std::uint32_t i = 0; i < config.num_ppes; ++i)
-      lower_bound = std::min(
-          lower_bound, status[i].min_f.load(std::memory_order_acquire));
+    const double lower_bound = transport->global_lower_bound();
     controls.progress({expanded, lower_bound == kInf ? 0.0 : lower_bound,
-                       incumbent(), timer.seconds()});
+                       incumbent_bound(), timer.seconds()});
   }
 };
 
 /// One search worker. The main loop is the shared kernel
 /// (core/search_kernel.hpp) instantiated over this PPE's thread-local
-/// frontier/arena; Ppe itself is the kernel policy.
-class Ppe {
+/// frontier/arena; Ppe itself is the kernel policy, and doubles as the
+/// PpeHost the transport endpoint manipulates.
+class Ppe final : public PpeHost {
  public:
   Ppe(Shared& shared, std::uint32_t id)
       : shared_(shared),
@@ -209,20 +209,21 @@ class Ppe {
         import_finish_(shared.problem.num_nodes(), 0.0),
         import_proc_of_(shared.problem.num_nodes(), machine::kInvalidProc),
         import_proc_ready_(shared.problem.num_procs(), 0.0),
-        seen_(1 << 10),
         open_(shared.config.search.epsilon),
+        link_(shared.transport->connect(id)),
         progress_gate_(shared.config.search.controls) {}
 
   void run();
 
   const core::ExpandStats& stats() const { return expander_.stats(); }
 
-  /// This PPE's search-state memory (arena + CLOSED set + OPEN list).
-  /// Arena and CLOSED only grow, and OPEN is small next to them, so the
-  /// end-of-run value is within one OPEN list of the true peak.
+  /// This PPE's search-state memory (arena + OPEN list + its share of the
+  /// transport's structures — the local SEEN set or the sharded table).
+  /// Arena and dedup structures only grow, and OPEN is small next to
+  /// them, so the end-of-run value is within one OPEN list of the peak.
   std::size_t memory_bytes() const {
-    return arena_.memory_bytes() + seen_.memory_bytes() +
-           open_.memory_bytes();
+    return arena_.memory_bytes() + open_.memory_bytes() +
+           link_->memory_bytes();
   }
   std::size_t arena_hot_bytes() const { return arena_.hot_memory_bytes(); }
   std::size_t arena_cold_bytes() const { return arena_.cold_memory_bytes(); }
@@ -237,38 +238,23 @@ class Ppe {
     // Fast-drop a fully dominated frontier (everything >= incumbent).
     if (!open_.empty() && dominated()) open_.clear();
     if (open_.empty()) return false;
-    shared_.status[id_].idle.store(false, std::memory_order_release);
+    link_->mark_busy();
     out = open_.pop_best();
     return true;
   }
 
-  /// Empty frontier: idle/steal dance. Always continues the loop — either
-  /// the mailbox refills OPEN, or global quiescence flips the done flag
-  /// that keep_searching() observes.
+  /// Empty frontier: the transport's refill/steal/quiescence dance.
+  /// Always continues the loop — either the transport refills OPEN, or
+  /// global quiescence flips the done flag keep_searching() observes.
   bool on_empty() {
-    shared_.status[id_].idle.store(true, std::memory_order_release);
-    publish();
-    drain_mailbox(std::chrono::microseconds(200));
-    if (!open_.empty()) {
-      shared_.status[id_].idle.store(false, std::memory_order_release);
-      return true;
-    }
-    // Sound termination: all PPEs idle and nothing in flight.
-    bool all_idle = true;
-    for (std::uint32_t i = 0; i < shared_.config.num_ppes; ++i)
-      if (!shared_.status[i].idle.load(std::memory_order_acquire)) {
-        all_idle = false;
-        break;
-      }
-    if (all_idle && !shared_.net.anything_in_flight())
-      shared_.done.store(true, std::memory_order_release);
+    link_->on_empty(*this);
     return true;
   }
 
   StepAction classify(StateIndex idx) {
     const core::HotState& s = arena_.hot(idx);
     if (s.depth() == shared_.problem.num_nodes()) return StepAction::kGoal;
-    if (exact() && s.f >= shared_.incumbent() - 1e-9)
+    if (exact() && s.f >= shared_.incumbent_bound() - 1e-9)
       return StepAction::kSkip;  // stale
     return StepAction::kExpand;
   }
@@ -278,21 +264,15 @@ class Ppe {
   }
 
   void expand(StateIndex idx) {
-    expander_.expand(arena_, seen_, idx, prune_bound(),
+    LinkSeen seen{link_.get()};
+    expander_.expand(arena_, seen, idx, prune_bound(),
                      [&](StateIndex child_idx, const State& child) {
                        accept_child(child_idx, child);
                      });
     shared_.total_expanded.fetch_add(1, std::memory_order_relaxed);
   }
 
-  void after_expand() {
-    if (++period_counter_ >= period_) {
-      period_counter_ = 0;
-      communicate();
-      ++round_;
-      period_ = period_for_round(round_);
-    }
-  }
+  void after_expand() { link_->after_expand(*this); }
 
   std::uint64_t expanded_count() const {
     return shared_.total_expanded.load(std::memory_order_relaxed);
@@ -306,36 +286,105 @@ class Ppe {
     if (progress_gate_.open(expanded_count())) shared_.maybe_progress();
   }
 
- private:
-  bool exact() const { return shared_.config.search.epsilon == 0.0; }
+  // ---- PpeHost interface (called by the transport) -----------------------
+
+  std::uint32_t id() const override { return id_; }
+  std::size_t frontier_size() const override { return open_.size(); }
+  double frontier_min_f() const override { return open_.min_f(); }
 
   /// Is this PPE's frontier unable to improve on the incumbent?
-  bool dominated() const {
-    const double inc = shared_.incumbent();
+  bool dominated() const override {
+    const double inc = shared_.incumbent_bound();
     const double fmin = open_.min_f();
     if (exact()) return fmin >= inc - 1e-9;
     return inc <= (1.0 + shared_.config.search.epsilon) * fmin + 1e-9;
   }
 
+  StateIndex pop_best() override { return open_.pop_best(); }
+
+  void push_index(StateIndex idx) override {
+    const core::HotState& s = arena_.hot(idx);
+    open_.push(s.f, s.g, s.h(), idx);
+  }
+
+  void push_batch(const std::vector<StateIndex>& indices) override {
+    std::vector<PpeOpen::Item> items;
+    items.reserve(indices.size());
+    for (const StateIndex idx : indices) {
+      const core::HotState& s = arena_.hot(idx);
+      items.push_back({s.f, s.g, s.h(), idx});
+    }
+    open_.push_batch(items);
+  }
+
+  std::vector<StateIndex> extract_surplus(std::size_t n) override {
+    return open_.extract_surplus(n);
+  }
+
+  std::vector<StateIndex> extract_best(std::size_t n) override {
+    return open_.extract_best(n);
+  }
+
+  StateMsg serialize(StateIndex idx) const override {
+    return {assignment_sequence(idx), arena_.hot(idx).f};
+  }
+
+  void import_batch(const std::vector<StateMsg>& msgs) override {
+    std::vector<PpeOpen::Item> items;
+    items.reserve(msgs.size());
+    for (const StateMsg& msg : msgs)
+      if (const auto item = import_one(msg)) items.push_back(*item);
+    open_.push_batch(items);
+  }
+
+  std::vector<StateIndex> expand_collect(StateIndex idx) override {
+    std::vector<StateIndex> children;
+    LinkSeen seen{link_.get()};
+    expander_.expand(arena_, seen, idx, prune_bound(),
+                     [&](StateIndex child_idx, const State& child) {
+                       if (child.depth == shared_.problem.num_nodes()) {
+                         shared_.offer_incumbent(
+                             child.g, assignment_sequence(child_idx));
+                         return;
+                       }
+                       children.push_back(child_idx);
+                     });
+    shared_.total_expanded.fetch_add(1, std::memory_order_relaxed);
+    return children;
+  }
+
+ private:
+  /// The pluggable duplicate-detection probe handed to the Expander: the
+  /// transport decides whether it is a PPE-local set or the global
+  /// sharded table.
+  struct LinkSeen {
+    PpeLink* link;
+    bool insert(const util::Key128& k) { return link->dedup_insert(k); }
+  };
+
+  /// Seed-time probe: the pre-distribution expansion must be identical on
+  /// every PPE, so the probe result comes from a throwaway local set; the
+  /// mode's real structure just records the signature.
+  struct SeedSeen {
+    util::FlatSet128* local;
+    PpeLink* link;
+    bool insert(const util::Key128& k) {
+      const bool fresh = local->insert(k);
+      if (fresh) link->record_signature(k);
+      return fresh;
+    }
+  };
+
+  bool exact() const { return shared_.config.search.epsilon == 0.0; }
+
   double prune_bound() const {
     if (shared_.config.search.prune.strict_upper_bound)
       return shared_.problem.upper_bound();
-    return shared_.incumbent();
+    return shared_.incumbent_bound();
   }
 
-  void publish() {
-    shared_.status[id_].min_f.store(open_.min_f(), std::memory_order_release);
-    shared_.status[id_].open_size.store(open_.size(),
-                                        std::memory_order_release);
-  }
-
-  std::uint32_t period_for_round(std::uint32_t round) const {
-    const std::uint32_t v = shared_.problem.num_nodes();
-    const std::uint32_t shifted = round + 1 >= 31 ? 0u : (v >> (round + 1));
-    return std::max(shifted, shared_.config.min_period);
-  }
-
-  std::vector<std::pair<NodeId, ProcId>> assignment_sequence(StateIndex idx) {
+  std::vector<std::pair<NodeId, ProcId>> assignment_sequence(
+      StateIndex idx) const {
     std::vector<std::pair<NodeId, ProcId>> seq;
     for (StateIndex i = idx; i != kNoParent; i = arena_.hot(i).parent) {
       if (arena_.hot(i).is_root()) break;
@@ -354,12 +403,12 @@ class Ppe {
     open_.push(child.f(), child.g, child.h, idx);
   }
 
-  /// Rebuild a transferred state in the local arena; always enqueued
-  /// (dropping a received state could orphan it — see header comment).
-  void import_state(const StateMsg& msg);
+  /// Rebuild a transferred state in the local arena; returns the frontier
+  /// entry to enqueue (nullopt for complete schedules, which go to the
+  /// incumbent). Received states are always enqueued — dropping one could
+  /// orphan it (see header comment).
+  std::optional<PpeOpen::Item> import_one(const StateMsg& msg);
 
-  void drain_mailbox(std::chrono::microseconds wait);
-  void communicate();
   void initial_distribution();
 
   Shared& shared_;
@@ -371,16 +420,12 @@ class Ppe {
   std::vector<ProcId> import_proc_of_;
   std::vector<double> import_proc_ready_;
   StateArena arena_;
-  util::FlatSet128 seen_;
   PpeOpen open_;
+  std::unique_ptr<PpeLink> link_;
   core::ProgressGate progress_gate_;
-  std::uint32_t round_ = 0;
-  std::uint64_t period_counter_ = 0;
-  std::uint64_t period_ = 0;
-  std::uint32_t rr_cursor_ = 0;  ///< round-robin pointer for load sharing
 };
 
-void Ppe::import_state(const StateMsg& msg) {
+std::optional<PpeOpen::Item> Ppe::import_one(const StateMsg& msg) {
   const auto& problem = shared_.problem;
   const auto& graph = problem.graph();
   const auto& machine = problem.machine();
@@ -434,7 +479,7 @@ void Ppe::import_state(const StateMsg& msg) {
 
   if (depth == shared_.problem.num_nodes()) {
     shared_.offer_incumbent(g, msg.assignments);
-    return;
+    return std::nullopt;
   }
 
   // Recompute h for the transferred frontier state. msg.f lower-bounds the
@@ -448,132 +493,34 @@ void Ppe::import_state(const StateMsg& msg) {
   arena_.patch_h(parent, h);  // so re-sharing this state sends the right f
   OPTSCHED_ASSERT(std::abs((g + h) - msg.f) < 1e-6);
 
-  seen_.insert(sig);  // best effort; duplicates tolerated by design
-  open_.push(g + h, g, h, parent);
-}
-
-void Ppe::drain_mailbox(std::chrono::microseconds wait) {
-  auto& box = shared_.net.mailbox(id_);
-  bool first = true;
-  while (true) {
-    std::optional<Message> msg =
-        first && wait.count() > 0 ? box.take_for(wait) : box.try_take();
-    if (!msg) break;
-    first = false;
-    // Mark busy *before* acknowledging so the termination detector never
-    // sees "all idle, nothing in flight" while a message is half-processed.
-    shared_.status[id_].idle.store(false, std::memory_order_release);
-    for (const auto& s : msg->states) import_state(s);
-    shared_.net.acknowledge_receipt();
-  }
-}
-
-void Ppe::communicate() {
-  publish();
-  shared_.comm_rounds.fetch_add(1, std::memory_order_relaxed);
-
-  const auto& neighbors = shared_.net.neighbors(id_);
-  if (neighbors.empty() || open_.empty()) {
-    drain_mailbox(std::chrono::microseconds(0));
-    return;
-  }
-
-  // Neighbourhood election (paper: "vote and elect the best cost state,
-  // which is then expanded by all the participating PPEs; the resulting
-  // new states then go to each neighbouring PPE in a RR fashion"). The
-  // owner of the locally best state expands it and scatters the children
-  // round-robin over the neighbourhood, which realizes the same data flow
-  // without duplicating the expansion on every participant.
-  const double my_fmin = open_.min_f();
-  bool i_am_best = true;
-  for (const auto nb : neighbors)
-    if (shared_.status[nb].min_f.load(std::memory_order_acquire) <
-        my_fmin - 1e-12)
-      i_am_best = false;
-
-  if (i_am_best && !dominated()) {
-    const StateIndex best = open_.pop_best();
-    std::vector<StateIndex> children;
-    expander_.expand(arena_, seen_, best, prune_bound(),
-                     [&](StateIndex idx, const State& child) {
-                       if (child.depth == shared_.problem.num_nodes()) {
-                         shared_.offer_incumbent(child.g,
-                                                 assignment_sequence(idx));
-                         return;
-                       }
-                       children.push_back(idx);
-                     });
-    shared_.total_expanded.fetch_add(1, std::memory_order_relaxed);
-    // Scatter children: self first, then neighbours round-robin.
-    std::uint32_t cursor = 0;
-    std::vector<std::vector<StateMsg>> outbound(neighbors.size());
-    for (const StateIndex idx : children) {
-      const core::HotState& c = arena_.hot(idx);
-      if (cursor == 0) {
-        open_.push(c.f, c.g, c.h(), idx);
-      } else {
-        outbound[cursor - 1].push_back({assignment_sequence(idx), c.f});
-      }
-      cursor = (cursor + 1) % (static_cast<std::uint32_t>(neighbors.size()) + 1);
-    }
-    for (std::size_t k = 0; k < neighbors.size(); ++k) {
-      if (outbound[k].empty()) continue;
-      shared_.states_transferred.fetch_add(outbound[k].size(),
-                                           std::memory_order_relaxed);
-      shared_.messages_sent.fetch_add(1, std::memory_order_relaxed);
-      shared_.net.send(neighbors[k], {std::move(outbound[k]), id_});
-    }
-  }
-
-  // Round-robin load sharing toward the neighbourhood average (§3.3).
-  std::uint64_t total = open_.size();
-  std::vector<std::uint64_t> nb_sizes(neighbors.size());
-  for (std::size_t k = 0; k < neighbors.size(); ++k) {
-    nb_sizes[k] =
-        shared_.status[neighbors[k]].open_size.load(std::memory_order_acquire);
-    total += nb_sizes[k];
-  }
-  const std::uint64_t average = total / (neighbors.size() + 1);
-  if (open_.size() > average + 1) {
-    std::size_t surplus = open_.size() - average;
-    std::vector<std::uint32_t> deficit;
-    for (std::size_t k = 0; k < neighbors.size(); ++k)
-      if (nb_sizes[k] < average) deficit.push_back(neighbors[k]);
-    if (!deficit.empty()) {
-      const auto extracted =
-          open_.extract_surplus(std::min<std::size_t>(surplus, 256));
-      std::vector<std::vector<StateMsg>> outbound(deficit.size());
-      for (const StateIndex idx : extracted) {
-        outbound[rr_cursor_ % deficit.size()].push_back(
-            {assignment_sequence(idx), arena_.hot(idx).f});
-        ++rr_cursor_;
-      }
-      for (std::size_t k = 0; k < deficit.size(); ++k) {
-        if (outbound[k].empty()) continue;
-        shared_.states_transferred.fetch_add(outbound[k].size(),
-                                             std::memory_order_relaxed);
-        shared_.messages_sent.fetch_add(1, std::memory_order_relaxed);
-        shared_.net.send(deficit[k], {std::move(outbound[k]), id_});
-      }
-    }
-  }
-
-  drain_mailbox(std::chrono::microseconds(0));
-  publish();
+  link_->record_signature(sig);  // best effort; duplicates tolerated
+  return PpeOpen::Item{g + h, g, h, parent};
 }
 
 void Ppe::initial_distribution() {
   // Every PPE deterministically expands from the initial state until at
   // least q candidate states exist (or the space is exhausted), then takes
-  // its share by the paper's interleaving — identical computation on every
-  // PPE, so no startup messages are needed.
+  // its share by the transport's partition strategy — identical
+  // computation on every PPE, so no startup messages are needed.
   const std::uint32_t q = shared_.config.num_ppes;
+  const PartitionStrategy& partition = shared_.transport->partition();
+
+  // Seed pruning uses the *static* upper bound, never the live incumbent:
+  // a goal found by a fast-seeding PPE would otherwise shrink a slow
+  // seeder's bound mid-seed, its frontier ranks would shift, and the
+  // rank-based interleave hand-out could orphan a state no PPE owns
+  // (breaking the optimality proof). The kept-but-dominated extras are
+  // filtered by the normal incumbent checks right after seeding.
+  const double seed_bound = shared_.problem.upper_bound();
+
+  util::FlatSet128 seed_local(1 << 8);
+  SeedSeen seed_seen{&seed_local, link_.get()};
 
   State root;
   root.sig = core::root_signature();
   root.parent = kNoParent;
   const StateIndex root_idx = arena_.add(root);
-  seen_.insert(root.sig);
+  seed_seen.insert(root.sig);
 
   OpenList frontier;
   frontier.push({arena_.hot(root_idx).f, 0.0, root_idx});
@@ -584,7 +531,7 @@ void Ppe::initial_distribution() {
                               assignment_sequence(e.index));
       continue;
     }
-    expander_.expand(arena_, seen_, e.index, prune_bound(),
+    expander_.expand(arena_, seed_seen, e.index, seed_bound,
                      [&](StateIndex idx, const State& child) {
                        if (child.depth == shared_.problem.num_nodes()) {
                          shared_.offer_incumbent(child.g,
@@ -599,34 +546,23 @@ void Ppe::initial_distribution() {
   std::vector<OpenEntry> entries;
   while (!frontier.empty()) entries.push_back(frontier.pop());
 
-  // Interleaved hand-out: 1st -> PPE 0, 2nd -> PPE q-1, 3rd -> PPE 1,
-  // 4th -> PPE q-2, ...; extras round-robin (paper §3.3 case analysis).
   for (std::size_t j = 0; j < entries.size(); ++j) {
-    std::uint32_t owner;
-    if (j < q) {
-      owner = (j % 2 == 0) ? static_cast<std::uint32_t>(j / 2)
-                           : q - 1 - static_cast<std::uint32_t>(j / 2);
-    } else {
-      owner = static_cast<std::uint32_t>(j - q) % q;
-    }
-    if (owner == id_) {
-      const core::HotState& s = arena_.hot(entries[j].index);
-      open_.push(s.f, s.g, s.h(), entries[j].index);
-    }
+    if (partition.owner_of(j, arena_.sig(entries[j].index), q) != id_)
+      continue;
+    const core::HotState& s = arena_.hot(entries[j].index);
+    open_.push(s.f, s.g, s.h(), entries[j].index);
   }
-  publish();
+  link_->publish(open_.min_f(), open_.size());
 }
 
 void Ppe::run() {
   initial_distribution();
 
-  period_counter_ = 0;
-  period_ = period_for_round(round_);
-
   // The shared kernel owns limits/cancellation (polled every 64 pops, as
   // the hand-rolled loop did) against the shared run timer; the memory cap
-  // is a per-PPE share: each PPE only sees its own arena, and arenas are
-  // append-only so the shares sum to the cap.
+  // is a per-PPE share: each PPE only sees its own arena plus its share of
+  // the transport's structures, and both only grow, so the shares sum to
+  // the cap.
   const auto& cfg = shared_.config.search;
   KernelGuard::Limits limits{cfg.max_expansions, cfg.time_budget_ms, 0};
   if (cfg.max_memory_bytes)
@@ -646,7 +582,10 @@ void Ppe::run() {
     shared_.abort_reason.store(code);
     shared_.done.store(true);
   }
-  shared_.status[id_].idle.store(true, std::memory_order_release);
+  link_->publish(open_.min_f(), open_.size());
+  // Final idle mark so a quiescence check by a straggler sees this PPE
+  // parked.
+  link_->mark_idle();
 }
 
 }  // namespace
@@ -656,6 +595,11 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
   OPTSCHED_REQUIRE(config.num_ppes >= 1, "need at least one PPE");
   OPTSCHED_REQUIRE(config.search.h_weight >= 1.0, "h_weight must be >= 1");
   OPTSCHED_REQUIRE(config.search.epsilon >= 0.0, "epsilon must be >= 0");
+  OPTSCHED_REQUIRE(config.steal_batch >= 1, "steal_batch must be >= 1");
+  // The shard table is allocated eagerly, before any memory budget can
+  // bite — refuse counts that could not possibly help.
+  OPTSCHED_REQUIRE(config.shards <= (1u << 16),
+                   "shards must be <= 65536 (0 = auto)");
   StateArena::require_packable(problem.num_nodes(), problem.num_procs());
 
   Shared shared(problem, config);
@@ -679,12 +623,12 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
                          0.0, false, 1.0, core::Termination::kOptimal, {}},
       {}};
   {
-    const std::lock_guard<std::mutex> lock(shared.incumbent_mu);
-    if (shared.incumbent_seq.empty()) {
+    const auto [len, seq] = shared.incumbent.snapshot();
+    (void)len;  // the schedule recomputes its makespan exactly
+    if (seq.empty()) {
       out.result.schedule = problem.upper_bound_schedule();
     } else {
-      for (const auto& [n, p] : shared.incumbent_seq)
-        out.result.schedule.append(n, p);
+      for (const auto& [n, p] : seq) out.result.schedule.append(n, p);
     }
   }
   sched::validate(out.result.schedule);
@@ -722,9 +666,7 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
     out.par_stats.expanded_per_ppe.push_back(ppe->stats().expanded);
   }
   out.result.stats.elapsed_seconds = shared.timer.seconds();
-  out.par_stats.messages_sent = shared.messages_sent.load();
-  out.par_stats.states_transferred = shared.states_transferred.load();
-  out.par_stats.comm_rounds = shared.comm_rounds.load();
+  shared.transport->collect(out.par_stats);
   return out;
 }
 

@@ -1,0 +1,29 @@
+#include "parallel/transport.hpp"
+
+#include "core/problem.hpp"
+#include "parallel/parallel_astar.hpp"
+#include "parallel/ring_transport.hpp"
+#include "parallel/ws_transport.hpp"
+
+namespace optsched::par {
+
+const char* to_string(TransportMode mode) {
+  switch (mode) {
+    case TransportMode::kRing: return "ring";
+    case TransportMode::kWorkStealing: return "ws";
+  }
+  return "?";
+}
+
+std::unique_ptr<Transport> make_transport(const ParallelConfig& config,
+                                          const core::SearchProblem& problem,
+                                          std::atomic<bool>& done) {
+  if (config.mode == TransportMode::kWorkStealing)
+    return std::make_unique<WsTransport>(config.num_ppes, config.steal_batch,
+                                         config.shards, done);
+  return std::make_unique<RingTransport>(
+      config.num_ppes, config.topology, config.min_period,
+      static_cast<std::uint32_t>(problem.num_nodes()), done);
+}
+
+}  // namespace optsched::par

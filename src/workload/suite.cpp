@@ -125,8 +125,17 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
   OPTSCHED_REQUIRE(!config.engines.empty(),
                    "suite needs at least one engine");
   auto& registry = api::SolverRegistry::instance();
-  for (const auto& name : config.engines)
+  // Engine specs carry options ("parallel:mode=ws:ppes=4"); resolve them
+  // up front so an unknown engine or malformed spec throws before any
+  // work starts (undeclared option keys are caught by registry.solve).
+  std::vector<std::string> engine_names(config.engines.size());
+  std::vector<api::Options> engine_options(config.engines.size());
+  for (std::size_t e = 0; e < config.engines.size(); ++e) {
+    auto [name, options] = api::parse_engine_spec(config.engines[e]);
     registry.info(name);  // throws InvalidRequest on an unknown engine
+    engine_names[e] = std::move(name);
+    engine_options[e] = std::move(options);
+  }
 
   const std::size_t num_instances = corpus.size();
   const std::size_t num_engines = config.engines.size();
@@ -188,10 +197,11 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
                                   instance->comm);
         request.limits = config.limits;
         request.cancel = config.cancel;
+        request.options = engine_options[e];
 
         const util::Timer timer;
         try {
-          const api::SolveResult result = api::solve(rec.engine, request);
+          const api::SolveResult result = api::solve(engine_names[e], request);
           rec.makespan = result.makespan;
           rec.proved_optimal = result.proved_optimal;
           rec.bound_factor = result.bound_factor;
@@ -203,6 +213,11 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
           rec.peak_memory_bytes = result.stats.search.peak_memory_bytes;
           rec.arena_hot_bytes = result.stats.search.arena_hot_bytes;
           rec.arena_cold_bytes = result.stats.search.arena_cold_bytes;
+          rec.parallel_mode = result.stats.parallel_mode;
+          rec.states_transferred = result.stats.states_transferred;
+          rec.steals = result.stats.steals;
+          rec.shard_hits = result.stats.shard_hits;
+          rec.expanded_per_ppe = result.stats.expanded_per_ppe;  // sorted
           rec.valid = true;
           if (config.validate_schedules) {
             const auto violations = validator.check(result.schedule);
@@ -309,17 +324,21 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
   out << "instance,family,engine,nodes,edges,procs,makespan,proved_optimal,"
          "bound_factor,termination,expanded,generated,loads_full,"
          "loads_incremental,peak_memory_bytes,arena_hot_bytes,"
-         "arena_cold_bytes,valid,error,spec,time_ms\n";
+         "arena_cold_bytes,parallel_mode,states_transferred,steals,"
+         "shard_hits,valid,error,spec,time_ms\n";
   for (const auto& r : report.records) {
-    out << r.instance << ',' << r.family << ',' << r.engine << ',' << r.nodes
-        << ',' << r.edges << ',' << r.procs << ',' << util::format_number(r.makespan)
+    out << r.instance << ',' << r.family << ',' << csv_escape(r.engine) << ','
+        << r.nodes << ',' << r.edges << ',' << r.procs << ','
+        << util::format_number(r.makespan)
         << ',' << (r.proved_optimal ? 1 : 0) << ','
         << util::format_number(r.bound_factor) << ',' << r.termination << ','
         << r.expanded << ',' << r.generated << ',' << r.loads_full << ','
         << r.loads_incremental << ',' << r.peak_memory_bytes << ','
         << r.arena_hot_bytes << ',' << r.arena_cold_bytes << ','
-        << (r.valid ? 1 : 0) << ',' << csv_escape(r.error) << ','
-        << csv_escape(r.spec) << ',' << util::format_number(r.time_ms) << '\n';
+        << r.parallel_mode << ',' << r.states_transferred << ',' << r.steals
+        << ',' << r.shard_hits << ',' << (r.valid ? 1 : 0) << ','
+        << csv_escape(r.error) << ',' << csv_escape(r.spec) << ','
+        << util::format_number(r.time_ms) << '\n';
   }
 }
 
@@ -344,7 +363,8 @@ void write_json(const SuiteReport& report, std::ostream& out) {
   bool first_engine = true;
   for (const auto& engine : report.engines) {
     util::Accumulator makespan, time_ms;
-    std::uint64_t runs = 0, proved = 0, expanded = 0, delta = 0;
+    std::uint64_t runs = 0, proved = 0, expanded = 0, delta = 0, full = 0;
+    std::uint64_t transferred = 0, shard_hits = 0;
     std::size_t peak = 0;
     for (const auto& r : report.records) {
       if (r.engine != engine || !r.error.empty()) continue;
@@ -353,6 +373,9 @@ void write_json(const SuiteReport& report, std::ostream& out) {
       makespan.add(r.makespan);
       expanded += r.expanded;
       delta += r.loads_incremental;
+      full += r.loads_full;
+      transferred += r.states_transferred;
+      shard_hits += r.shard_hits;
       peak = std::max(peak, r.peak_memory_bytes);
       time_ms.add(r.time_ms);
     }
@@ -360,7 +383,10 @@ void write_json(const SuiteReport& report, std::ostream& out) {
         << "\": {\"runs\": " << runs << ", \"proved_optimal\": " << proved
         << ", \"mean_makespan\": " << json_number(makespan.mean())
         << ", \"total_expanded\": " << expanded
+        << ", \"total_loads_full\": " << full
         << ", \"total_loads_incremental\": " << delta
+        << ", \"total_states_transferred\": " << transferred
+        << ", \"total_shard_hits\": " << shard_hits
         << ", \"max_peak_memory_bytes\": " << peak
         << ", \"total_time_ms\": " << json_number(time_ms.sum()) << "}";
     first_engine = false;
@@ -389,8 +415,22 @@ void write_json(const SuiteReport& report, std::ostream& out) {
         << ", \"loads_incremental\": " << r.loads_incremental
         << ", \"peak_memory_bytes\": " << r.peak_memory_bytes
         << ", \"arena_hot_bytes\": " << r.arena_hot_bytes
-        << ", \"arena_cold_bytes\": " << r.arena_cold_bytes
-        << ", \"valid\": " << (r.valid ? "true" : "false") << ", \"error\": \""
+        << ", \"arena_cold_bytes\": " << r.arena_cold_bytes;
+    if (!r.parallel_mode.empty()) {
+      // Sorted descending (not PPE-id order) so reruns diff on the load
+      // distribution alone; min/max aggregates for quick scans.
+      out << ", \"parallel_mode\": \"" << json_escape(r.parallel_mode)
+          << "\", \"states_transferred\": " << r.states_transferred
+          << ", \"steals\": " << r.steals
+          << ", \"shard_hits\": " << r.shard_hits << ", \"expanded_per_ppe\": [";
+      for (std::size_t p = 0; p < r.expanded_per_ppe.size(); ++p)
+        out << (p ? ", " : "") << r.expanded_per_ppe[p];
+      out << "], \"ppe_expanded_min\": "
+          << (r.expanded_per_ppe.empty() ? 0 : r.expanded_per_ppe.back())
+          << ", \"ppe_expanded_max\": "
+          << (r.expanded_per_ppe.empty() ? 0 : r.expanded_per_ppe.front());
+    }
+    out << ", \"valid\": " << (r.valid ? "true" : "false") << ", \"error\": \""
         << json_escape(r.error) << "\", \"spec\": \"" << json_escape(r.spec)
         << "\", \"time_ms\": " << json_number(r.time_ms) << "}"
         << (i + 1 < report.records.size() ? "," : "") << "\n";

@@ -31,7 +31,12 @@
 namespace optsched::workload {
 
 struct SuiteConfig {
-  std::vector<std::string> engines;  ///< registry names; must be non-empty
+  /// Engine specs, "name[:k=v[:k=v...]]" — a registry name plus engine
+  /// options (api::parse_engine_spec), so one suite can cross-check
+  /// configurations of the same engine (e.g. "parallel:mode=ring:ppes=4"
+  /// vs "parallel:mode=ws:ppes=4"). Must be non-empty; reports key
+  /// records off the full spec string.
+  std::vector<std::string> engines;
   unsigned jobs = 1;                 ///< worker threads (clamped to corpus)
   api::SolveLimits limits{};         ///< per-instance budgets (0 = none)
   bool validate_schedules = true;    ///< run ScheduleValidator on every run
@@ -47,12 +52,15 @@ struct SuiteConfig {
 /// time_ms is a pure function of the spec and engine, so reports diff
 /// cleanly across runs; multithreaded engines (`parallel`, `portfolio`)
 /// report timing-dependent search stats, which is why the CLI's default
-/// engine set is serial-only.
+/// engine set is serial-only. Per-PPE expansion counts are stored sorted
+/// (descending) and emitted with min/max aggregates — per-thread
+/// attribution is timing-dependent, so reports never depend on PPE
+/// numbering, only on the (still timing-dependent) distribution.
 struct SuiteRecord {
   std::size_t instance = 0;  ///< corpus index
   std::string spec;          ///< canonical scenario line
   std::string family;
-  std::string engine;
+  std::string engine;        ///< full engine spec ("parallel:mode=ws")
   std::size_t nodes = 0;
   std::size_t edges = 0;
   std::uint32_t procs = 0;
@@ -67,6 +75,11 @@ struct SuiteRecord {
   std::size_t peak_memory_bytes = 0;
   std::size_t arena_hot_bytes = 0;
   std::size_t arena_cold_bytes = 0;
+  std::string parallel_mode;  ///< "ring"/"ws"; empty for serial engines
+  std::uint64_t states_transferred = 0;  ///< parallel: shipped or stolen
+  std::uint64_t steals = 0;              ///< parallel ws mode
+  std::uint64_t shard_hits = 0;  ///< duplicates filtered by the shared table
+  std::vector<std::uint64_t> expanded_per_ppe;  ///< sorted descending
   bool valid = false;  ///< ScheduleValidator verdict (true when disabled)
   std::string error;   ///< exception text; empty on success
   double time_ms = 0.0;

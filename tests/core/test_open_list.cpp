@@ -84,6 +84,66 @@ TEST(OpenList, ExtractSurplusNeverEmptiesHeap) {
   EXPECT_EQ(open.size(), 1u);
 }
 
+TEST(OpenList, PushBatchEquivalentToSerialPushes) {
+  util::Rng rng(31);
+  OpenList batched, serial;
+  // Seed both with the same prefix, then push one large batch (triggers
+  // the O(n) heapify path) and one small batch (sift-up path).
+  std::vector<OpenEntry> prefix, large, small;
+  for (int i = 0; i < 100; ++i)
+    prefix.push_back({static_cast<double>(rng.uniform_u64(0, 500)), 0.0,
+                      static_cast<StateIndex>(i)});
+  for (int i = 0; i < 80; ++i)
+    large.push_back({static_cast<double>(rng.uniform_u64(0, 500)), 0.0,
+                     static_cast<StateIndex>(100 + i)});
+  for (int i = 0; i < 3; ++i)
+    small.push_back({static_cast<double>(rng.uniform_u64(0, 500)), 0.0,
+                     static_cast<StateIndex>(180 + i)});
+  for (const auto& e : prefix) {
+    batched.push(e);
+    serial.push(e);
+  }
+  batched.push_batch(large);
+  batched.push_batch(small);
+  for (const auto& e : large) serial.push(e);
+  for (const auto& e : small) serial.push(e);
+  ASSERT_EQ(batched.size(), serial.size());
+  while (!serial.empty())
+    EXPECT_DOUBLE_EQ(batched.pop().f, serial.pop().f);
+}
+
+TEST(OpenList, PushBatchIntoEmptyHeapSortsCorrectly) {
+  OpenList open;
+  std::vector<OpenEntry> batch;
+  for (int i = 50; i-- > 0;)
+    batch.push_back({static_cast<double>(i), 0.0, static_cast<StateIndex>(i)});
+  open.push_batch(batch);
+  EXPECT_EQ(open.size(), 50u);
+  double last = -1;
+  while (!open.empty()) {
+    const double f = open.pop().f;
+    EXPECT_GE(f, last);
+    last = f;
+  }
+}
+
+TEST(OpenList, PushBatchEmptyIsNoop) {
+  OpenList open;
+  open.push({1.0, 0.0, 1});
+  open.push_batch({});
+  EXPECT_EQ(open.size(), 1u);
+}
+
+TEST(OpenList, ReserveDoesNotDisturbContents) {
+  OpenList open;
+  open.push({2.0, 0.0, 2});
+  open.push({1.0, 0.0, 1});
+  open.reserve(1024);
+  EXPECT_GE(open.memory_bytes(), 1024 * sizeof(OpenEntry));
+  EXPECT_EQ(open.pop().index, 1u);
+  EXPECT_EQ(open.pop().index, 2u);
+}
+
 TEST(OpenList, ClearResets) {
   OpenList open;
   open.push({1.0, 0.0, 1});
