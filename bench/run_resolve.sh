@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Warm-start re-solve snapshot: run the churn corpus (single deltas plus
+# 4- and 16-delta chains) through `optsched_cli resolve`, which solves
+# every perturbed instance twice — warm through a SolveSession and cold
+# from scratch — with the bit-agreement oracle armed, so a warm-start
+# soundness bug fails the snapshot instead of silently recording it.
+# Committed as BENCH_pr6.json. Usage:
+#
+#   bench/run_resolve.sh [build-dir] [out.json]
+#
+# The headline figure is `single_delta_skip_mean_pct` (mean exact
+# 100 * (1 - warm/cold expansions) over first-delta steps; acceptance
+# floor 30%). `by_step` tracks how the saving decays along longer churn
+# chains: warm state is re-compacted after every delta, so late steps
+# retain only what the whole delta history left clean.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_resolve_local.json}
+
+BIN="$BUILD_DIR/examples/optsched_cli"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . &&" \
+       "cmake --build $BUILD_DIR --target optsched_cli)" >&2
+  exit 1
+fi
+
+"$BIN" resolve \
+  --corpus "$(dirname "$0")/corpus_resolve.txt" \
+  --json "$OUT"
+
+echo "wrote $OUT"

@@ -21,6 +21,16 @@
 //
 //   $ ./optsched_cli suite --corpus tests/data/corpus_smoke.txt
 //       --engines astar,ida,chenyu --jobs 4 --csv report.csv
+//
+// The `resolve` subcommand exercises warm-start re-solve under instance
+// churn (api::SolveSession): each case is one scenario plus a chain of
+// perturbations; every step is solved warm through the session AND cold
+// from scratch, cross-checked by the warm-vs-cold oracle. Exit status is
+// nonzero on any oracle mismatch or error:
+//
+//   $ ./optsched_cli resolve --corpus tests/data/corpus_churn.txt
+//   $ ./optsched_cli resolve --spec "family=layered layers=3 width=3"
+//         --deltas "delta=taskcost node=4 cost=25; delta=procdrop proc=1"
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -35,6 +45,7 @@
 #include "sched/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
+#include "workload/churn.hpp"
 #include "workload/corpus.hpp"
 #include "workload/suite.hpp"
 
@@ -146,11 +157,90 @@ int suite_main(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+/// `optsched_cli resolve ...` — warm-start re-solve chains with the
+/// warm-vs-cold oracle. argv[0] here is the literal "resolve".
+int resolve_main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("corpus",
+               "churn corpus file: 'scenario | delta | delta' per line")
+      .describe("spec", "inline scenario spec (alternative to --corpus)")
+      .describe("deltas",
+                "with --spec: ';'-separated perturbation chain, e.g. "
+                "\"delta=taskcost node=3 cost=25; delta=procdrop proc=1\"")
+      .describe("engine", "engine spec name[:key=value...] (default astar)")
+      .describe("budget-ms", "per-solve time budget (default unlimited)")
+      .describe("max-expansions",
+                "per-solve expansion budget (default unlimited)")
+      .describe("csv", "write the per-step report table to this file")
+      .describe("json", "write the full JSON report to this file")
+      .describe("progress", "print one line per finished step");
+  if (cli.maybe_print_help(
+          "Warm-start re-solve under churn, with a warm-vs-cold oracle"))
+    return 0;
+  cli.validate();
+
+  std::vector<workload::ChurnCase> corpus;
+  if (cli.has("corpus")) {
+    corpus = workload::load_churn_corpus_file(cli.get("corpus", ""));
+  } else {
+    OPTSCHED_REQUIRE(cli.has("spec"),
+                     "resolve requires --corpus <file> or --spec <scenario>");
+    workload::ChurnCase churn_case;
+    churn_case.base = workload::ScenarioSpec::parse(cli.get("spec", ""));
+    for (const auto& part : util::split(cli.get("deltas", ""), ';')) {
+      const std::string text = util::trim(part);
+      if (text.empty()) continue;
+      churn_case.chain.push_back(workload::PerturbationSpec::parse(text));
+    }
+    OPTSCHED_REQUIRE(!churn_case.chain.empty(),
+                     "--deltas needs at least one perturbation");
+    corpus.push_back(std::move(churn_case));
+  }
+
+  workload::ChurnConfig config;
+  config.engine = cli.get("engine", "astar");
+  config.limits.time_budget_ms = cli.get_double("budget-ms", 0.0);
+  const std::int64_t max_expansions = cli.get_int("max-expansions", 0);
+  OPTSCHED_REQUIRE(max_expansions >= 0, "--max-expansions must be >= 0");
+  config.limits.max_expansions = static_cast<std::uint64_t>(max_expansions);
+  if (cli.get_bool("progress"))
+    config.on_record = [](const workload::ChurnRecord& rec) {
+      std::fprintf(stderr,
+                   "  [case %zu step %zu] warm %.2f / cold %.2f, "
+                   "expanded %llu vs %llu (%.1f%% skipped)%s\n",
+                   rec.case_index, rec.step, rec.warm_makespan,
+                   rec.cold_makespan,
+                   static_cast<unsigned long long>(rec.warm_expanded),
+                   static_cast<unsigned long long>(rec.cold_expanded),
+                   rec.search_skipped_pct,
+                   rec.oracle_ok ? "" : " MISMATCH");
+    };
+
+  const workload::ChurnReport report = workload::run_churn(corpus, config);
+  std::printf("%s", report.summary().c_str());
+
+  if (cli.has("csv")) {
+    std::ofstream out(cli.get("csv", ""));
+    OPTSCHED_REQUIRE(out.good(), "cannot write --csv file");
+    workload::write_churn_csv(report, out);
+    std::printf("wrote %s\n", cli.get("csv", "").c_str());
+  }
+  if (cli.has("json")) {
+    std::ofstream out(cli.get("json", ""));
+    OPTSCHED_REQUIRE(out.good(), "cannot write --json file");
+    workload::write_churn_json(report, out);
+    std::printf("wrote %s\n", cli.get("json", "").c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   if (argc >= 2 && std::string(argv[1]) == "suite")
     return suite_main(argc - 1, argv + 1);
+  if (argc >= 2 && std::string(argv[1]) == "resolve")
+    return resolve_main(argc - 1, argv + 1);
   util::Cli cli(argc, argv);
   cli.describe("machine", "target machine, kind:size (default clique:4)")
       .describe("engine", engine_help())

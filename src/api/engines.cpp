@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <optional>
 
 #include "api/builtin.hpp"
 #include "api/registry.hpp"
@@ -14,6 +15,7 @@
 #include "bnb/exhaustive.hpp"
 #include "core/ida_star.hpp"
 #include "parallel/parallel_astar.hpp"
+#include "parallel/ws_transport.hpp"
 #include "sched/list_scheduler.hpp"
 
 namespace optsched::api {
@@ -116,6 +118,16 @@ SolveResult from_search(core::SearchResult&& r) {
   return out;
 }
 
+/// The request's pre-built problem when present (SolveSession re-solve),
+/// else a locally built one parked in `storage`.
+const core::SearchProblem& request_problem(
+    const SolveRequest& request,
+    std::optional<core::SearchProblem>& storage) {
+  if (request.problem) return *request.problem;
+  storage.emplace(*request.graph, *request.machine, request.comm);
+  return *storage;
+}
+
 // ---- A* / Aε* ------------------------------------------------------------
 
 /// `epsilon_default` distinguishes the two registered names: `astar` does
@@ -139,9 +151,15 @@ class AStarSolver : public Solver {
       throw InvalidRequest("engine '" + name_ + "': epsilon must be >= 0");
     if (config.h_weight < 1)
       throw InvalidRequest("engine '" + name_ + "': h-weight must be >= 1");
-    const core::SearchProblem problem(*request.graph, *request.machine,
-                                      request.comm);
-    return from_search(core::astar_schedule(problem, config));
+    std::optional<core::SearchProblem> storage;
+    const core::SearchProblem& problem = request_problem(request, storage);
+    SolveResult out =
+        from_search(core::astar_schedule(problem, config, request.warm));
+    if (request.warm) {
+      out.stats.warm_start_used = request.warm->warm_used;
+      out.stats.states_retained = request.warm->states_retained;
+    }
+    return out;
   }
 
  private:
@@ -181,10 +199,8 @@ class ParallelSolver : public Solver {
         request.options, "parallel", "steal-batch", 8, /*min_value=*/1));
     const std::int64_t shards = opt_int(
         request.options, "parallel", "shards", 0, /*min_value=*/0);
-    // The table allocates its shards eagerly (before the search's memory
-    // budget is ever polled), so bound the request here.
-    if (shards > 4096)
-      bad_option("parallel", "shards", std::to_string(shards), "<= 4096");
+    if (shards > (1 << 16))
+      bad_option("parallel", "shards", std::to_string(shards), "<= 65536");
     config.shards = static_cast<std::uint32_t>(shards);
     config.naive_termination =
         opt_bool(request.options, "parallel", "naive-term", false);
@@ -210,8 +226,35 @@ class ParallelSolver : public Solver {
     }
     if (config.search.epsilon < 0)
       throw InvalidRequest("engine 'parallel': epsilon must be >= 0");
-    const core::SearchProblem problem(*request.graph, *request.machine,
-                                      request.comm);
+    // The sharded dedup table is allocated eagerly, before the search's
+    // per-PPE memory budget is ever polled — so when the caller set a
+    // budget, account for that fixed allocation up front and refuse
+    // configurations it alone would bust, instead of letting the poll
+    // abort a search that never had a chance.
+    if (config.mode == par::TransportMode::kWorkStealing &&
+        request.limits.max_memory_bytes > 0) {
+      const std::uint32_t effective_shards =
+          config.shards > 0 ? config.shards
+                            : std::min(4 * config.num_ppes, 4096u);
+      const std::size_t fixed =
+          par::ShardedSignatureTable::estimate_bytes(effective_shards);
+      if (fixed > request.limits.max_memory_bytes)
+        throw InvalidRequest(
+            "engine 'parallel': the dedup table's fixed allocation (" +
+            std::to_string(fixed) + " bytes for " +
+            std::to_string(effective_shards) +
+            " shards) exceeds max_memory_bytes (" +
+            std::to_string(request.limits.max_memory_bytes) +
+            "); lower shards or raise the budget");
+    }
+    // Warm-start (SolveSession re-solve): the parallel engine reuses no
+    // arena states, but a seeded incumbent prunes from expansion one.
+    if (request.warm) {
+      config.seed_upper_bound = request.warm->seed_upper_bound;
+      config.seed_schedule = request.warm->seed_schedule;
+    }
+    std::optional<core::SearchProblem> storage;
+    const core::SearchProblem& problem = request_problem(request, storage);
     par::ParallelResult r = par::parallel_astar_schedule(problem, config);
     SolveResult out = from_search(std::move(r.result));
     out.stats.parallel_mode = par::to_string(r.par_stats.mode);
@@ -229,6 +272,14 @@ class ParallelSolver : public Solver {
     std::sort(out.stats.expanded_per_ppe.begin(),
               out.stats.expanded_per_ppe.end(),
               std::greater<std::uint64_t>());
+    out.stats.effective_ppes = r.par_stats.effective_ppes;
+    if (request.warm) {
+      const bool used = request.warm->seed_schedule != nullptr;
+      out.stats.warm_start_used = used;
+      request.warm->warm_used = used;
+      request.warm->states_retained = 0;
+      request.warm->instant_proof = false;
+    }
     return out;
   }
 };
@@ -329,13 +380,15 @@ void register_builtin_engines(SolverRegistry& registry) {
   registry.add(
       {"astar",
        "serial A* (paper Sec. 3.1/3.2) — optimal, all prunings by default",
-       {.optimal = true, .anytime = true, .parallel = false, .bounded = true},
+       {.optimal = true, .anytime = true, .parallel = false, .bounded = true,
+        .warm_start = true},
        kAStarOptions,
        [] { return std::make_unique<AStarSolver>("astar", 0.0); }});
   registry.add(
       {"aeps",
        "serial Aeps* FOCAL search (Sec. 3.4) — within (1+epsilon) of optimal",
-       {.optimal = false, .anytime = true, .parallel = false, .bounded = true},
+       {.optimal = false, .anytime = true, .parallel = false, .bounded = true,
+        .warm_start = true},
        with_epsilon(kAStarOptions,
                     "approximation factor (default 0.2; 0 = exact A*)"),
        [] { return std::make_unique<AStarSolver>("aeps", 0.2); }});
@@ -349,7 +402,8 @@ void register_builtin_engines(SolverRegistry& registry) {
   registry.add(
       {"parallel",
        "multi-threaded parallel A*/Aeps*: ring (Sec. 3.3) or work stealing",
-       {.optimal = true, .anytime = true, .parallel = true, .bounded = true},
+       {.optimal = true, .anytime = true, .parallel = true, .bounded = true,
+        .warm_start = true},
        {{"ppes", "worker thread count (default 4)"},
         {"mode", "transport: ring (paper Sec. 3.3) | ws (work stealing + "
                  "sharded dedup); default ring"},
@@ -360,7 +414,9 @@ void register_builtin_engines(SolverRegistry& registry) {
          "ring mode: minimum expansions between comm rounds (default 2)"},
         {"steal-batch", "ws mode: donation/steal batch size (default 8)"},
         {"shards",
-         "ws mode: dedup-table shard count, <= 4096 (default 0 = 4x ppes)"},
+         "ws mode: dedup-table shard count, <= 65536 (default 0 = 4x ppes); "
+         "the table's fixed allocation is checked against max_memory_bytes "
+         "up front"},
         {"naive-term", "paper's first-goal termination: 0|1 (default 0)"}},
        [] { return std::make_unique<ParallelSolver>(); }});
   registry.add(

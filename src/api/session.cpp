@@ -1,0 +1,158 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sched/list_scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace optsched::api {
+
+SolveSession::SolveSession(std::string engine, Options options)
+    : engine_(std::move(engine)), base_options_(std::move(options)) {
+  // Validates the name up front (throws InvalidRequest when unknown).
+  warm_capable_ = SolverRegistry::instance().info(engine_).caps.warm_start;
+}
+
+const dag::TaskGraph& SolveSession::graph() const {
+  OPTSCHED_REQUIRE(!history_.empty(), "SolveSession: no solve() yet");
+  return *history_.back().graph;
+}
+
+const machine::Machine& SolveSession::machine() const {
+  OPTSCHED_REQUIRE(!history_.empty(), "SolveSession: no solve() yet");
+  return *history_.back().machine;
+}
+
+const SolveResult& SolveSession::last() const {
+  OPTSCHED_REQUIRE(last_.has_value(), "SolveSession: no solve() yet");
+  return *last_;
+}
+
+SolveResult SolveSession::run(const Generation& gen, const Options& options,
+                              core::WarmStart* warm) {
+  SolveRequest request(*gen.graph, *gen.machine, comm_);
+  request.limits = limits_;
+  request.cancel = cancel_;
+  request.progress = progress_;
+  request.progress_every = progress_every_;
+  request.options = options;
+  request.problem = gen.problem.get();
+  request.warm = warm;
+  return SolverRegistry::instance().solve(engine_, request);
+}
+
+SolveResult SolveSession::solve(const SolveRequest& request) {
+  Generation gen;
+  gen.graph = std::make_shared<const dag::TaskGraph>(*request.graph);
+  gen.machine = std::make_shared<const machine::Machine>(*request.machine);
+  comm_ = request.comm;
+  gen.problem = std::make_shared<const core::SearchProblem>(
+      *gen.graph, *gen.machine, comm_);
+
+  limits_ = request.limits;
+  cancel_ = request.cancel;
+  progress_ = request.progress;
+  progress_every_ = request.progress_every;
+  options_ = base_options_;
+  for (const auto& [k, v] : request.options) options_[k] = v;
+
+  // A fresh instance invalidates everything a previous generation left in
+  // the warm state; passing it anyway lets a warm-capable engine park its
+  // final arena for the first resolve().
+  warm_.dirty_nodes.clear();
+  warm_.guard_nodes.clear();
+  warm_.cost_only = false;
+  warm_.cost_nondecrease = false;
+  warm_.instance_replaced = true;
+  warm_.seed_upper_bound = std::numeric_limits<double>::infinity();
+  warm_.seed_schedule = nullptr;
+  warm_.states_retained = 0;
+  warm_.warm_used = false;
+  warm_.instant_proof = false;
+
+  SolveResult result = run(gen, options_, warm_capable_ ? &warm_ : nullptr);
+  // A cold solve reuses nothing, whatever the engine reported about the
+  // (empty) warm state it was handed.
+  result.stats.warm_start_used = false;
+  result.stats.states_retained = 0;
+  result.stats.search_skipped_pct = 0.0;
+
+  prev_expanded_ = result.stats.search.expanded;
+  history_.push_back(std::move(gen));
+  last_ = result;
+  return result;
+}
+
+SolveResult SolveSession::resolve(const core::InstanceDelta& delta) {
+  if (history_.empty())
+    throw InvalidRequest("SolveSession::resolve before any solve()");
+  const Generation& prev = history_.back();
+
+  core::DeltaEffect effect = core::apply_delta(*prev.graph, *prev.machine,
+                                               delta);
+
+  Generation gen;
+  gen.graph =
+      std::make_shared<const dag::TaskGraph>(std::move(effect.graph));
+  gen.machine =
+      std::make_shared<const machine::Machine>(std::move(effect.machine));
+  // Incremental problem build: levels recomputed only inside the delta's
+  // cone; the machine automorphism group is reused when only the graph
+  // changed.
+  gen.problem = std::make_shared<const core::SearchProblem>(
+      *gen.graph, *gen.machine, comm_, *prev.problem, effect.level_seeds,
+      effect.machine_changed);
+  // Repair the previous incumbent into an instant upper bound for the new
+  // instance.
+  gen.seed = std::make_shared<const sched::Schedule>(sched::repair_schedule(
+      *gen.graph, *gen.machine, last_->schedule, effect.proc_map, comm_));
+
+  // Guard set for the closed-state skip: dirty nodes plus the delta's
+  // endpoints (level_seeds covers both for every graph-edit kind).
+  warm_.guard_nodes = effect.level_seeds;
+  for (std::size_t i = 0;
+       i < warm_.guard_nodes.size() && i < effect.dirty_nodes.size(); ++i)
+    if (effect.dirty_nodes[i]) warm_.guard_nodes[i] = true;
+  warm_.cost_only = delta.kind == core::DeltaKind::kTaskCost ||
+                    delta.kind == core::DeltaKind::kCommCost;
+  warm_.cost_nondecrease = false;
+  if (delta.kind == core::DeltaKind::kTaskCost) {
+    warm_.cost_nondecrease = delta.value >= prev.graph->weight(delta.node);
+  } else if (delta.kind == core::DeltaKind::kCommCost) {
+    for (const auto& [child, cost] : prev.graph->children(delta.src))
+      if (child == delta.dst) {
+        warm_.cost_nondecrease = delta.value >= cost;
+        break;
+      }
+  }
+  warm_.dirty_nodes = std::move(effect.dirty_nodes);
+  warm_.instance_replaced = effect.machine_changed;
+  warm_.seed_upper_bound = gen.seed->makespan();
+  warm_.seed_schedule = gen.seed.get();
+  warm_.states_retained = 0;
+  warm_.warm_used = false;
+  warm_.instant_proof = false;
+
+  SolveResult result = run(gen, options_, warm_capable_ ? &warm_ : nullptr);
+  warm_.seed_schedule = nullptr;  // gen.seed owns it; re-armed next resolve
+
+  // Session-side estimate of skipped work vs. the previous solve of this
+  // session (the churn runner reports the exact warm-vs-cold figure).
+  const std::uint64_t expanded = result.stats.search.expanded;
+  if (prev_expanded_ > 0) {
+    const double pct =
+        100.0 * (1.0 - static_cast<double>(expanded) /
+                           static_cast<double>(prev_expanded_));
+    result.stats.search_skipped_pct = std::clamp(pct, 0.0, 100.0);
+  } else {
+    result.stats.search_skipped_pct = expanded == 0 ? 100.0 : 0.0;
+  }
+
+  prev_expanded_ = expanded;
+  history_.push_back(std::move(gen));
+  last_ = result;
+  return result;
+}
+
+}  // namespace optsched::api

@@ -1,0 +1,110 @@
+// SolveSession: warm-start re-solve under instance churn (the tentpole of
+// the incremental-search subsystem).
+//
+// A session owns a sequence of instance *generations*. The first solve()
+// copies the caller's graph/machine in and runs the configured engine
+// cold; each resolve(delta) then
+//
+//   1. applies a typed core::InstanceDelta to the current generation
+//      (core/delta.hpp), producing the perturbed graph/machine plus the
+//      delta's invalidation summary (dirty nodes, level-recompute seeds,
+//      processor map);
+//   2. builds the new SearchProblem *incrementally* — b-levels/t-levels
+//      are recomputed only inside the delta's cone (dag::update_levels),
+//      and the machine automorphism group is reused when only the graph
+//      changed;
+//   3. repairs the previous incumbent schedule against the new instance
+//      with a list-scheduler patch pass (sched::repair_schedule) — an
+//      instant, valid upper bound for the new search;
+//   4. hands the previous solve's state arena + the dirty set + the
+//      repaired seed to the engine through SolveRequest::warm. Engines
+//      advertising EngineCaps::warm_start reuse the arena prefix the
+//      delta did not invalidate (serial A*/Aε*) or at least the seeded
+//      incumbent bound (parallel); other engines degrade to a cold
+//      re-solve of the perturbed instance.
+//
+// Soundness: a warm resolve bit-agrees (makespan and proved_optimal) with
+// a cold solve of the perturbed instance for exact configurations — see
+// core::WarmStart and DESIGN.md §5 for the argument, and the churn runner
+// (workload/churn.hpp) for the oracle that checks it on every run.
+//
+// Results returned by a session stay valid for the session's lifetime:
+// every generation's graph/machine/problem/seed is kept alive, because
+// schedules and search problems borrow rather than copy them.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "core/delta.hpp"
+
+namespace optsched::api {
+
+class SolveSession {
+ public:
+  /// `engine` is a registry name; `options` are its engine options, used
+  /// for every solve in the session (a solve request's own options are
+  /// merged on top, request entries winning). Throws InvalidRequest for
+  /// an unknown engine.
+  explicit SolveSession(std::string engine, Options options = {});
+
+  /// Cold solve of a fresh instance: the graph/machine are copied into
+  /// the session (the request only borrows them), the request's limits/
+  /// controls are remembered for later resolves, and — for warm-capable
+  /// engines — the search arena is captured for the first resolve().
+  /// Calling solve() again later starts a new generation from scratch.
+  SolveResult solve(const SolveRequest& request);
+
+  /// Apply `delta` to the current instance and re-solve warm (steps 1-4
+  /// above). Throws InvalidRequest when no solve() preceded, and
+  /// util::Error when the delta does not fit the instance (bad node id,
+  /// duplicate edge, ...). The result's stats carry warm_start_used /
+  /// states_retained / search_skipped_pct.
+  SolveResult resolve(const core::InstanceDelta& delta);
+
+  /// Current instance (after all applied deltas). Valid after solve().
+  const dag::TaskGraph& graph() const;
+  const machine::Machine& machine() const;
+
+  bool has_result() const { return last_.has_value(); }
+  const SolveResult& last() const;
+
+  const std::string& engine() const { return engine_; }
+  /// Whether the configured engine consumes warm-start state at all.
+  bool warm_capable() const { return warm_capable_; }
+
+ private:
+  /// One instance generation. shared_ptr keeps every generation alive for
+  /// the session's lifetime: schedules/problems/results borrow the graph
+  /// and machine, and callers may hold results from older generations.
+  struct Generation {
+    std::shared_ptr<const dag::TaskGraph> graph;
+    std::shared_ptr<const machine::Machine> machine;
+    std::shared_ptr<const core::SearchProblem> problem;
+    std::shared_ptr<const sched::Schedule> seed;  ///< repaired incumbent
+  };
+
+  SolveResult run(const Generation& gen, const Options& options,
+                  core::WarmStart* warm);
+
+  std::string engine_;
+  Options base_options_;
+  bool warm_capable_ = false;
+
+  machine::CommMode comm_ = machine::CommMode::kUnitDistance;
+  SolveLimits limits_{};
+  core::CancellationToken cancel_{};
+  core::ProgressFn progress_{};
+  std::uint64_t progress_every_ = 1024;
+  Options options_{};  ///< effective options of the latest solve()
+
+  std::vector<Generation> history_;
+  core::WarmStart warm_{};
+  std::optional<SolveResult> last_;
+  std::uint64_t prev_expanded_ = 0;
+};
+
+}  // namespace optsched::api

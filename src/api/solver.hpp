@@ -76,6 +76,17 @@ struct SolveRequest {
   std::uint64_t progress_every = 1024;
 
   Options options{};  ///< engine-specific, validated by the registry
+
+  /// Warm-start plumbing (set by SolveSession, null for one-shot solves).
+  /// `warm` carries the previous solve's arena + the delta's invalidation
+  /// summary into engines advertising EngineCaps::warm_start; engines
+  /// without the capability ignore it and solve cold. `problem` is an
+  /// optional pre-built SearchProblem over the same graph/machine/comm
+  /// (borrowed; must outlive the call) so the session's incremental
+  /// b-level update is not thrown away by an engine rebuilding from
+  /// scratch.
+  core::WarmStart* warm = nullptr;
+  const core::SearchProblem* problem = nullptr;
 };
 
 /// Superset of every engine's counters; fields an engine does not track
@@ -98,7 +109,18 @@ struct SolveStats {
   /// is timing-dependent, so reports emit the distribution (and min/max/
   /// total aggregates), never the PPE-id order.
   std::vector<std::uint64_t> expanded_per_ppe;
+  /// PPE counts: requested vs. actually run after the initial-frontier
+  /// feedability clamp (ws mode on tiny instances); 0 for serial engines.
+  std::uint32_t effective_ppes = 0;
   std::uint32_t engines_raced = 0;     ///< portfolio members launched
+  /// Warm-start re-solve (SolveSession): whether any previous-solve state
+  /// was reused, how many arena states survived the delta, and the
+  /// session's estimate of search work skipped vs. the previous solve
+  /// (100 * (1 - expanded/prev_expanded), clamped to [0, 100]; the churn
+  /// runner reports the exact warm-vs-cold figure instead).
+  bool warm_start_used = false;
+  std::uint64_t states_retained = 0;
+  double search_skipped_pct = 0.0;
 };
 
 /// Unified result: always a valid complete schedule, plus the proof state.
@@ -138,11 +160,15 @@ struct EngineCaps {
   bool anytime = false;   ///< keeps an incumbent; honors limits/cancel
   bool parallel = false;  ///< uses worker threads
   bool bounded = false;   ///< supports a (1+eps)/weight suboptimality bound
+  /// Consumes SolveRequest::warm (SolveSession re-solve): arena prefix
+  /// reuse for the serial searches, seeded incumbent for the parallel
+  /// engine. Engines without it degrade to a cold re-solve.
+  bool warm_start = false;
 
   /// No flags at all = a polynomial list heuristic (instant, no proof,
   /// no budget handling). Keep in sync when adding flags.
   bool is_heuristic() const {
-    return !optimal && !anytime && !parallel && !bounded;
+    return !optimal && !anytime && !parallel && !bounded && !warm_start;
   }
 };
 

@@ -23,15 +23,22 @@ State make_root() {
 
 /// Shared bookkeeping for both selection disciplines (plain A* and FOCAL).
 struct SearchDriver {
-  explicit SearchDriver(const SearchProblem& p, const SearchConfig& c)
+  explicit SearchDriver(const SearchProblem& p, const SearchConfig& c,
+                        WarmStart* w = nullptr)
       : problem(p),
         config(c),
         expander(p, c),
         seen(1 << 12),
         incumbent_len(p.upper_bound()),
+        warm(w),
         guard(c.controls,
               {c.max_expansions, c.time_budget_ms, c.max_memory_bytes},
-              timer) {}
+              timer) {
+    if (warm && warm->seed_upper_bound < incumbent_len) {
+      incumbent_len = warm->seed_upper_bound;
+      seed_schedule = warm->seed_schedule;
+    }
+  }
 
   const SearchProblem& problem;
   SearchConfig config;
@@ -40,6 +47,12 @@ struct SearchDriver {
   util::FlatSet128 seen;
   double incumbent_len;                  ///< best complete schedule known
   std::optional<StateIndex> incumbent;   ///< goal state achieving it (if any)
+  /// Warm-start repaired incumbent (only when it beats the static U): the
+  /// fallback schedule when the search proves nothing in the arena beats it.
+  const sched::Schedule* seed_schedule = nullptr;
+  WarmStart* warm = nullptr;           ///< null = cold solve
+  std::vector<std::uint8_t> flags;     ///< per-arena expansion record (warm)
+  std::vector<double> bounds;          ///< prune bound at expansion (warm)
   util::Timer timer;
   KernelGuard guard;
 
@@ -52,6 +65,28 @@ struct SearchDriver {
     if (!config.prune.upper_bound) return 0.0;  // unused
     return config.prune.strict_upper_bound ? problem.upper_bound()
                                            : incumbent_len;
+  }
+
+  /// Expand through the Expander, keeping the warm-start expansion record
+  /// current: which states were expanded, and whether any child was
+  /// discarded by upper-bound pruning (that decision compared an f and a
+  /// bound specific to this instance, so such an expansion cannot be
+  /// trusted to replay from the arena and a future resolve re-expands it).
+  template <typename Emit>
+  void expand_state(StateIndex idx, Emit&& emit) {
+    if (!warm) {
+      expander.expand(arena, seen, idx, prune_bound(), emit);
+      return;
+    }
+    const std::uint64_t pruned_before = expander.stats().pruned_upper_bound;
+    const double bound = prune_bound();
+    expander.expand(arena, seen, idx, bound, emit);
+    flags.resize(arena.size(), 0);
+    bounds.resize(arena.size(), 0.0);
+    flags[idx] = WarmStart::kExpanded;
+    bounds[idx] = bound;
+    if (expander.stats().pruned_upper_bound != pruned_before)
+      flags[idx] |= WarmStart::kBoundPruned;
   }
 
   /// Record a goal state if it beats the incumbent.
@@ -72,7 +107,9 @@ struct SearchDriver {
                       std::size_t max_open, std::size_t open_mem) {
     SearchResult result{
         incumbent ? reconstruct_schedule(problem, arena, *incumbent)
-                  : sched::Schedule(problem.upper_bound_schedule()),
+        : seed_schedule
+            ? sched::Schedule(*seed_schedule)
+            : sched::Schedule(problem.upper_bound_schedule()),
         0.0, proved, bound_factor, reason, {}};
     result.makespan = result.schedule.makespan();
     result.stats.absorb(expander.stats());
@@ -131,15 +168,13 @@ struct AStarPolicy {
   }
 
   void expand(StateIndex idx) {
-    d.expander.expand(d.arena, d.seen, idx, d.prune_bound(),
-                      [&](StateIndex k, const State& child) {
-                        if (d.config.incumbent_updates &&
-                            d.is_goal_depth(child.depth)) {
-                          d.offer_goal(k);
-                          return;  // complete: nothing to expand
-                        }
-                        open.push({child.f(), child.g, k});
-                      });
+    d.expand_state(idx, [&](StateIndex k, const State& child) {
+      if (d.config.incumbent_updates && d.is_goal_depth(child.depth)) {
+        d.offer_goal(k);
+        return;  // complete: nothing to expand
+      }
+      open.push({child.f(), child.g, k});
+    });
   }
 
   void after_expand() { max_open = std::max(max_open, open.size()); }
@@ -156,11 +191,79 @@ struct AStarPolicy {
   }
 };
 
+/// Seed OPEN + CLOSED from the arena. Cold start: a fresh root. Warm
+/// start: CLOSED is pre-populated with the retained signatures (sound:
+/// equal signatures imply an identical assignment multiset, hence equal
+/// g), h is re-derived against the new instance, and retained states go
+/// back onto OPEN — except skippable closed states (see WarmStart): for a
+/// cost-only delta, a state the previous run fully expanded with no
+/// bound-pruned child and no guard node ready re-expands to exactly the
+/// children already in the arena, so it stays closed. That skip is where
+/// a warm re-solve saves search work. Every state pushed back onto OPEN
+/// has its expansion flags cleared: it is an OPEN member again, and if
+/// this run ends without expanding it a stale kExpanded would otherwise
+/// claim arena children that later compactions may have dropped.
+template <typename Push>
+void seed_frontier(SearchDriver& d, Push&& push) {
+  if (d.arena.size() == 0) d.arena.add(make_root());
+  if (d.warm) {
+    d.flags.resize(d.arena.size(), 0);
+    d.bounds.resize(d.arena.size(), 0.0);
+  }
+  const bool warm_arena = d.warm && d.arena.size() > 1;
+  const bool allow_skip =
+      warm_arena && d.warm->cost_only &&
+      d.warm->guard_nodes.size() == d.problem.num_nodes();
+  const double initial_prune = d.prune_bound();
+  std::uint64_t skipped = 0;
+  for (StateIndex i = 0; i < d.arena.size(); ++i) {
+    d.seen.insert(d.arena.sig(i));
+    if (warm_arena) {
+      // Positions the expansion context on i (the guard test below reads
+      // its ready list) and re-derives h against the new instance.
+      const double h = d.expander.state_h(d.arena, i);
+      if (i > 0) d.arena.patch_h(i, h * d.config.h_weight);
+    }
+    const std::uint8_t fl = d.warm ? d.flags[i] : 0;
+    const bool replayable =
+        (fl & WarmStart::kExpanded) &&
+        (!(fl & WarmStart::kBoundPruned) ||
+         (d.warm && d.warm->cost_nondecrease && d.bounds[i] >= initial_prune));
+    if (allow_skip && replayable) {
+      bool guard_ready = false;
+      for (const dag::NodeId n : d.expander.context().ready())
+        if (d.warm->guard_nodes[n]) {
+          guard_ready = true;
+          break;
+        }
+      if (!guard_ready) {
+        ++skipped;
+        continue;
+      }
+    }
+    if (d.warm) d.flags[i] = 0;
+    // Mirror generation-time upper-bound pruning for re-seeded states: a
+    // retained state at or above the incumbent cannot lead to anything
+    // better (admissible h), so it stays closed (its signature is already
+    // in `seen`) without entering OPEN. The root is always pushed.
+    if (warm_arena && i > 0 && d.config.prune.upper_bound) {
+      const HotState& s = d.arena.hot(i);
+      const bool over = d.config.prune.strict_upper_bound
+                            ? s.f > d.problem.upper_bound() + 1e-9
+                            : s.f >= d.incumbent_len - 1e-9;
+      if (over && !d.is_goal_depth(s.depth())) continue;
+    }
+    push(i);
+  }
+  if (d.warm) d.warm->states_skipped = skipped;
+}
+
 SearchResult run_astar(SearchDriver& d) {
   AStarPolicy p(d);
-  const StateIndex root = d.arena.add(make_root());
-  d.seen.insert(d.arena.sig(root));
-  p.open.push({d.arena.hot(root).f, 0.0, root});
+  seed_frontier(d, [&](StateIndex i) {
+    const HotState& s = d.arena.hot(i);
+    p.open.push({s.f, s.g, i});
+  });
 
   const double bound_factor = std::max(1.0, d.config.h_weight);
 
@@ -265,15 +368,13 @@ struct FocalPolicy {
   }
 
   void expand(StateIndex idx) {
-    d.expander.expand(d.arena, d.seen, idx, d.prune_bound(),
-                      [&](StateIndex k, const State& child) {
-                        if (d.config.incumbent_updates &&
-                            d.is_goal_depth(child.depth)) {
-                          d.offer_goal(k);
-                          return;
-                        }
-                        open.insert({child.f(), child.g, child.h, k});
-                      });
+    d.expand_state(idx, [&](StateIndex k, const State& child) {
+      if (d.config.incumbent_updates && d.is_goal_depth(child.depth)) {
+        d.offer_goal(k);
+        return;
+      }
+      open.insert({child.f(), child.g, child.h, k});
+    });
   }
 
   void after_expand() { max_open = std::max(max_open, open.size()); }
@@ -298,9 +399,10 @@ struct FocalPolicy {
 
 SearchResult run_focal(SearchDriver& d) {
   FocalPolicy p(d);
-  const StateIndex root = d.arena.add(make_root());
-  d.seen.insert(d.arena.sig(root));
-  p.open.insert({d.arena.hot(root).f, 0.0, 0.0, root});
+  seed_frontier(d, [&](StateIndex i) {
+    const HotState& s = d.arena.hot(i);
+    p.open.insert({s.f, s.g, s.h(), i});
+  });
 
   const double bound_factor =
       (1.0 + p.eps) * std::max(1.0, d.config.h_weight);
@@ -329,15 +431,107 @@ SearchResult run_focal(SearchDriver& d) {
                   p.open_memory_bytes());
 }
 
+/// Move the previous arena in and compact it to the clean subset: a state
+/// survives iff its own assigned node is clean and its parent survived —
+/// i.e. its whole chain avoids dirty nodes (parents precede children in
+/// the arena, so one forward pass with index remapping suffices). A
+/// surviving chain's stored g/finish/signature replay bit-identically
+/// under the new instance (the context replay asserts exactly that in
+/// debug builds); h is stale and is re-derived during frontier seeding.
+/// The previous run's expansion record rides along under the same
+/// remapping. Returns the retained count (0 = nothing reusable; the
+/// caller starts from a cold root).
+std::size_t retain_clean(SearchDriver& d, WarmStart& warm) {
+  StateArena old = std::move(warm.arena);
+  std::vector<std::uint8_t> old_flags = std::move(warm.expansion_flags);
+  std::vector<double> old_bounds = std::move(warm.expansion_bounds);
+  d.expander.invalidate_context();  // the context may point at old indices
+  if (warm.instance_replaced || old.size() == 0 || !old.hot(0).is_root() ||
+      warm.dirty_nodes.size() != d.problem.num_nodes())
+    return 0;
+  old_flags.resize(old.size(), 0);
+  old_bounds.resize(old.size(), 0.0);
+  std::vector<StateIndex> remap(old.size(), kNoParent);
+  for (StateIndex i = 0; i < old.size(); ++i) {
+    const HotState& hs = old.hot(i);
+    State s;
+    if (hs.is_root()) {
+      s = make_root();
+    } else {
+      const dag::NodeId n = hs.node();
+      if (n == dag::kInvalidNode || warm.dirty_nodes[n]) continue;
+      if (hs.parent == kNoParent || remap[hs.parent] == kNoParent) continue;
+      s.sig = old.sig(i);
+      s.finish = old.finish(i);
+      s.g = hs.g;
+      s.h = hs.f - hs.g;  // stale; re-derived at seeding
+      s.parent = remap[hs.parent];
+      s.node = n;
+      s.proc = hs.proc();
+      s.depth = hs.depth();
+    }
+    remap[i] = d.arena.add(s);
+    d.flags.push_back(old_flags[i]);
+    d.bounds.push_back(old_bounds[i]);
+  }
+  return d.arena.size();
+}
+
 }  // namespace
 
 SearchResult astar_schedule(const SearchProblem& problem,
                             const SearchConfig& config) {
+  return astar_schedule(problem, config, nullptr);
+}
+
+SearchResult astar_schedule(const SearchProblem& problem,
+                            const SearchConfig& config, WarmStart* warm) {
   OPTSCHED_REQUIRE(config.epsilon >= 0.0, "epsilon must be >= 0");
   OPTSCHED_REQUIRE(config.h_weight >= 1.0, "h_weight must be >= 1");
   StateArena::require_packable(problem.num_nodes(), problem.num_procs());
-  SearchDriver driver(problem, config);
-  return config.epsilon > 0.0 ? run_focal(driver) : run_astar(driver);
+  SearchDriver driver(problem, config, warm);
+  std::size_t retained = 0;
+  if (warm) {
+    warm->states_retained = 0;
+    warm->states_skipped = 0;
+    warm->instant_proof = false;
+    retained = retain_clean(driver, *warm);
+    warm->states_retained = retained;
+
+    // Instant proof: the effective incumbent (the repaired seed, or the
+    // static U when that is at least as good) already matches the root's
+    // admissible lower bound (unweighted h of the empty schedule), so no
+    // complete schedule can beat it — return it proved-optimal with zero
+    // expansions. A cold solve of the same instance reaches the same
+    // makespan (it is the optimum), so bit-agreement is preserved. The
+    // expansion record is wiped: no seeding pass ran, so nothing verified
+    // that recorded expansions still have their children in the arena.
+    {
+      if (driver.arena.size() == 0) driver.arena.add(make_root());
+      const double root_lb = driver.expander.state_h(driver.arena, 0);
+      if (driver.incumbent_len <= root_lb + 1e-9) {
+        warm->instant_proof = true;
+        warm->warm_used = retained > 0 || driver.seed_schedule != nullptr;
+        SearchResult result = driver.finish(Termination::kOptimal, true, 1.0,
+                                            /*max_open=*/0, /*open_mem=*/0);
+        warm->arena = std::move(driver.arena);
+        warm->expansion_flags.assign(warm->arena.size(), 0);
+        warm->expansion_bounds.assign(warm->arena.size(), 0.0);
+        return result;
+      }
+    }
+    warm->warm_used = retained > 0 || driver.seed_schedule != nullptr;
+  }
+  SearchResult result =
+      config.epsilon > 0.0 ? run_focal(driver) : run_astar(driver);
+  if (warm) {
+    driver.flags.resize(driver.arena.size(), 0);
+    driver.bounds.resize(driver.arena.size(), 0.0);
+    warm->arena = std::move(driver.arena);
+    warm->expansion_flags = std::move(driver.flags);
+    warm->expansion_bounds = std::move(driver.bounds);
+  }
+  return result;
 }
 
 SearchResult astar_schedule(const dag::TaskGraph& graph,

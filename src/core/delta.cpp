@@ -1,0 +1,189 @@
+#include "core/delta.hpp"
+
+#include <cmath>
+
+namespace optsched::core {
+
+const char* to_string(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kTaskCost: return "taskcost";
+    case DeltaKind::kEdgeAdd: return "edgeadd";
+    case DeltaKind::kEdgeRemove: return "edgedel";
+    case DeltaKind::kCommCost: return "commcost";
+    case DeltaKind::kProcDrop: return "procdrop";
+    case DeltaKind::kProcAdd: return "procadd";
+  }
+  OPTSCHED_ASSERT(false);
+  return "?";
+}
+
+namespace {
+
+bool has_edge(const dag::TaskGraph& g, dag::NodeId src, dag::NodeId dst) {
+  for (const auto& [child, cost] : g.children(src)) {
+    (void)cost;
+    if (child == dst) return true;
+  }
+  return false;
+}
+
+void require_node(const dag::TaskGraph& g, dag::NodeId n, const char* role) {
+  OPTSCHED_REQUIRE(n < g.num_nodes(), std::string("delta ") + role +
+                                          " node " + std::to_string(n) +
+                                          " out of range");
+}
+
+void require_cost(double v, const char* what) {
+  OPTSCHED_REQUIRE(std::isfinite(v) && v >= 0.0,
+                   std::string("delta ") + what +
+                       " must be finite and >= 0");
+}
+
+/// Rebuild the frozen graph with one structural/cost edit applied. The
+/// copy preserves node ids, names, and CSR edge order, so everything the
+/// delta does not touch compares bit-identical (dag::identical_graphs).
+dag::TaskGraph rebuild_graph(const dag::TaskGraph& g,
+                             const InstanceDelta& d) {
+  dag::TaskGraph out;
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n) {
+    const double w = (d.kind == DeltaKind::kTaskCost && n == d.node)
+                         ? d.value
+                         : g.weight(n);
+    out.add_node(w, g.name(n));
+  }
+  for (dag::NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const auto& [child, cost] : g.children(n)) {
+      if (d.kind == DeltaKind::kEdgeRemove && n == d.src && child == d.dst)
+        continue;
+      const double c = (d.kind == DeltaKind::kCommCost && n == d.src &&
+                        child == d.dst)
+                           ? d.value
+                           : cost;
+      out.add_edge(n, child, c);
+    }
+  }
+  if (d.kind == DeltaKind::kEdgeAdd) out.add_edge(d.src, d.dst, d.value);
+  out.finalize();  // rejects the cycle an edgeadd may introduce
+  return out;
+}
+
+std::vector<std::vector<machine::ProcId>> adjacency_of(
+    const machine::Machine& m) {
+  std::vector<std::vector<machine::ProcId>> adj(m.num_procs());
+  for (machine::ProcId p = 0; p < m.num_procs(); ++p)
+    adj[p].assign(m.neighbors(p).begin(), m.neighbors(p).end());
+  return adj;
+}
+
+std::vector<double> speeds_of(const machine::Machine& m) {
+  std::vector<double> speeds(m.num_procs());
+  for (machine::ProcId p = 0; p < m.num_procs(); ++p)
+    speeds[p] = m.speed(p);
+  return speeds;
+}
+
+}  // namespace
+
+DeltaEffect apply_delta(const dag::TaskGraph& graph,
+                        const machine::Machine& machine,
+                        const InstanceDelta& delta) {
+  OPTSCHED_REQUIRE(graph.finalized(), "apply_delta requires finalize()");
+  const std::size_t v = graph.num_nodes();
+
+  switch (delta.kind) {
+    case DeltaKind::kTaskCost: {
+      require_node(graph, delta.node, "taskcost");
+      require_cost(delta.value, "taskcost value");
+      DeltaEffect eff{rebuild_graph(graph, delta), machine, {}, {}, false, {}};
+      eff.dirty_nodes.assign(v, false);
+      eff.dirty_nodes[delta.node] = true;
+      eff.level_seeds.assign(v, false);
+      eff.level_seeds[delta.node] = true;
+      eff.proc_map.resize(machine.num_procs());
+      for (machine::ProcId p = 0; p < machine.num_procs(); ++p)
+        eff.proc_map[p] = p;
+      return eff;
+    }
+    case DeltaKind::kEdgeAdd:
+    case DeltaKind::kEdgeRemove:
+    case DeltaKind::kCommCost: {
+      require_node(graph, delta.src, "edge src");
+      require_node(graph, delta.dst, "edge dst");
+      OPTSCHED_REQUIRE(delta.src != delta.dst, "delta edge src == dst");
+      const bool exists = has_edge(graph, delta.src, delta.dst);
+      if (delta.kind == DeltaKind::kEdgeAdd) {
+        OPTSCHED_REQUIRE(!exists, "delta edgeadd: edge already exists");
+        require_cost(delta.value, "edge cost");
+      } else {
+        OPTSCHED_REQUIRE(exists, "delta edge does not exist");
+        if (delta.kind == DeltaKind::kCommCost)
+          require_cost(delta.value, "edge cost");
+      }
+      DeltaEffect eff{rebuild_graph(graph, delta), machine, {}, {}, false, {}};
+      eff.dirty_nodes.assign(v, false);
+      eff.dirty_nodes[delta.dst] = true;
+      eff.level_seeds.assign(v, false);
+      // t-levels change in dst's descendant cone, b/static levels in src's
+      // ancestor cone; seeding both endpoints covers both sweeps.
+      eff.level_seeds[delta.src] = true;
+      eff.level_seeds[delta.dst] = true;
+      eff.proc_map.resize(machine.num_procs());
+      for (machine::ProcId p = 0; p < machine.num_procs(); ++p)
+        eff.proc_map[p] = p;
+      return eff;
+    }
+    case DeltaKind::kProcDrop: {
+      OPTSCHED_REQUIRE(delta.proc < machine.num_procs(),
+                       "delta procdrop: processor out of range");
+      OPTSCHED_REQUIRE(machine.num_procs() > 1,
+                       "delta procdrop: cannot drop the last processor");
+      auto adj = adjacency_of(machine);
+      auto speeds = speeds_of(machine);
+      adj.erase(adj.begin() + delta.proc);
+      speeds.erase(speeds.begin() + delta.proc);
+      for (auto& row : adj) {
+        std::vector<machine::ProcId> next;
+        next.reserve(row.size());
+        for (const machine::ProcId q : row) {
+          if (q == delta.proc) continue;
+          next.push_back(q > delta.proc ? q - 1 : q);
+        }
+        row = std::move(next);
+      }
+      DeltaEffect eff{dag::TaskGraph(graph),
+                      machine::Machine(std::move(adj), std::move(speeds),
+                                       machine.topology_name() + "-drop"),
+                      {}, {}, true, {}};
+      eff.proc_map.resize(machine.num_procs());
+      for (machine::ProcId p = 0; p < machine.num_procs(); ++p)
+        eff.proc_map[p] = p == delta.proc          ? machine::kInvalidProc
+                          : p > delta.proc ? p - 1 : p;
+      return eff;
+    }
+    case DeltaKind::kProcAdd: {
+      const double speed = delta.value == 0.0 ? 1.0 : delta.value;
+      OPTSCHED_REQUIRE(std::isfinite(speed) && speed > 0.0,
+                       "delta procadd: speed must be finite and > 0");
+      auto adj = adjacency_of(machine);
+      auto speeds = speeds_of(machine);
+      const auto fresh = static_cast<machine::ProcId>(adj.size());
+      adj.emplace_back();
+      for (machine::ProcId p = 0; p < fresh; ++p) {
+        adj[p].push_back(fresh);
+        adj[fresh].push_back(p);
+      }
+      speeds.push_back(speed);
+      DeltaEffect eff{dag::TaskGraph(graph),
+                      machine::Machine(std::move(adj), std::move(speeds),
+                                       machine.topology_name() + "-add"),
+                      {}, {}, true, {}};
+      eff.proc_map.resize(machine.num_procs());
+      for (machine::ProcId p = 0; p < machine.num_procs(); ++p)
+        eff.proc_map[p] = p;
+      return eff;
+    }
+  }
+  throw util::Error("unknown delta kind");
+}
+
+}  // namespace optsched::core

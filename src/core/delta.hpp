@@ -1,0 +1,83 @@
+// Typed instance deltas — the churn vocabulary of warm-start re-solve.
+//
+// An InstanceDelta is one small perturbation of a scheduling instance: a
+// task's computation cost changes, a precedence edge appears or vanishes,
+// an edge's communication cost changes, or a processor drops out of /
+// joins the machine. apply_delta() rebuilds the (frozen) graph/machine
+// with the change applied and reports exactly what the change invalidates:
+//
+//   dirty_nodes     nodes whose assignment timing the delta can alter — a
+//                   partial schedule that never touches a dirty node has
+//                   bit-identical finish times, g, and signature under the
+//                   old and new instance, which is what lets the search
+//                   retain its arena prefix (core/astar.hpp WarmStart).
+//   level_seeds     nodes whose level attributes must be recomputed; the
+//                   recompute is restricted to their ancestor/descendant
+//                   cones (dag::update_levels).
+//   machine_changed processor set or numbering changed: every stored state
+//                   references ProcIds of the old machine, so nothing can
+//                   be retained.
+//   proc_map        old ProcId -> new ProcId (kInvalidProc = dropped),
+//                   used by sched::repair_schedule to re-seat the previous
+//                   incumbent.
+//
+// Dirty sets per kind (u -> w = the delta's edge):
+//   taskcost n      {n}        (t-levels of descendants change, but a
+//                              chain without n has unchanged times)
+//   edgeadd  u->w   {w}        (only w's readiness/start can move)
+//   edgedel  u->w   {w}
+//   commcost u->w   {w}
+//   procdrop/procadd           machine_changed (full invalidation)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "machine/machine.hpp"
+
+namespace optsched::core {
+
+enum class DeltaKind : std::uint8_t {
+  kTaskCost = 0,  ///< node's computation cost := value
+  kEdgeAdd,       ///< new edge src -> dst with comm cost value
+  kEdgeRemove,    ///< drop edge src -> dst
+  kCommCost,      ///< edge src -> dst comm cost := value
+  kProcDrop,      ///< remove processor `proc` (ids above it shift down)
+  kProcAdd,       ///< add a processor with speed value (0 = speed 1),
+                  ///< connected to every existing processor
+};
+
+const char* to_string(DeltaKind kind);
+
+struct InstanceDelta {
+  DeltaKind kind = DeltaKind::kTaskCost;
+  dag::NodeId node = dag::kInvalidNode;  ///< taskcost
+  dag::NodeId src = dag::kInvalidNode;   ///< edge kinds
+  dag::NodeId dst = dag::kInvalidNode;   ///< edge kinds
+  machine::ProcId proc = machine::kInvalidProc;  ///< procdrop
+  double value = 0.0;  ///< cost / speed, by kind
+
+  friend bool operator==(const InstanceDelta&, const InstanceDelta&) = default;
+};
+
+/// The perturbed instance plus the invalidation summary (header comment).
+struct DeltaEffect {
+  dag::TaskGraph graph;
+  machine::Machine machine;
+  std::vector<bool> dirty_nodes;   ///< per NodeId (empty if machine_changed)
+  std::vector<bool> level_seeds;   ///< per NodeId (empty if levels unchanged)
+  bool machine_changed = false;
+  /// old ProcId -> new ProcId; kInvalidProc for a dropped processor.
+  std::vector<machine::ProcId> proc_map;
+};
+
+/// Apply one delta to a finalized instance. Throws util::Error on an
+/// invalid delta (unknown node/edge/proc, duplicate edge, cycle, dropping
+/// the last processor, non-finite cost).
+DeltaEffect apply_delta(const dag::TaskGraph& graph,
+                        const machine::Machine& machine,
+                        const InstanceDelta& delta);
+
+}  // namespace optsched::core

@@ -234,6 +234,16 @@ Expander::Expander(const SearchProblem& problem, const SearchConfig& config)
   ctx_.set_stats(&stats_);
 }
 
+double Expander::state_h(const StateArena& arena, StateIndex index) {
+  ctx_.move_to(arena, index);
+  return evaluate_h(config_.h, *problem_, ctx_.view(), h_scratch_.data());
+}
+
+void Expander::repatch_h(StateArena& arena) {
+  for (StateIndex i = 1; i < arena.size(); ++i)
+    arena.patch_h(i, state_h(arena, i) * config_.h_weight);
+}
+
 sched::Schedule reconstruct_schedule(const SearchProblem& problem,
                                      const StateArena& arena,
                                      StateIndex goal_index) {

@@ -25,6 +25,18 @@ class SearchProblem {
   SearchProblem(const dag::TaskGraph& graph, const machine::Machine& machine,
                 CommMode comm = CommMode::kUnitDistance);
 
+  /// Warm construction after an InstanceDelta: reuse what the delta cannot
+  /// have changed instead of recomputing from scratch. Levels are patched
+  /// via dag::update_levels restricted to the seeds' cones (pass an empty
+  /// `level_seeds` when the graph is unchanged — the previous levels are
+  /// copied verbatim), and the processor automorphism group is copied when
+  /// `machine_changed` is false. `previous` must describe the pre-delta
+  /// instance with the same node count. The result is bit-identical to a
+  /// cold SearchProblem of (graph, machine, comm).
+  SearchProblem(const dag::TaskGraph& graph, const machine::Machine& machine,
+                CommMode comm, const SearchProblem& previous,
+                const std::vector<bool>& level_seeds, bool machine_changed);
+
   const dag::TaskGraph& graph() const noexcept { return *graph_; }
   const machine::Machine& machine() const noexcept { return *machine_; }
   CommMode comm() const noexcept { return comm_; }
@@ -53,6 +65,9 @@ class SearchProblem {
   double upper_bound() const noexcept { return ub_len_; }
 
  private:
+  /// Priority ranks + upper-bound schedule, shared by both constructors.
+  void init_derived();
+
   const dag::TaskGraph* graph_;
   const machine::Machine* machine_;
   CommMode comm_;

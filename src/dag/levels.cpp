@@ -39,6 +39,60 @@ Levels compute_levels(const TaskGraph& graph) {
   return lv;
 }
 
+Levels update_levels(const TaskGraph& graph, const Levels& previous,
+                     const std::vector<bool>& seeds) {
+  OPTSCHED_REQUIRE(graph.finalized(), "update_levels requires finalize()");
+  const std::size_t v = graph.num_nodes();
+  OPTSCHED_REQUIRE(previous.t_level.size() == v &&
+                       previous.b_level.size() == v &&
+                       previous.static_level.size() == v &&
+                       seeds.size() == v,
+                   "update_levels: previous/seeds size mismatch");
+  Levels lv = previous;
+
+  // Descendant cone: a node's t-level depends only on its parents' t-levels
+  // and weights, so the forward sweep needs to revisit exactly the seeds
+  // and everything reachable from them.
+  std::vector<bool> down(v, false);
+  for (const NodeId n : graph.topo_order()) {
+    if (!seeds[n] && !down[n]) continue;
+    down[n] = true;
+    double t = 0.0;
+    for (const auto& [parent, cost] : graph.parents(n))
+      t = std::max(t, lv.t_level[parent] + graph.weight(parent) + cost);
+    lv.t_level[n] = t;
+    for (const auto& [child, cost] : graph.children(n)) {
+      (void)cost;
+      down[child] = true;
+    }
+  }
+
+  // Ancestor cone for b-/static levels (reverse sweep, same argument).
+  std::vector<bool> up(v, false);
+  const auto topo = graph.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId n = *it;
+    if (!seeds[n] && !up[n]) continue;
+    up[n] = true;
+    double b = 0.0, s = 0.0;
+    for (const auto& [child, cost] : graph.children(n)) {
+      b = std::max(b, cost + lv.b_level[child]);
+      s = std::max(s, lv.static_level[child]);
+    }
+    lv.b_level[n] = graph.weight(n) + b;
+    lv.static_level[n] = graph.weight(n) + s;
+    for (const auto& [parent, cost] : graph.parents(n)) {
+      (void)cost;
+      up[parent] = true;
+    }
+  }
+
+  lv.cp_length = 0.0;
+  for (const NodeId n : graph.entry_nodes())
+    lv.cp_length = std::max(lv.cp_length, lv.b_level[n]);
+  return lv;
+}
+
 std::vector<NodeId> critical_path(const TaskGraph& graph, const Levels& lv) {
   OPTSCHED_REQUIRE(graph.finalized(), "critical_path requires finalize()");
   // Start from the smallest-id entry node whose b-level equals the CP

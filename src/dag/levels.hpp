@@ -38,6 +38,16 @@ struct Levels {
 /// Compute all level attributes. The graph must be finalized.
 Levels compute_levels(const TaskGraph& graph);
 
+/// Recompute levels after a localized graph change, restricted to the
+/// affected cones: t-levels are re-swept only over the descendants of the
+/// seed nodes, b-/static levels only over their ancestors; everything else
+/// keeps its `previous` value. `graph` is the *new* (already edited) graph
+/// and `seeds` marks the nodes the edit touched (per core/delta.hpp's
+/// level_seeds). Bit-identical to compute_levels(graph) — the cones cover
+/// every value the edit can move, and the per-node arithmetic is the same.
+Levels update_levels(const TaskGraph& graph, const Levels& previous,
+                     const std::vector<bool>& seeds);
+
 /// Extract one critical path (entry -> exit node sequence). Deterministic:
 /// smallest-id tie-breaking.
 std::vector<NodeId> critical_path(const TaskGraph& graph, const Levels& levels);

@@ -153,7 +153,7 @@ struct Shared {
   Shared(const SearchProblem& p, const ParallelConfig& c)
       : problem(p),
         config(c),
-        incumbent(p.upper_bound()),
+        incumbent(std::min(p.upper_bound(), c.seed_upper_bound)),
         transport(make_transport(c, p, done)) {}
 
   const SearchProblem& problem;
@@ -505,13 +505,15 @@ void Ppe::initial_distribution() {
   const std::uint32_t q = shared_.config.num_ppes;
   const PartitionStrategy& partition = shared_.transport->partition();
 
-  // Seed pruning uses the *static* upper bound, never the live incumbent:
+  // Seed pruning uses the *static* upper bound (tightened by a warm-start
+  // seed, which is also fixed before the run), never the live incumbent:
   // a goal found by a fast-seeding PPE would otherwise shrink a slow
   // seeder's bound mid-seed, its frontier ranks would shift, and the
   // rank-based interleave hand-out could orphan a state no PPE owns
   // (breaking the optimality proof). The kept-but-dominated extras are
   // filtered by the normal incumbent checks right after seeding.
-  const double seed_bound = shared_.problem.upper_bound();
+  const double seed_bound = std::min(shared_.problem.upper_bound(),
+                                     shared_.config.seed_upper_bound);
 
   util::FlatSet128 seed_local(1 << 8);
   SeedSeen seed_seen{&seed_local, link_.get()};
@@ -588,6 +590,63 @@ void Ppe::run() {
   link_->mark_idle();
 }
 
+/// Satellite fix (ws-mode PPE collapse on tiny instances): dry-run the
+/// deterministic seed expansion to measure how large the initial frontier
+/// gets, and cap the PPE count at what that frontier can feed — one steal
+/// batch per PPE. Without this, 8 PPEs fight over a frontier of a dozen
+/// states and most spend the whole run stealing each other's leftovers
+/// (BENCH_pr5 ws expanded_per_ppe on v=12: [389, 212, 46, 18, 16, 12, 3,
+/// 3]). The measurement is a pure function of (problem, config), so the
+/// clamped run stays deterministic; its expansions are thrown away and
+/// bounded by 4 * num_ppes * steal_batch pops.
+std::uint32_t measure_effective_ppes(const SearchProblem& problem,
+                                     const ParallelConfig& config) {
+  if (config.mode != TransportMode::kWorkStealing || config.num_ppes <= 1)
+    return config.num_ppes;
+
+  struct LocalSeen {
+    util::FlatSet128* set;
+    bool insert(const util::Key128& k) { return set->insert(k); }
+  };
+
+  const std::size_t target =
+      static_cast<std::size_t>(config.num_ppes) * config.steal_batch;
+  const std::size_t max_pops = 4 * target;
+  const double bound =
+      std::min(problem.upper_bound(), config.seed_upper_bound);
+
+  Expander expander(problem, config.search);
+  StateArena arena;
+  util::FlatSet128 local(1 << 8);
+  LocalSeen seen{&local};
+
+  State root;
+  root.sig = core::root_signature();
+  root.parent = kNoParent;
+  const StateIndex root_idx = arena.add(root);
+  seen.insert(root.sig);
+
+  OpenList frontier;
+  frontier.push({arena.hot(root_idx).f, 0.0, root_idx});
+  std::size_t pops = 0;
+  while (!frontier.empty() && frontier.size() < target &&
+         pops < max_pops) {
+    const OpenEntry e = frontier.pop();
+    ++pops;
+    if (arena.hot(e.index).depth() == problem.num_nodes()) continue;
+    expander.expand(arena, seen, e.index, bound,
+                    [&](StateIndex idx, const State& child) {
+                      if (child.depth == problem.num_nodes()) return;
+                      frontier.push({child.f(), child.g, idx});
+                    });
+  }
+
+  if (frontier.size() >= target) return config.num_ppes;
+  const auto feedable = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, frontier.size() / config.steal_batch));
+  return std::min(config.num_ppes, feedable);
+}
+
 }  // namespace
 
 ParallelResult parallel_astar_schedule(const SearchProblem& problem,
@@ -602,15 +661,20 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
                    "shards must be <= 65536 (0 = auto)");
   StateArena::require_packable(problem.num_nodes(), problem.num_procs());
 
-  Shared shared(problem, config);
+  // Run with the effective PPE count (see measure_effective_ppes); the
+  // adjusted config must outlive the run — Shared keeps a reference.
+  ParallelConfig run_config = config;
+  run_config.num_ppes = measure_effective_ppes(problem, config);
+
+  Shared shared(problem, run_config);
   std::vector<std::unique_ptr<Ppe>> ppes;
-  ppes.reserve(config.num_ppes);
-  for (std::uint32_t i = 0; i < config.num_ppes; ++i)
+  ppes.reserve(run_config.num_ppes);
+  for (std::uint32_t i = 0; i < run_config.num_ppes; ++i)
     ppes.push_back(std::make_unique<Ppe>(shared, i));
 
   {
     std::vector<std::thread> threads;
-    threads.reserve(config.num_ppes);
+    threads.reserve(run_config.num_ppes);
     for (auto& ppe : ppes)
       threads.emplace_back([&ppe] { ppe->run(); });
     for (auto& t : threads) t.join();
@@ -626,7 +690,14 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
     const auto [len, seq] = shared.incumbent.snapshot();
     (void)len;  // the schedule recomputes its makespan exactly
     if (seq.empty()) {
-      out.result.schedule = problem.upper_bound_schedule();
+      // No goal beat the initial incumbent; that bound came from the
+      // static upper-bound schedule or the warm-start seed, whichever
+      // was tighter.
+      if (config.seed_schedule &&
+          config.seed_schedule->makespan() <= problem.upper_bound())
+        out.result.schedule = *config.seed_schedule;
+      else
+        out.result.schedule = problem.upper_bound_schedule();
     } else {
       for (const auto& [n, p] : seq) out.result.schedule.append(n, p);
     }
@@ -667,6 +738,8 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
   }
   out.result.stats.elapsed_seconds = shared.timer.seconds();
   shared.transport->collect(out.par_stats);
+  out.par_stats.requested_ppes = config.num_ppes;
+  out.par_stats.effective_ppes = run_config.num_ppes;
   return out;
 }
 

@@ -53,6 +53,16 @@ struct ParallelConfig {
   /// Stop at the first goal found anywhere (the paper's §3.3 rule; may
   /// return a suboptimal schedule — kept for fidelity experiments).
   bool naive_termination = false;
+
+  /// Warm-start seed (SolveSession re-solve): the shared incumbent starts
+  /// from min(static upper bound, seed_upper_bound). The parallel engine
+  /// reuses no arena states — per-PPE arenas from a previous run cannot be
+  /// re-partitioned soundly — but a tight seeded bound prunes generation
+  /// on every PPE from the first expansion. `seed_schedule` backs the
+  /// bound: when no PPE finds a goal below it, that schedule (borrowed;
+  /// must outlive the call, built against *this* instance) is returned.
+  double seed_upper_bound = std::numeric_limits<double>::infinity();
+  const sched::Schedule* seed_schedule = nullptr;
 };
 
 struct ParallelResult {

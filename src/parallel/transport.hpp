@@ -93,6 +93,10 @@ struct ParallelStats {
   /// sorted or aggregated (min/max/total) so reports diff deterministically
   /// modulo load balance, not PPE numbering.
   std::vector<std::uint64_t> expanded_per_ppe;
+  /// PPE counts: what the caller asked for vs. what actually ran after the
+  /// initial-frontier feedability clamp (ws mode on tiny instances).
+  std::uint32_t requested_ppes = 0;
+  std::uint32_t effective_ppes = 0;
 };
 
 /// Published per-PPE status: the quiescence-detection flags plus the

@@ -63,6 +63,21 @@ class ShardedSignatureTable {
     return static_cast<std::uint32_t>(shards_.size());
   }
 
+  /// Footprint of a table with `shards` shards *before* any insertion: the
+  /// fixed allocation the constructor performs eagerly. The per-PPE memory
+  /// budget is polled during the search, after this table already exists —
+  /// so a caller enforcing a budget must check this value up front and
+  /// refuse configurations whose fixed allocation alone exceeds it,
+  /// instead of clamping the shard count to an arbitrary cap.
+  static std::size_t estimate_bytes(std::uint32_t shards,
+                                    std::size_t expected_per_shard = 1 << 8) {
+    std::uint32_t cap = 1;
+    while (cap < shards) cap <<= 1;
+    return static_cast<std::size_t>(cap) *
+           (sizeof(Shard) +
+            util::FlatSet128(expected_per_shard).memory_bytes());
+  }
+
   /// Owning shard of a signature — a pure function of the signature, so
   /// every PPE routes the same state to the same shard. The mix differs
   /// from both FlatSet128's probe hash and HashPartition's PPE hash, so

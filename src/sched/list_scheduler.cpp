@@ -170,4 +170,53 @@ Schedule etf(const dag::TaskGraph& graph, const machine::Machine& machine,
   return s;
 }
 
+Schedule repair_schedule(const dag::TaskGraph& graph,
+                         const machine::Machine& machine,
+                         const Schedule& previous,
+                         const std::vector<ProcId>& proc_map,
+                         CommMode comm) {
+  OPTSCHED_REQUIRE(graph.finalized(), "repair_schedule requires finalize()");
+  OPTSCHED_REQUIRE(graph.num_nodes() == previous.graph().num_nodes(),
+                   "repair_schedule: node count changed");
+  OPTSCHED_REQUIRE(previous.complete(),
+                   "repair_schedule needs a complete incumbent");
+  OPTSCHED_REQUIRE(proc_map.size() == previous.machine().num_procs(),
+                   "repair_schedule: proc_map size mismatch");
+
+  Schedule s(graph, machine, comm);
+  ReadyTracker tracker(graph);
+  while (!tracker.ready.empty()) {
+    // Keep the incumbent's execution order: earliest previous start first
+    // (ties by smaller id). The new graph's ready filter re-legalizes the
+    // order when the delta added precedence.
+    NodeId best = tracker.ready.front();
+    double best_start = previous.placement(best).start;
+    for (const NodeId n : tracker.ready) {
+      const double st = previous.placement(n).start;
+      if (st < best_start || (st == best_start && n < best)) {
+        best = n;
+        best_start = st;
+      }
+    }
+
+    ProcId target = proc_map[previous.placement(best).proc];
+    if (target == machine::kInvalidProc) {
+      // Previous processor dropped: re-seat on the earliest-finishing one.
+      double best_ft = std::numeric_limits<double>::infinity();
+      for (ProcId p = 0; p < machine.num_procs(); ++p) {
+        const double ft = earliest_start(s, best, p, /*insertion=*/false) +
+                          machine.exec_time(graph.weight(best), p);
+        if (ft < best_ft) {
+          best_ft = ft;
+          target = p;
+        }
+      }
+    }
+    s.append(best, target);
+    tracker.mark_scheduled(best);
+  }
+  validate(s);
+  return s;
+}
+
 }  // namespace optsched::sched

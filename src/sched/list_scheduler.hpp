@@ -64,4 +64,19 @@ Schedule etf(const dag::TaskGraph& graph, const machine::Machine& machine,
 double earliest_start(const Schedule& schedule, NodeId n, ProcId p,
                       bool insertion);
 
+/// Warm-start incumbent repair: rebuild `previous` (a complete schedule of
+/// the pre-delta instance) as a valid schedule of the perturbed instance.
+/// Nodes are appended in the previous schedule's start-time order (ties by
+/// id), filtered through the new graph's precedence constraints, each onto
+/// proc_map[its previous processor] — or, when that processor was dropped,
+/// onto the earliest-finishing new processor. `graph` must have the same
+/// node count as previous.graph(); `proc_map` maps old ProcIds to new ones
+/// (kInvalidProc = dropped). Deterministic, O(v log v + v * p); the result
+/// is validated and its makespan is the warm search's instant upper bound.
+Schedule repair_schedule(const dag::TaskGraph& graph,
+                         const machine::Machine& machine,
+                         const Schedule& previous,
+                         const std::vector<ProcId>& proc_map,
+                         CommMode comm = CommMode::kUnitDistance);
+
 }  // namespace optsched::sched

@@ -1,0 +1,144 @@
+#include "workload/perturbation.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace optsched::workload {
+
+namespace {
+
+using core::DeltaKind;
+
+struct KindDef {
+  DeltaKind kind;
+  std::vector<std::string> required;
+  std::vector<std::string> optional;
+};
+
+const std::map<std::string, KindDef>& kinds() {
+  static const std::map<std::string, KindDef> defs = {
+      {"taskcost", {DeltaKind::kTaskCost, {"node", "cost"}, {}}},
+      {"edgeadd", {DeltaKind::kEdgeAdd, {"src", "dst", "cost"}, {}}},
+      {"edgedel", {DeltaKind::kEdgeRemove, {"src", "dst"}, {}}},
+      {"commcost", {DeltaKind::kCommCost, {"src", "dst", "cost"}, {}}},
+      {"procdrop", {DeltaKind::kProcDrop, {"proc"}, {}}},
+      {"procadd", {DeltaKind::kProcAdd, {}, {"speed"}}},
+  };
+  return defs;
+}
+
+bool declares(const KindDef& def, const std::string& key) {
+  for (const auto& k : def.required)
+    if (k == key) return true;
+  for (const auto& k : def.optional)
+    if (k == key) return true;
+  return false;
+}
+
+double parse_number(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    OPTSCHED_REQUIRE(used == value.size() && std::isfinite(v) && v >= 0,
+                     "malformed number '" + value + "' for '" + key + "'");
+    return v;
+  } catch (const util::Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw util::Error("malformed number '" + value + "' for '" + key + "'");
+  }
+}
+
+std::uint32_t parse_id(const std::string& key, const std::string& value) {
+  const double v = parse_number(key, value);
+  OPTSCHED_REQUIRE(v == static_cast<std::uint32_t>(v),
+                   "'" + key + "' must be a non-negative integer, got '" +
+                       value + "'");
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+PerturbationSpec PerturbationSpec::parse(const std::string& line) {
+  const auto tokens = util::split_ws(line);
+  OPTSCHED_REQUIRE(!tokens.empty(), "empty perturbation spec");
+  OPTSCHED_REQUIRE(tokens[0].rfind("delta=", 0) == 0,
+                   "perturbation spec must start with 'delta=<kind>', got '" +
+                       tokens[0] + "'");
+  const std::string kind_name = tokens[0].substr(6);
+  const auto def = kinds().find(kind_name);
+  OPTSCHED_REQUIRE(def != kinds().end(),
+                   "unknown delta kind '" + kind_name + "'");
+
+  PerturbationSpec spec;
+  spec.delta.kind = def->second.kind;
+
+  std::map<std::string, std::string> seen;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    OPTSCHED_REQUIRE(eq != std::string::npos && eq > 0,
+                     "malformed token '" + tokens[i] +
+                         "' (expected key=value)");
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    OPTSCHED_REQUIRE(declares(def->second, key),
+                     "delta kind '" + kind_name +
+                         "' does not declare parameter '" + key + "'");
+    OPTSCHED_REQUIRE(!seen.count(key), "duplicate parameter '" + key + "'");
+    seen[key] = value;
+  }
+  for (const auto& required : def->second.required)
+    OPTSCHED_REQUIRE(seen.count(required),
+                     "delta kind '" + kind_name + "' requires parameter '" +
+                         required + "'");
+
+  for (const auto& [key, value] : seen) {
+    if (key == "node") spec.delta.node = parse_id(key, value);
+    else if (key == "src") spec.delta.src = parse_id(key, value);
+    else if (key == "dst") spec.delta.dst = parse_id(key, value);
+    else if (key == "proc")
+      spec.delta.proc =
+          static_cast<machine::ProcId>(parse_id(key, value));
+    else  // cost / speed
+      spec.delta.value = parse_number(key, value);
+  }
+  return spec;
+}
+
+std::string PerturbationSpec::to_string() const {
+  std::string out;
+  switch (delta.kind) {
+    case DeltaKind::kTaskCost:
+      out = "delta=taskcost node=" + std::to_string(delta.node) +
+            " cost=" + util::format_number(delta.value);
+      break;
+    case DeltaKind::kEdgeAdd:
+      out = "delta=edgeadd src=" + std::to_string(delta.src) +
+            " dst=" + std::to_string(delta.dst) +
+            " cost=" + util::format_number(delta.value);
+      break;
+    case DeltaKind::kEdgeRemove:
+      out = "delta=edgedel src=" + std::to_string(delta.src) +
+            " dst=" + std::to_string(delta.dst);
+      break;
+    case DeltaKind::kCommCost:
+      out = "delta=commcost src=" + std::to_string(delta.src) +
+            " dst=" + std::to_string(delta.dst) +
+            " cost=" + util::format_number(delta.value);
+      break;
+    case DeltaKind::kProcDrop:
+      out = "delta=procdrop proc=" + std::to_string(delta.proc);
+      break;
+    case DeltaKind::kProcAdd:
+      out = "delta=procadd";
+      if (delta.value != 0.0)
+        out += " speed=" + util::format_number(delta.value);
+      break;
+  }
+  return out;
+}
+
+}  // namespace optsched::workload

@@ -1,0 +1,40 @@
+// One-line perturbation grammar: the textual form of core::InstanceDelta
+// used by churn corpora, the CLI `resolve` subcommand, and the warm-vs-cold
+// oracle tests. One line = one delta:
+//
+//   delta=taskcost node=3 cost=25     execution cost of node 3 becomes 25
+//   delta=edgeadd  src=1 dst=4 cost=7 new precedence edge 1 -> 4
+//   delta=edgedel  src=1 dst=4        remove edge 1 -> 4
+//   delta=commcost src=1 dst=4 cost=9 communication cost of 1 -> 4
+//   delta=procdrop proc=2             processor 2 fails (others renumber)
+//   delta=procadd  speed=1.5          clique-attach a new processor
+//
+// The grammar follows the scenario-spec conventions (workload/scenario.hpp):
+// whitespace-separated key=value tokens, order-insensitive after the
+// leading delta= token, unknown/duplicate/missing keys rejected, and
+// to_string() emits the canonical line that parses back to an equal spec.
+#pragma once
+
+#include <string>
+
+#include "core/delta.hpp"
+
+namespace optsched::workload {
+
+struct PerturbationSpec {
+  core::InstanceDelta delta{};
+
+  /// Canonical one-line form (round-trips through parse()).
+  std::string to_string() const;
+
+  /// Throws util::Error on malformed lines: unknown kind, a key the kind
+  /// does not declare, duplicate or missing keys, malformed numbers.
+  /// Instance-dependent validity (node range, edge existence) is checked
+  /// later, by core::apply_delta.
+  static PerturbationSpec parse(const std::string& line);
+
+  friend bool operator==(const PerturbationSpec&,
+                         const PerturbationSpec&) = default;
+};
+
+}  // namespace optsched::workload

@@ -218,6 +218,10 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
           rec.steals = result.stats.steals;
           rec.shard_hits = result.stats.shard_hits;
           rec.expanded_per_ppe = result.stats.expanded_per_ppe;  // sorted
+          rec.effective_ppes = result.stats.effective_ppes;
+          rec.warm_start_used = result.stats.warm_start_used;
+          rec.states_retained = result.stats.states_retained;
+          rec.search_skipped_pct = result.stats.search_skipped_pct;
           rec.valid = true;
           if (config.validate_schedules) {
             const auto violations = validator.check(result.schedule);
@@ -325,7 +329,8 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
          "bound_factor,termination,expanded,generated,loads_full,"
          "loads_incremental,peak_memory_bytes,arena_hot_bytes,"
          "arena_cold_bytes,parallel_mode,states_transferred,steals,"
-         "shard_hits,valid,error,spec,time_ms\n";
+         "shard_hits,effective_ppes,warm_start_used,states_retained,"
+         "search_skipped_pct,valid,error,spec,time_ms\n";
   for (const auto& r : report.records) {
     out << r.instance << ',' << r.family << ',' << csv_escape(r.engine) << ','
         << r.nodes << ',' << r.edges << ',' << r.procs << ','
@@ -336,7 +341,10 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
         << r.loads_incremental << ',' << r.peak_memory_bytes << ','
         << r.arena_hot_bytes << ',' << r.arena_cold_bytes << ','
         << r.parallel_mode << ',' << r.states_transferred << ',' << r.steals
-        << ',' << r.shard_hits << ',' << (r.valid ? 1 : 0) << ','
+        << ',' << r.shard_hits << ',' << r.effective_ppes << ','
+        << (r.warm_start_used ? 1 : 0) << ',' << r.states_retained << ','
+        << util::format_number(r.search_skipped_pct) << ','
+        << (r.valid ? 1 : 0) << ','
         << csv_escape(r.error) << ',' << csv_escape(r.spec) << ','
         << util::format_number(r.time_ms) << '\n';
   }
@@ -428,8 +436,13 @@ void write_json(const SuiteReport& report, std::ostream& out) {
       out << "], \"ppe_expanded_min\": "
           << (r.expanded_per_ppe.empty() ? 0 : r.expanded_per_ppe.back())
           << ", \"ppe_expanded_max\": "
-          << (r.expanded_per_ppe.empty() ? 0 : r.expanded_per_ppe.front());
+          << (r.expanded_per_ppe.empty() ? 0 : r.expanded_per_ppe.front())
+          << ", \"effective_ppes\": " << r.effective_ppes;
     }
+    out << ", \"warm_start_used\": " << (r.warm_start_used ? "true" : "false")
+        << ", \"states_retained\": " << r.states_retained
+        << ", \"search_skipped_pct\": "
+        << util::format_number(r.search_skipped_pct);
     out << ", \"valid\": " << (r.valid ? "true" : "false") << ", \"error\": \""
         << json_escape(r.error) << "\", \"spec\": \"" << json_escape(r.spec)
         << "\", \"time_ms\": " << json_number(r.time_ms) << "}"

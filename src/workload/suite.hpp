@@ -80,6 +80,14 @@ struct SuiteRecord {
   std::uint64_t steals = 0;              ///< parallel ws mode
   std::uint64_t shard_hits = 0;  ///< duplicates filtered by the shared table
   std::vector<std::uint64_t> expanded_per_ppe;  ///< sorted descending
+  /// PPEs actually run after the feedability clamp (parallel ws mode; 0
+  /// for serial engines).
+  std::uint32_t effective_ppes = 0;
+  /// Warm-start columns (SolveStats): always present so suite and churn
+  /// reports share a schema; one-shot suite runs leave them false/0.
+  bool warm_start_used = false;
+  std::uint64_t states_retained = 0;
+  double search_skipped_pct = 0.0;
   bool valid = false;  ///< ScheduleValidator verdict (true when disabled)
   std::string error;   ///< exception text; empty on success
   double time_ms = 0.0;

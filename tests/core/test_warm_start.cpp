@@ -1,0 +1,217 @@
+// Warm-started A* (core::WarmStart): a warm re-solve must bit-agree with a
+// cold solve of the perturbed instance, the clean-chain compaction must
+// retain states after a localized delta, and the instant-proof path must
+// fire when the repaired seed already matches the root lower bound.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/astar.hpp"
+#include "core/delta.hpp"
+#include "dag/generators.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validator.hpp"
+
+namespace optsched::core {
+namespace {
+
+using machine::Machine;
+
+/// The perturbed instance. problem/seed borrow graph/machine, so the
+/// struct is filled in place (perturb below) and never moved.
+struct Perturbed {
+  dag::TaskGraph graph;
+  std::optional<machine::Machine> machine;
+  std::optional<SearchProblem> problem;
+  std::optional<sched::Schedule> seed;
+
+  Perturbed() = default;
+  Perturbed(const Perturbed&) = delete;
+};
+
+/// Apply `delta`, build the incremental problem, repair the old incumbent,
+/// and fill `warm` the way api::SolveSession::resolve does.
+void perturb(const dag::TaskGraph& g, const Machine& m,
+             const SearchProblem& prev, const sched::Schedule& incumbent,
+             const InstanceDelta& delta, WarmStart& warm, Perturbed& out) {
+  DeltaEffect e = apply_delta(g, m, delta);
+  out.graph = std::move(e.graph);
+  out.machine.emplace(std::move(e.machine));
+  out.problem.emplace(out.graph, *out.machine, prev.comm(), prev,
+                      e.level_seeds, e.machine_changed);
+  out.seed.emplace(sched::repair_schedule(out.graph, *out.machine, incumbent,
+                                          e.proc_map, prev.comm()));
+
+  warm.guard_nodes = e.level_seeds;
+  for (std::size_t i = 0;
+       i < warm.guard_nodes.size() && i < e.dirty_nodes.size(); ++i)
+    if (e.dirty_nodes[i]) warm.guard_nodes[i] = true;
+  warm.cost_only = delta.kind == DeltaKind::kTaskCost ||
+                   delta.kind == DeltaKind::kCommCost;
+  warm.cost_nondecrease =
+      delta.kind == DeltaKind::kTaskCost && delta.value >= g.weight(delta.node);
+  warm.dirty_nodes = std::move(e.dirty_nodes);
+  warm.instance_replaced = e.machine_changed;
+  warm.seed_upper_bound = out.seed->makespan();
+  warm.seed_schedule = &*out.seed;
+}
+
+/// A 0 -> dst edge that does not exist yet: generator node ids follow a
+/// topological order, so the addition cannot create a cycle.
+InstanceDelta fresh_edge(const dag::TaskGraph& g) {
+  for (dag::NodeId dst = static_cast<dag::NodeId>(g.num_nodes() - 1); dst > 0;
+       --dst) {
+    bool exists = false;
+    for (const auto& [child, cost] : g.children(0))
+      if (child == dst) exists = true;
+    if (!exists)
+      return {.kind = DeltaKind::kEdgeAdd, .src = 0, .dst = dst, .value = 9.0};
+  }
+  ADD_FAILURE() << "node 0 already reaches every node";
+  return {};
+}
+
+TEST(WarmStart, WarmBitAgreesWithColdAcrossDeltaKinds) {
+  for (std::uint64_t seed : {2u, 3u, 5u}) {
+    dag::RandomDagParams p;
+    p.num_nodes = 9;
+    p.ccr = 1.0;
+    p.seed = seed;
+    const auto g = dag::random_dag(p);
+    const auto m = Machine::fully_connected(3);
+    const SearchProblem problem(g, m);
+
+    const InstanceDelta deltas[] = {
+        {.kind = DeltaKind::kTaskCost, .node = 3, .value = 61.0},  // increase
+        {.kind = DeltaKind::kTaskCost, .node = 5, .value = 2.0},   // decrease
+        fresh_edge(g),
+        {.kind = DeltaKind::kProcAdd, .value = 1.0},
+    };
+    for (const InstanceDelta& delta : deltas) {
+      // Cold solve of the base instance, arena captured for the re-solve.
+      WarmStart warm;
+      warm.instance_replaced = true;  // first solve: nothing to retain
+      const SearchResult base = astar_schedule(problem, {}, &warm);
+      ASSERT_TRUE(base.proved_optimal);
+
+      Perturbed next;
+      perturb(g, m, problem, base.schedule, delta, warm, next);
+      const SearchResult hot = astar_schedule(*next.problem, {}, &warm);
+      const SearchResult cold = astar_schedule(*next.problem, {}, nullptr);
+
+      ASSERT_TRUE(cold.proved_optimal);
+      EXPECT_TRUE(hot.proved_optimal)
+          << "seed=" << seed << " kind=" << to_string(delta.kind);
+      EXPECT_NEAR(hot.makespan, cold.makespan, 1e-9)
+          << "seed=" << seed << " kind=" << to_string(delta.kind);
+      EXPECT_NO_THROW(sched::validate(hot.schedule));
+    }
+  }
+}
+
+TEST(WarmStart, CompactionRetainsCleanChainsOnLocalizedDelta) {
+  dag::RandomDagParams p;
+  p.num_nodes = 9;
+  p.ccr = 1.0;
+  p.seed = 7;
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(3);
+  const SearchProblem problem(g, m);
+
+  WarmStart warm;
+  warm.instance_replaced = true;
+  const SearchResult base = astar_schedule(problem, {}, &warm);
+  ASSERT_TRUE(base.proved_optimal);
+  const std::size_t arena_before = warm.arena.size();
+  ASSERT_GT(arena_before, 1u);
+  // The expansion record travels with the arena.
+  EXPECT_EQ(warm.expansion_flags.size(), arena_before);
+  EXPECT_EQ(warm.expansion_bounds.size(), arena_before);
+
+  const InstanceDelta delta{.kind = DeltaKind::kTaskCost, .node = 5,
+                            .value = 70.0};
+  Perturbed next;
+  perturb(g, m, problem, base.schedule, delta, warm, next);
+  const SearchResult hot = astar_schedule(*next.problem, {}, &warm);
+
+  EXPECT_TRUE(warm.warm_used);
+  // A single-node cost change keeps every chain avoiding that node; the
+  // previous run explored more than just states through node 5.
+  EXPECT_GT(warm.states_retained, 0u);
+  EXPECT_LE(warm.states_retained, arena_before);
+  const SearchResult cold = astar_schedule(*next.problem, {}, nullptr);
+  EXPECT_NEAR(hot.makespan, cold.makespan, 1e-9);
+  EXPECT_EQ(hot.proved_optimal, cold.proved_optimal);
+}
+
+TEST(WarmStart, MachineChangeRetainsNothingButStaysSound) {
+  dag::RandomDagParams p;
+  p.num_nodes = 8;
+  p.ccr = 1.0;
+  p.seed = 4;
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(2);
+  const SearchProblem problem(g, m);
+
+  WarmStart warm;
+  warm.instance_replaced = true;
+  const SearchResult base = astar_schedule(problem, {}, &warm);
+  ASSERT_TRUE(base.proved_optimal);
+
+  const InstanceDelta delta{.kind = DeltaKind::kProcAdd, .value = 1.0};
+  Perturbed next;
+  perturb(g, m, problem, base.schedule, delta, warm, next);
+  const SearchResult hot = astar_schedule(*next.problem, {}, &warm);
+
+  EXPECT_EQ(warm.states_retained, 0u);  // old ProcIds are meaningless now
+  const SearchResult cold = astar_schedule(*next.problem, {}, nullptr);
+  EXPECT_NEAR(hot.makespan, cold.makespan, 1e-9);
+  EXPECT_EQ(hot.proved_optimal, cold.proved_optimal);
+}
+
+TEST(WarmStart, InstantProofWhenSeedMatchesRootLowerBound) {
+  // A pure chain on any machine: the critical-path lower bound equals the
+  // (sequential) optimum, and repairing the optimal incumbent after a cost
+  // change keeps it optimal — the re-solve must prove it without search.
+  dag::TaskGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node(40.0);
+  for (dag::NodeId i = 0; i + 1 < 6; ++i) g.add_edge(i, i + 1, 10.0);
+  g.finalize();
+  const auto m = Machine::fully_connected(2);
+  const SearchProblem problem(g, m);
+
+  WarmStart warm;
+  warm.instance_replaced = true;
+  const SearchResult base = astar_schedule(problem, {}, &warm);
+  ASSERT_TRUE(base.proved_optimal);
+  EXPECT_DOUBLE_EQ(base.makespan, 240.0);
+
+  const InstanceDelta delta{.kind = DeltaKind::kTaskCost, .node = 2,
+                            .value = 55.0};
+  Perturbed next;
+  perturb(g, m, problem, base.schedule, delta, warm, next);
+  const SearchResult hot = astar_schedule(*next.problem, {}, &warm);
+
+  EXPECT_TRUE(warm.instant_proof);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_TRUE(hot.proved_optimal);
+  EXPECT_EQ(hot.stats.expanded, 0u);
+  EXPECT_DOUBLE_EQ(hot.makespan, 255.0);
+  EXPECT_NO_THROW(sched::validate(hot.schedule));
+}
+
+TEST(WarmStart, NullWarmIsPlainCold) {
+  dag::RandomDagParams p;
+  p.num_nodes = 8;
+  p.seed = 6;
+  const auto g = dag::random_dag(p);
+  const auto m = Machine::fully_connected(2);
+  const SearchProblem problem(g, m);
+  const SearchResult a = astar_schedule(problem, {}, nullptr);
+  const SearchResult b = astar_schedule(problem, {});
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stats.expanded, b.stats.expanded);
+}
+
+}  // namespace
+}  // namespace optsched::core

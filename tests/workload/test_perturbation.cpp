@@ -1,0 +1,149 @@
+// PerturbationSpec: the one-line delta grammar must round-trip through
+// to_string()/parse() for every kind, reject malformed lines with the
+// offending token named, and — through core::apply_delta — produce exactly
+// the invalidation summary the warm-start contract documents.
+#include "workload/perturbation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "workload/churn.hpp"
+#include "workload/scenario.hpp"
+
+namespace optsched::workload {
+namespace {
+
+using core::DeltaKind;
+
+TEST(PerturbationSpec, RoundTripsEveryKind) {
+  const char* lines[] = {
+      "delta=taskcost node=3 cost=25",
+      "delta=edgeadd src=1 dst=4 cost=7",
+      "delta=edgedel src=1 dst=4",
+      "delta=commcost src=1 dst=4 cost=9",
+      "delta=procdrop proc=2",
+      "delta=procadd speed=1.5",
+  };
+  for (const char* line : lines) {
+    const PerturbationSpec spec = PerturbationSpec::parse(line);
+    EXPECT_EQ(spec.to_string(), line);
+    EXPECT_EQ(PerturbationSpec::parse(spec.to_string()), spec) << line;
+  }
+}
+
+TEST(PerturbationSpec, ParseIsOrderInsensitive) {
+  EXPECT_EQ(PerturbationSpec::parse("delta=edgeadd cost=7 dst=4 src=1"),
+            PerturbationSpec::parse("delta=edgeadd src=1 dst=4 cost=7"));
+}
+
+TEST(PerturbationSpec, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",                                  // empty
+      "node=3 cost=25",                    // missing delta= kind
+      "delta=frobnicate node=3",           // unknown kind
+      "delta=taskcost node=3",             // missing required key
+      "delta=taskcost node=3 cost=25 src=1",  // key the kind does not declare
+      "delta=taskcost node=3 cost=25 cost=30",  // duplicate key
+      "delta=taskcost node=x cost=25",     // malformed number
+      "delta=edgedel src=1 dst=4 cost=7",  // edgedel takes no cost
+  };
+  for (const char* line : bad)
+    EXPECT_THROW(PerturbationSpec::parse(line), util::Error) << line;
+}
+
+TEST(PerturbationSpec, KindsMapToTypedDeltas) {
+  EXPECT_EQ(PerturbationSpec::parse("delta=taskcost node=3 cost=25").delta.kind,
+            DeltaKind::kTaskCost);
+  EXPECT_EQ(PerturbationSpec::parse("delta=edgeadd src=0 dst=1 cost=2")
+                .delta.kind,
+            DeltaKind::kEdgeAdd);
+  EXPECT_EQ(PerturbationSpec::parse("delta=edgedel src=0 dst=1").delta.kind,
+            DeltaKind::kEdgeRemove);
+  EXPECT_EQ(
+      PerturbationSpec::parse("delta=commcost src=0 dst=1 cost=2").delta.kind,
+      DeltaKind::kCommCost);
+  EXPECT_EQ(PerturbationSpec::parse("delta=procdrop proc=0").delta.kind,
+            DeltaKind::kProcDrop);
+  EXPECT_EQ(PerturbationSpec::parse("delta=procadd speed=2").delta.kind,
+            DeltaKind::kProcAdd);
+  const PerturbationSpec t = PerturbationSpec::parse(
+      "delta=taskcost node=3 cost=25");
+  EXPECT_EQ(t.delta.node, 3u);
+  EXPECT_DOUBLE_EQ(t.delta.value, 25.0);
+}
+
+// The invalidation summary drives arena retention; its documented shape
+// (delta.hpp header table) is load-bearing for warm-start soundness.
+TEST(PerturbationApply, DirtySetsFollowTheContract) {
+  // chain length=5: nodes 0..4, edges i -> i+1.
+  const Instance inst =
+      ScenarioSpec::parse("family=chain length=5 machine=clique:2 seed=1")
+          .materialize();
+
+  const auto apply = [&](const std::string& line) {
+    return core::apply_delta(inst.graph, inst.machine,
+                             PerturbationSpec::parse(line).delta);
+  };
+
+  {  // taskcost n: dirty {n}, levels reseeded at n, machine untouched.
+    const core::DeltaEffect e = apply("delta=taskcost node=2 cost=9");
+    EXPECT_FALSE(e.machine_changed);
+    for (dag::NodeId n = 0; n < 5; ++n)
+      EXPECT_EQ(e.dirty_nodes[n], n == 2) << n;
+    EXPECT_TRUE(e.level_seeds[2]);
+    EXPECT_DOUBLE_EQ(e.graph.weight(2), 9.0);
+  }
+  {  // edgeadd u->w: only w dirty.
+    const core::DeltaEffect e = apply("delta=edgeadd src=0 dst=3 cost=4");
+    EXPECT_FALSE(e.machine_changed);
+    for (dag::NodeId n = 0; n < 5; ++n)
+      EXPECT_EQ(e.dirty_nodes[n], n == 3) << n;
+  }
+  {  // procadd: machine changed, nothing retainable, identity proc_map.
+    const core::DeltaEffect e = apply("delta=procadd speed=1");
+    EXPECT_TRUE(e.machine_changed);
+    EXPECT_EQ(e.machine.num_procs(), inst.machine.num_procs() + 1);
+    ASSERT_EQ(e.proc_map.size(), inst.machine.num_procs());
+    for (machine::ProcId p = 0; p < inst.machine.num_procs(); ++p)
+      EXPECT_EQ(e.proc_map[p], p);
+  }
+  {  // procdrop renumbers the survivors.
+    const core::DeltaEffect e = apply("delta=procdrop proc=0");
+    EXPECT_TRUE(e.machine_changed);
+    EXPECT_EQ(e.machine.num_procs(), inst.machine.num_procs() - 1);
+    EXPECT_EQ(e.proc_map[0], machine::kInvalidProc);
+    EXPECT_EQ(e.proc_map[1], 0u);
+  }
+  // Instance-dependent validity is apply-time, not parse-time.
+  EXPECT_THROW(apply("delta=taskcost node=99 cost=1"), util::Error);
+  EXPECT_THROW(apply("delta=edgedel src=0 dst=3"), util::Error);  // no edge
+  EXPECT_THROW(apply("delta=edgeadd src=4 dst=0 cost=1"), util::Error);  // cycle
+}
+
+TEST(ChurnCorpus, ParsesChainsAndExpandsSeeds) {
+  std::istringstream in(R"(
+# comment
+family=chain length=4 machine=clique:2 seeds=1..3 | delta=taskcost node=1 cost=7 | delta=procadd speed=1
+
+family=random nodes=6 ccr=1 machine=clique:2 seed=9 | delta=edgedel src=0 dst=2
+)");
+  const std::vector<ChurnCase> cases = parse_churn_corpus(in);
+  ASSERT_EQ(cases.size(), 4u);  // seeds=1..3 expands to three cases
+  EXPECT_EQ(cases[0].base.seed, 1u);
+  EXPECT_EQ(cases[2].base.seed, 3u);
+  ASSERT_EQ(cases[0].chain.size(), 2u);
+  EXPECT_EQ(cases[0].chain[1].delta.kind, DeltaKind::kProcAdd);
+  // Same chain for every expanded seed; round-trips through to_string().
+  EXPECT_EQ(cases[1].chain, cases[0].chain);
+  for (const ChurnCase& c : cases) {
+    std::istringstream line(c.to_string());
+    const std::vector<ChurnCase> again = parse_churn_corpus(line);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].to_string(), c.to_string());
+  }
+}
+
+}  // namespace
+}  // namespace optsched::workload
