@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Serving-layer snapshot: solve latency through the resident daemon, cold
+# (every request is a fresh solve) vs warm (every request is served from
+# the result cache), at 1, 4, and 8 concurrent clients (committed as
+# BENCH_pr7.json). Usage:
+#
+#   bench/run_server.sh [build-dir] [out.json]
+#
+# Each concurrency point restarts the daemon so the cold pass really is
+# cold, then replays the same corpus on the warm cache. The headline
+# figure is the warm mean latency: a cache hit skips the solve entirely,
+# so it isolates the serving overhead (socket round-trip + cache lookup)
+# from solver time. The suite runner keeps its differential oracle and
+# ScheduleValidator armed, so a daemon that returned a wrong cached
+# answer would fail the snapshot instead of recording it.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_server_local.json}
+
+BIN="$BUILD_DIR/examples/optsched_cli"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . &&" \
+       "cmake --build $BUILD_DIR --target optsched_cli)" >&2
+  exit 1
+fi
+
+CORPUS="$(dirname "$0")/../tests/data/corpus_smoke.txt"
+ENGINE=astar
+WORKERS=$(nproc)
+SOCK="/tmp/optsched_bench_$$.sock"
+TMP=$(mktemp -d)
+DAEMON_PID=""
+
+stop_daemon() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    "$BIN" shutdown --socket "$SOCK" >/dev/null 2>&1 || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  DAEMON_PID=""
+}
+cleanup() {
+  stop_daemon
+  rm -rf "$TMP" "$SOCK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$BIN" serve --socket "$SOCK" --workers "$WORKERS" \
+    > "$TMP/serve.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$TMP/serve.log" && return
+    sleep 0.1
+  done
+  echo "error: daemon did not come up; log:" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+}
+
+for clients in 1 4 8; do
+  start_daemon  # fresh daemon => empty cache => pass 1 is genuinely cold
+  for pass in cold warm; do
+    "$BIN" suite \
+      --corpus "$CORPUS" \
+      --engines "$ENGINE" \
+      --via-socket "$SOCK" \
+      --jobs "$clients" \
+      --json "$TMP/${pass}_${clients}.json" >/dev/null
+  done
+  stop_daemon
+
+  jq -n --argjson clients "$clients" \
+     --slurpfile cold "$TMP/cold_${clients}.json" \
+     --slurpfile warm "$TMP/warm_${clients}.json" '
+    def agg(r): {
+      wall_ms: r.suite.wall_ms,
+      runs: r.aggregates.astar.runs,
+      cache_hits: r.aggregates.astar.cache_hits,
+      mean_latency_ms:
+        (r.aggregates.astar.total_time_ms / r.aggregates.astar.runs),
+      p95_latency_ms:
+        ([r.records[].time_ms] | sort
+         | .[(length * 95 / 100 | floor)] // 0)
+    };
+    {clients: $clients,
+     cold: agg($cold[0]),
+     warm: agg($warm[0])}' \
+    > "$TMP/point_${clients}.json"
+done
+
+jq -s --arg corpus "$(basename "$CORPUS")" --arg engine "$ENGINE" \
+   --argjson workers "$WORKERS" \
+   '{bench: "server", corpus: $corpus, engine: $engine,
+     daemon_workers: $workers, concurrency: .}' \
+   "$TMP"/point_*.json > "$OUT"
+
+echo "wrote $OUT"

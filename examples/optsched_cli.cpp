@@ -31,9 +31,23 @@
 //   $ ./optsched_cli resolve --corpus tests/data/corpus_churn.txt
 //   $ ./optsched_cli resolve --spec "family=layered layers=3 width=3"
 //         --deltas "delta=taskcost node=4 cost=25; delta=procdrop proc=1"
+//
+// The serving subcommands run the solver as a resident service
+// (server/daemon.hpp): `serve` hosts a daemon on a Unix-domain socket;
+// `submit` ships a corpus to it (with an optional cold-solve
+// bit-agreement oracle and a cache-hit-rate gate for CI); `status` and
+// `shutdown` poke a running daemon. `suite --via-socket <path>` routes
+// the whole suite runner — oracle, validator and all — through a daemon:
+//
+//   $ ./optsched_cli serve --socket /tmp/optsched.sock --workers 4 &
+//   $ ./optsched_cli submit --socket /tmp/optsched.sock
+//       --corpus tests/data/corpus_smoke.txt --engine astar --oracle
+//   $ ./optsched_cli shutdown --socket /tmp/optsched.sock
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -43,8 +57,11 @@
 #include "dag/stg.hpp"
 #include "machine/spec.hpp"
 #include "sched/metrics.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
+#include "util/timer.hpp"
 #include "workload/churn.hpp"
 #include "workload/corpus.hpp"
 #include "workload/suite.hpp"
@@ -93,6 +110,11 @@ int suite_main(int argc, char** argv) {
                 "per-instance search-memory cap (default unlimited)")
       .describe("no-validate", "skip ScheduleValidator on returned schedules")
       .describe("no-oracle", "skip the cross-engine differential oracle")
+      .describe("via-socket",
+                "route every run through a resident daemon listening on "
+                "this Unix-socket path (see `optsched_cli serve`); "
+                "validation and the oracle apply to the returned "
+                "schedules exactly as to in-process runs")
       .describe("csv", "write the per-run report table to this file")
       .describe("json", "write the full JSON report to this file")
       .describe("progress", "print one line per finished run");
@@ -132,6 +154,22 @@ int suite_main(int argc, char** argv) {
       static_cast<std::size_t>(max_memory_mb) * 1024 * 1024;
   config.validate_schedules = !cli.get_bool("no-validate");
   config.differential_oracle = !cli.get_bool("no-oracle");
+  if (cli.has("via-socket")) {
+    // One Client (one connection) per suite worker thread; the daemon
+    // multiplexes them onto its own bounded pool.
+    const std::string socket_path = cli.get("via-socket", "");
+    config.remote_solve = [socket_path](const workload::Instance& instance,
+                                        const std::string& engine_spec,
+                                        const api::SolveLimits& limits) {
+      thread_local std::unique_ptr<server::Client> client;
+      if (!client) client = std::make_unique<server::Client>(socket_path);
+      server::SolveCommand command;
+      command.spec = instance.name;
+      command.engine = engine_spec;
+      command.limits = limits;
+      return server::rebuild_result(instance, client->solve_raw(command));
+    };
+  }
   if (cli.get_bool("progress"))
     config.on_record = [](const workload::SuiteRecord& rec) {
       std::fprintf(stderr, "  [%zu] %s: makespan %.2f (%s)%s\n", rec.instance,
@@ -234,6 +272,291 @@ int resolve_main(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+/// Bitwise double comparison for the cache-soundness oracle: a cached
+/// reply must reproduce the cold solve exactly, not within tolerance.
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// `optsched_cli serve --socket <path> ...` — host the resident daemon.
+int serve_main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("socket", "Unix-domain socket path to listen on (required)")
+      .describe("workers", "solver worker threads (default 2)")
+      .describe("queue-cap", "max queued jobs before typed overload "
+                             "rejects (default 64)")
+      .describe("cache-mb", "result-cache byte budget in MiB, 0 disables "
+                            "(default 64)")
+      .describe("memory-budget-mb",
+                "global search-memory governor across in-flight jobs in "
+                "MiB, 0 disables (default 1024)")
+      .describe("job-memory-mb",
+                "per-job search-memory cap when a command sets none; also "
+                "its governor reservation (default 128)")
+      .describe("budget-ms",
+                "per-job time budget when a command sets none (default "
+                "unlimited)");
+  if (cli.maybe_print_help("Run the solver as a resident daemon")) return 0;
+  cli.validate();
+
+  OPTSCHED_REQUIRE(cli.has("socket"), "serve requires --socket <path>");
+  server::DaemonConfig config;
+  config.socket_path = cli.get("socket", "");
+  const std::int64_t workers = cli.get_int("workers", 2);
+  OPTSCHED_REQUIRE(workers >= 1, "--workers must be >= 1");
+  config.workers = static_cast<unsigned>(workers);
+  const std::int64_t queue_cap = cli.get_int("queue-cap", 64);
+  OPTSCHED_REQUIRE(queue_cap >= 1, "--queue-cap must be >= 1");
+  config.queue_cap = static_cast<std::size_t>(queue_cap);
+  auto mib = [&cli](const char* flag, std::int64_t fallback) {
+    const std::int64_t v = cli.get_int(flag, fallback);
+    OPTSCHED_REQUIRE(v >= 0, std::string("--") + flag + " must be >= 0");
+    return static_cast<std::size_t>(v) * 1024 * 1024;
+  };
+  config.cache_bytes = mib("cache-mb", 64);
+  config.memory_budget = mib("memory-budget-mb", 1024);
+  config.default_job_memory = mib("job-memory-mb", 128);
+  config.default_budget_ms = cli.get_double("budget-ms", 0.0);
+
+  server::Daemon daemon(std::move(config));
+  daemon.start();
+  // One flushed readiness line so scripts can wait for it before
+  // connecting (CI greps for "listening on").
+  std::printf("listening on %s (workers %u, queue cap %zu, cache %zu MiB, "
+              "memory budget %zu MiB)\n",
+              daemon.config().socket_path.c_str(), daemon.config().workers,
+              daemon.config().queue_cap, daemon.config().cache_bytes >> 20,
+              daemon.config().memory_budget >> 20);
+  std::fflush(stdout);
+  daemon.wait();
+  const server::StatusReply status = daemon.status();
+  std::printf("daemon stopped: %llu accepted, %llu completed, %llu "
+              "rejected, %llu cache hits served\n",
+              static_cast<unsigned long long>(status.accepted),
+              static_cast<unsigned long long>(status.completed),
+              static_cast<unsigned long long>(status.rejected),
+              static_cast<unsigned long long>(status.cache_hits_served));
+  return 0;
+}
+
+/// `optsched_cli submit ...` — ship a corpus to a running daemon, with
+/// the cache-soundness oracle (a daemon reply must bit-agree with a cold
+/// in-process solve) and a cache-hit-rate gate for CI warm passes.
+int submit_main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("socket", "daemon socket path (required)")
+      .describe("corpus", "corpus file, one scenario spec per line")
+      .describe("spec", "inline scenario spec (alternative to --corpus)")
+      .describe("engine", "engine spec name[:key=value...] (default astar)")
+      .describe("budget-ms", "per-job time budget (default daemon's)")
+      .describe("max-expansions", "per-job expansion budget (default none)")
+      .describe("max-memory-mb", "per-job search-memory cap "
+                                 "(default daemon's)")
+      .describe("no-cache", "force fresh solves (skip the daemon's cache)")
+      .describe("oracle", "cold-solve each instance in-process and require "
+                          "bit-agreement with the daemon's reply")
+      .describe("min-hit-rate", "fail unless at least this fraction of "
+                                "replies were cache hits (e.g. 0.9)")
+      .describe("csv", "write the per-run report table to this file")
+      .describe("progress", "print one line per reply");
+  if (cli.maybe_print_help("Submit scenarios to a resident daemon")) return 0;
+  cli.validate();
+
+  OPTSCHED_REQUIRE(cli.has("socket"), "submit requires --socket <path>");
+  std::vector<workload::ScenarioSpec> corpus;
+  if (cli.has("corpus")) {
+    corpus = workload::load_corpus_file(cli.get("corpus", ""));
+  } else {
+    OPTSCHED_REQUIRE(cli.has("spec"),
+                     "submit requires --corpus <file> or --spec <scenario>");
+    corpus.push_back(workload::ScenarioSpec::parse(cli.get("spec", "")));
+  }
+
+  server::SolveCommand base;
+  base.engine = cli.get("engine", "astar");
+  base.limits.time_budget_ms = cli.get_double("budget-ms", 0.0);
+  const std::int64_t max_expansions = cli.get_int("max-expansions", 0);
+  OPTSCHED_REQUIRE(max_expansions >= 0, "--max-expansions must be >= 0");
+  base.limits.max_expansions = static_cast<std::uint64_t>(max_expansions);
+  const std::int64_t max_memory_mb = cli.get_int("max-memory-mb", 0);
+  OPTSCHED_REQUIRE(max_memory_mb >= 0, "--max-memory-mb must be >= 0");
+  base.limits.max_memory_bytes =
+      static_cast<std::size_t>(max_memory_mb) * 1024 * 1024;
+  base.no_cache = cli.get_bool("no-cache");
+  const bool oracle = cli.get_bool("oracle");
+  const double min_hit_rate = cli.get_double("min-hit-rate", 0.0);
+  OPTSCHED_REQUIRE(min_hit_rate >= 0.0 && min_hit_rate <= 1.0,
+                   "--min-hit-rate must be in [0, 1]");
+
+  server::Client client(cli.get("socket", ""));
+  const auto [engine_name, engine_options] =
+      api::parse_engine_spec(base.engine);
+
+  struct Row {
+    std::string spec, termination, error;
+    double makespan = 0.0, bound_factor = 0.0;
+    bool proved_optimal = false, valid = false, cache_hit = false;
+    std::uint64_t expanded = 0, generated = 0, cache_lookups = 0;
+    std::size_t peak_memory_bytes = 0, cache_bytes = 0;
+    double queue_wait_ms = 0.0, time_ms = 0.0;
+  };
+  std::vector<Row> rows;
+  std::size_t hits = 0, failures = 0;
+  double queue_wait_total = 0.0;
+
+  for (const auto& spec : corpus) {
+    Row row;
+    row.spec = spec.to_string();
+    const util::Timer timer;
+    try {
+      const workload::Instance instance = spec.materialize();
+      server::SolveCommand command = base;
+      command.spec = instance.name;
+      const server::SolveReply reply = client.solve_raw(command);
+      const api::SolveResult result =
+          server::rebuild_result(instance, reply);
+      row.makespan = result.makespan;
+      row.proved_optimal = result.proved_optimal;
+      row.bound_factor = result.bound_factor;
+      row.termination = core::to_string(result.reason);
+      row.expanded = result.stats.search.expanded;
+      row.generated = result.stats.search.generated;
+      row.peak_memory_bytes = result.stats.search.peak_memory_bytes;
+      row.cache_hit = reply.cache_hit;
+      row.cache_lookups = reply.cache_lookups;
+      row.cache_bytes = reply.cache_bytes;
+      row.queue_wait_ms = reply.queue_wait_ms;
+      sched::validate(result.schedule);
+      row.valid = true;
+      if (oracle) {
+        // Cold in-process reference: the daemon's reply — cached or
+        // fresh — must reproduce it bit for bit.
+        api::SolveRequest request(instance.graph, instance.machine,
+                                  instance.comm);
+        request.limits = base.limits;
+        request.options = engine_options;
+        const api::SolveResult cold = api::solve(engine_name, request);
+        if (!bits_equal(result.makespan, cold.makespan))
+          throw util::Error("oracle: makespan " +
+                            util::format_number(result.makespan) +
+                            " != cold " +
+                            util::format_number(cold.makespan));
+        for (dag::NodeId n = 0; n < instance.graph.num_nodes(); ++n) {
+          const auto& got = result.schedule.placement(n);
+          const auto& want = cold.schedule.placement(n);
+          if (got.proc != want.proc || !bits_equal(got.start, want.start) ||
+              !bits_equal(got.finish, want.finish))
+            throw util::Error(
+                "oracle: node " + std::to_string(n) + " placed (" +
+                std::to_string(got.proc) + ", " +
+                util::format_number(got.start) + ") but cold solve says (" +
+                std::to_string(want.proc) + ", " +
+                util::format_number(want.start) + ")");
+        }
+      }
+    } catch (const std::exception& ex) {
+      row.error = ex.what();
+      ++failures;
+    }
+    row.time_ms = timer.millis();
+    if (row.cache_hit) ++hits;
+    queue_wait_total += row.queue_wait_ms;
+    if (cli.get_bool("progress"))
+      std::fprintf(stderr, "  [%zu] %s: makespan %.2f (%s)%s%s\n",
+                   rows.size(), row.spec.c_str(), row.makespan,
+                   row.termination.c_str(), row.cache_hit ? " [cache]" : "",
+                   row.error.empty() ? "" : " ERROR");
+    rows.push_back(std::move(row));
+  }
+
+  const double hit_rate = rows.empty() ? 0.0
+                                       : static_cast<double>(hits) /
+                                             static_cast<double>(rows.size());
+  std::printf("submit: %zu runs via %s, %zu cache hits (%.0f%%), %zu "
+              "failures, mean queue wait %.2f ms%s\n",
+              rows.size(), base.engine.c_str(), hits, hit_rate * 100.0,
+              failures,
+              rows.empty() ? 0.0 : queue_wait_total /
+                                       static_cast<double>(rows.size()),
+              oracle ? ", oracle: bit-agreement checked" : "");
+
+  if (cli.has("csv")) {
+    std::ofstream out(cli.get("csv", ""));
+    OPTSCHED_REQUIRE(out.good(), "cannot write --csv file");
+    // Same determinism contract as the suite CSV: the trailing five
+    // columns are run-dependent; everything before them is a pure
+    // function of (spec, engine), so CI diffs passes with
+    // `rev | cut -d, -f6- | rev`.
+    out << "spec,engine,makespan,proved_optimal,bound_factor,termination,"
+           "expanded,generated,peak_memory_bytes,valid,error,cache_hit,"
+           "cache_lookups,cache_bytes,queue_wait_ms,time_ms\n";
+    for (const auto& r : rows) {
+      out << '"' << r.spec << "\"," << base.engine << ','
+          << util::format_number(r.makespan) << ','
+          << (r.proved_optimal ? 1 : 0) << ','
+          << util::format_number(r.bound_factor) << ',' << r.termination
+          << ',' << r.expanded << ',' << r.generated << ','
+          << r.peak_memory_bytes << ',' << (r.valid ? 1 : 0) << ','
+          << r.error << ',' << (r.cache_hit ? 1 : 0) << ','
+          << r.cache_lookups << ',' << r.cache_bytes << ','
+          << util::format_number(r.queue_wait_ms) << ','
+          << util::format_number(r.time_ms) << '\n';
+    }
+    std::printf("wrote %s\n", cli.get("csv", "").c_str());
+  }
+
+  if (failures) return 1;
+  if (hit_rate < min_hit_rate) {
+    std::fprintf(stderr, "error: cache hit rate %.2f below --min-hit-rate "
+                         "%.2f\n",
+                 hit_rate, min_hit_rate);
+    return 1;
+  }
+  return 0;
+}
+
+/// `optsched_cli status --socket <path>` — one status round-trip.
+int status_main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("socket", "daemon socket path (required)");
+  if (cli.maybe_print_help("Query a resident daemon")) return 0;
+  cli.validate();
+  OPTSCHED_REQUIRE(cli.has("socket"), "status requires --socket <path>");
+  server::Client client(cli.get("socket", ""));
+  const server::StatusReply s = client.status();
+  std::printf("jobs: %llu accepted, %llu completed, %llu rejected; queue "
+              "%zu/%zu, %zu in flight on %u workers\n",
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.rejected), s.queue_depth,
+              s.queue_cap, s.in_flight, s.workers);
+  std::printf("memory governor: %zu/%zu MiB reserved\n",
+              s.memory_reserved >> 20, s.memory_budget >> 20);
+  std::printf("cache: %llu/%llu hits, %zu entries (%zu/%zu KiB), %llu "
+              "insertions, %llu evictions\n",
+              static_cast<unsigned long long>(s.cache.hits),
+              static_cast<unsigned long long>(s.cache.lookups),
+              s.cache.entries, s.cache.bytes >> 10,
+              s.cache.byte_budget >> 10,
+              static_cast<unsigned long long>(s.cache.insertions),
+              static_cast<unsigned long long>(s.cache.evictions));
+  return 0;
+}
+
+/// `optsched_cli shutdown --socket <path>` — ask a daemon to drain.
+int shutdown_main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("socket", "daemon socket path (required)");
+  if (cli.maybe_print_help("Shut a resident daemon down")) return 0;
+  cli.validate();
+  OPTSCHED_REQUIRE(cli.has("socket"), "shutdown requires --socket <path>");
+  server::Client client(cli.get("socket", ""));
+  client.shutdown();
+  std::printf("daemon at %s acknowledged shutdown\n",
+              cli.get("socket", "").c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -241,6 +564,14 @@ int main(int argc, char** argv) try {
     return suite_main(argc - 1, argv + 1);
   if (argc >= 2 && std::string(argv[1]) == "resolve")
     return resolve_main(argc - 1, argv + 1);
+  if (argc >= 2 && std::string(argv[1]) == "serve")
+    return serve_main(argc - 1, argv + 1);
+  if (argc >= 2 && std::string(argv[1]) == "submit")
+    return submit_main(argc - 1, argv + 1);
+  if (argc >= 2 && std::string(argv[1]) == "status")
+    return status_main(argc - 1, argv + 1);
+  if (argc >= 2 && std::string(argv[1]) == "shutdown")
+    return shutdown_main(argc - 1, argv + 1);
   util::Cli cli(argc, argv);
   cli.describe("machine", "target machine, kind:size (default clique:4)")
       .describe("engine", engine_help())

@@ -1,6 +1,7 @@
 #include "api/registry.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <sstream>
 
 #include "api/builtin.hpp"
@@ -52,19 +53,19 @@ void SolverRegistry::add(EngineInfo info) {
   OPTSCHED_REQUIRE(!info.name.empty(), "engine name must be non-empty");
   OPTSCHED_REQUIRE(info.factory != nullptr,
                    "engine '" + info.name + "' needs a factory");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   OPTSCHED_REQUIRE(engines_.find(info.name) == engines_.end(),
                    "engine '" + info.name + "' is already registered");
   engines_.emplace(info.name, std::move(info));
 }
 
 bool SolverRegistry::contains(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   return engines_.find(name) != engines_.end();
 }
 
 std::vector<std::string> SolverRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(engines_.size());
   for (const auto& [name, info] : engines_) out.push_back(name);
@@ -73,7 +74,7 @@ std::vector<std::string> SolverRegistry::names() const {
 
 std::vector<std::string> SolverRegistry::names_matching(
     const std::function<bool(const EngineCaps&)>& pred) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, info] : engines_)
     if (pred(info.caps)) out.push_back(name);
@@ -81,7 +82,7 @@ std::vector<std::string> SolverRegistry::names_matching(
 }
 
 EngineInfo SolverRegistry::info(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = engines_.find(name);
   if (it == engines_.end()) {
     std::vector<std::string> known;

@@ -10,7 +10,7 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -66,7 +66,12 @@ class SolverRegistry {
  private:
   SolverRegistry();
 
-  mutable std::mutex mu_;
+  /// Reader-writer lock: the server's worker pool hits the read-only
+  /// accessors (info/validate/solve) from N threads per request, so
+  /// readers take shared locks and only add() writes. instance()'s
+  /// built-in registration happens once inside the static-local
+  /// constructor, which the language serializes.
+  mutable std::shared_mutex mu_;
   std::map<std::string, EngineInfo> engines_;
 };
 

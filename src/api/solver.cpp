@@ -1,5 +1,9 @@
 #include "api/solver.hpp"
 
+#include <charconv>
+
+#include "util/strings.hpp"
+
 namespace optsched::api {
 
 Options parse_options(const std::string& spec) {
@@ -30,6 +34,24 @@ std::pair<std::string, Options> parse_engine_spec(const std::string& spec) {
   for (char& c : opts)
     if (c == ':') c = ',';
   return {spec.substr(0, colon), parse_options(opts)};
+}
+
+std::string canonical_engine_spec(const std::string& spec) {
+  const auto [name, options] = parse_engine_spec(spec);
+  std::string out = name;
+  // Options is a std::map, so iteration is already key-sorted. Values
+  // that parse fully as numbers are reprinted in their shortest exact
+  // form (util::format_number round-trips the double), collapsing
+  // leading zeros, trailing fractional zeros, and exponent spellings of
+  // the same value; anything else is treated as an opaque token.
+  for (const auto& [key, value] : options) {
+    double number = 0.0;
+    const char* end = value.data() + value.size();
+    const auto [ptr, ec] = std::from_chars(value.data(), end, number);
+    const bool numeric = !value.empty() && ec == std::errc() && ptr == end;
+    out += ':' + key + '=' + (numeric ? util::format_number(number) : value);
+  }
+  return out;
 }
 
 }  // namespace optsched::api

@@ -40,6 +40,18 @@ Options parse_options(const std::string& spec);
 /// '+'-separated).
 std::pair<std::string, Options> parse_engine_spec(const std::string& spec);
 
+/// Canonical form of an engine spec: round-trips parse_engine_spec and
+/// re-serializes as "name[:k=v...]" with options sorted by key and every
+/// numeric value normalized to its shortest exact form — so
+/// "ws:steal-batch=08" and "ws:steal-batch=8", or "aeps:epsilon=0.20"
+/// and "aeps:epsilon=0.2", canonicalize identically. This is the engine
+/// half of the server's result-cache key (server/result_cache.hpp): two
+/// specs with equal canonical forms configure bit-identical solves.
+/// Non-numeric values (mode names, portfolio member lists) pass through
+/// verbatim. Purely syntactic — the name is not checked against the
+/// registry.
+std::string canonical_engine_spec(const std::string& spec);
+
 /// Thrown for a malformed SolveRequest — unknown engine, option key the
 /// engine does not declare, unparsable option value, or an engine
 /// constraint violation (e.g. epsilon on the exact-only IDA*). Raised by
@@ -121,6 +133,18 @@ struct SolveStats {
   bool warm_start_used = false;
   std::uint64_t states_retained = 0;
   double search_skipped_pct = 0.0;
+  /// Serving-layer counters (src/server), filled in by server::Client
+  /// when the solve was answered by a resident daemon; always
+  /// false/0 for in-process solves. `cache_hit` means the result came
+  /// from the daemon's LRU result cache verbatim; `cache_lookups` and
+  /// `cache_bytes` snapshot the daemon-lifetime lookup count and
+  /// resident cache size at reply time; `queue_wait_ms` is the
+  /// admission-to-start wait in the daemon's worker pool (0 for hits,
+  /// which bypass the pool).
+  bool cache_hit = false;
+  std::uint64_t cache_lookups = 0;
+  std::size_t cache_bytes = 0;
+  double queue_wait_ms = 0.0;
 };
 
 /// Unified result: always a valid complete schedule, plus the proof state.

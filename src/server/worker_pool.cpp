@@ -1,0 +1,115 @@
+#include "server/worker_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace optsched::server {
+
+WorkerPool::WorkerPool(const PoolConfig& config) : config_(config) {
+  const unsigned workers = std::max(1u, config_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::submit(Job job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+      throw ProtocolError(ErrorCode::kShuttingDown,
+                          "daemon is shutting down");
+    if (queue_.size() >= config_.queue_cap) {
+      ++rejected_;
+      throw ProtocolError(
+          ErrorCode::kOverloaded,
+          "queue depth cap " + std::to_string(config_.queue_cap) +
+              " reached (" + std::to_string(in_flight_) + " in flight)");
+    }
+    if (config_.memory_budget != 0) {
+      if (job.memory_bytes > config_.memory_budget) {
+        ++rejected_;
+        throw ProtocolError(
+            ErrorCode::kMemory,
+            "job memory cap " + std::to_string(job.memory_bytes) +
+                " exceeds the daemon budget " +
+                std::to_string(config_.memory_budget));
+      }
+      if (memory_reserved_ + job.memory_bytes > config_.memory_budget) {
+        ++rejected_;
+        throw ProtocolError(
+            ErrorCode::kOverloaded,
+            "memory governor: " + std::to_string(memory_reserved_) +
+                " of " + std::to_string(config_.memory_budget) +
+                " bytes already reserved; job needs " +
+                std::to_string(job.memory_bytes));
+      }
+      memory_reserved_ += job.memory_bytes;
+    }
+    job.queued.reset();
+    queue_.push_back(std::move(job));
+    ++accepted_;
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // queued jobs are abandoned by stop()
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    const double queue_wait_ms = job.queued.millis();
+    std::string reply = job.run(queue_wait_ms);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      ++completed_;
+      if (config_.memory_budget != 0) memory_reserved_ -= job.memory_bytes;
+    }
+    // Reservation is released above, before the client can see the
+    // reply — at saturation (reserved == budget) the client's follow-up
+    // request must not race its own job's bookkeeping.
+    job.deliver(std::move(reply));
+  }
+}
+
+void WorkerPool::stop() {
+  std::deque<Job> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty() && queue_.empty()) return;
+    stopping_ = true;
+    orphans.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  // Jobs that never started: release their reservations and tell their
+  // waiting connections the daemon is draining.
+  for (auto& job : orphans) {
+    if (job.abandon) job.abandon();
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (config_.memory_budget != 0) memory_reserved_ -= job.memory_bytes;
+  }
+}
+
+PoolStatus WorkerPool::status() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  PoolStatus out;
+  out.accepted = accepted_;
+  out.completed = completed_;
+  out.rejected = rejected_;
+  out.queue_depth = queue_.size();
+  out.in_flight = in_flight_;
+  out.memory_reserved = memory_reserved_;
+  return out;
+}
+
+}  // namespace optsched::server

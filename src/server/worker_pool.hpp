@@ -1,0 +1,102 @@
+// Bounded worker pool with admission control and a memory governor.
+//
+// The daemon multiplexes concurrent solve jobs onto a fixed set of
+// worker threads. Admission happens at submit() time and never blocks:
+//
+//  * queue depth cap — when `queue_cap` jobs are already admitted but
+//    not yet started, submit() throws ProtocolError(kOverloaded);
+//  * memory governor — every job declares the search-memory cap it will
+//    run under (its SolveLimits.max_memory_bytes); the pool reserves
+//    that amount against `memory_budget` for the job's whole queued +
+//    running lifetime. A job whose cap alone exceeds the budget is
+//    rejected kMemory; one that does not fit next to the currently
+//    reserved jobs is rejected kOverloaded. Since every engine honors
+//    its own max_memory_bytes, the sum of in-flight search memory never
+//    exceeds the budget — overload produces typed rejects, not OOM.
+//
+// Jobs are run FIFO. stop() wakes the workers, abandons jobs that never
+// started (their abandon() callback replies kShuttingDown), and joins;
+// in-flight jobs are expected to finish promptly because the daemon
+// cancels their shared CancellationToken first.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace optsched::server {
+
+struct PoolConfig {
+  unsigned workers = 2;
+  std::size_t queue_cap = 64;      ///< admitted-but-not-started jobs
+  std::size_t memory_budget = 0;   ///< governor over per-job caps; 0 = off
+};
+
+/// Pool counters for status frames (a subset of protocol::StatusReply).
+struct PoolStatus {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;
+  std::size_t memory_reserved = 0;
+};
+
+class WorkerPool {
+ public:
+  struct Job {
+    /// Runs on a worker thread; receives the measured admission-to-start
+    /// queue wait and returns the encoded reply frame. Must not throw
+    /// (the daemon's job wrapper converts exceptions into error frames).
+    std::function<std::string(double queue_wait_ms)> run;
+    /// Hands the reply frame to the waiting connection. The pool calls
+    /// this strictly *after* releasing the job's memory reservation, so
+    /// a closed-loop client that submits its next request the moment a
+    /// reply lands can never be rejected against its own completed job.
+    std::function<void(std::string reply)> deliver;
+    /// Called instead of run() when the pool stops before the job
+    /// starts; must reply kShuttingDown to the waiting connection.
+    std::function<void()> abandon;
+    std::size_t memory_bytes = 0;  ///< reservation held while queued+running
+    util::Timer queued;            ///< started at admission
+  };
+
+  explicit WorkerPool(const PoolConfig& config);
+  ~WorkerPool();  ///< stop() + join
+
+  /// Admit and enqueue a job; throws ProtocolError(kOverloaded/kMemory)
+  /// when admission control refuses it (see header comment), and
+  /// ProtocolError(kShuttingDown) after stop().
+  void submit(Job job);
+
+  /// Stop accepting, abandon queued jobs, join workers. Idempotent.
+  /// The caller should cancel in-flight work first (shared token).
+  void stop();
+
+  PoolStatus status() const;
+  const PoolConfig& config() const { return config_; }
+
+ private:
+  void worker_loop();
+
+  const PoolConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::size_t in_flight_ = 0;
+  std::size_t memory_reserved_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace optsched::server

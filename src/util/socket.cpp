@@ -1,0 +1,205 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/assert.hpp"
+
+namespace optsched::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  OPTSCHED_REQUIRE(!path.empty() && path.size() < sizeof(addr.sun_path),
+                   "socket path '" + path + "' is empty or longer than " +
+                       std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixStream::UnixStream(UnixStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+UnixStream::~UnixStream() { close(); }
+
+void UnixStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+UnixStream UnixStream::connect(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket()");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect to '" + path + "'");
+  }
+  return UnixStream(fd);
+}
+
+void UnixStream::shutdown_io() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void UnixStream::write_line(std::string_view line) {
+  OPTSCHED_REQUIRE(valid(), "write_line on a closed stream");
+  std::string frame(line);
+  frame += '\n';
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must surface as an EPIPE error
+    // on this call, not a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send()");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool UnixStream::read_line(std::string& out, std::size_t max_bytes) {
+  OPTSCHED_REQUIRE(valid(), "read_line on a closed stream");
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      OPTSCHED_REQUIRE(newline <= max_bytes,
+                       "frame exceeds " + std::to_string(max_bytes) +
+                           " bytes");
+      out.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    // The frame cap applies to bytes buffered *before* the newline too,
+    // so an endless unterminated line cannot grow the buffer unbounded.
+    OPTSCHED_REQUIRE(buffer_.size() <= max_bytes,
+                     "frame exceeds " + std::to_string(max_bytes) + " bytes");
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv()");
+    }
+    if (n == 0) {
+      OPTSCHED_REQUIRE(buffer_.empty(), "connection closed mid-frame");
+      return false;  // clean EOF at a frame boundary
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+UnixListener UnixListener::bind(const std::string& path) {
+  const sockaddr_un addr = make_address(path);
+
+  // Replace a stale socket file from a crashed daemon — but only if
+  // nothing is accepting on it, so two live daemons cannot fight over
+  // one path. The probe uses its own fd: a socket that went through a
+  // failed connect() is not reusable for bind().
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe < 0) throw_errno("socket()");
+  const bool live = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                              sizeof(addr)) == 0;
+  ::close(probe);
+  if (live)
+    throw Error("socket '" + path + "' already has a live listener");
+  ::unlink(path.c_str());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket()");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind to '" + path + "'");
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    throw_errno("listen on '" + path + "'");
+  }
+  UnixListener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  return listener;
+}
+
+std::optional<UnixStream> UnixListener::accept(int timeout_ms) {
+  OPTSCHED_REQUIRE(valid(), "accept on a closed listener");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw_errno("poll()");
+  }
+  if (ready == 0) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    throw_errno("accept()");
+  }
+  return UnixStream(fd);
+}
+
+}  // namespace optsched::util

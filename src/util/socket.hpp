@@ -1,0 +1,98 @@
+// Unix-domain stream sockets with newline framing.
+//
+// The serving layer (server/daemon.hpp) speaks one JSON object per line
+// over a local socket; this header owns the POSIX plumbing so the
+// protocol and daemon code never touch a file descriptor directly:
+//
+//  * UnixListener — bind/listen/accept with a poll() timeout so the
+//    accept loop can observe a stop flag; unlinks the socket path on
+//    destruction.
+//  * UnixStream — a connected byte stream with buffered read_line()
+//    (newline-stripped, with a hard per-frame byte cap, so an
+//    adversarial client cannot balloon daemon memory) and write_line()
+//    (appends the newline, retries partial writes, never raises
+//    SIGPIPE — a vanished peer is a util::Error).
+//
+// Local (AF_UNIX) only by design: the daemon's trust boundary is the
+// socket file's filesystem permissions, and the wire format is
+// newline-delimited JSON either way (DESIGN.md §7).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace optsched::util {
+
+/// A connected Unix-domain stream. Move-only (owns the fd).
+class UnixStream {
+ public:
+  UnixStream() = default;
+  explicit UnixStream(int fd) : fd_(fd) {}
+  UnixStream(UnixStream&& other) noexcept;
+  UnixStream& operator=(UnixStream&& other) noexcept;
+  UnixStream(const UnixStream&) = delete;
+  UnixStream& operator=(const UnixStream&) = delete;
+  ~UnixStream();
+
+  /// Connect to a listening socket at `path`; throws util::Error (with
+  /// errno text) when nothing is listening.
+  static UnixStream connect(const std::string& path);
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Half-close both directions without releasing the fd: a peer (or a
+  /// thread of our own) blocked in read_line() wakes up with EOF. Used
+  /// by the daemon to unblock connection reader threads at shutdown.
+  /// Safe to call from another thread while read_line() is in flight.
+  void shutdown_io();
+
+  /// Write `line` plus a trailing '\n', retrying partial writes.
+  /// Throws util::Error when the peer is gone (no SIGPIPE).
+  void write_line(std::string_view line);
+
+  /// Read one '\n'-terminated frame into `out` (newline stripped).
+  /// Returns false on clean EOF at a frame boundary. Throws util::Error
+  /// on a socket error, on EOF mid-frame, or when a frame exceeds
+  /// `max_bytes` — the caller must treat that as fatal for the
+  /// connection (the stream cannot resynchronize mid-line).
+  bool read_line(std::string& out, std::size_t max_bytes = 1 << 20);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned frame
+};
+
+/// A listening Unix-domain socket bound to a filesystem path. Move-only;
+/// closes and unlinks the path on destruction.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  ~UnixListener();
+
+  /// Bind and listen at `path`, replacing a stale socket file. Throws
+  /// util::Error on a path that is too long for sockaddr_un, already in
+  /// use by a live listener, or not bindable.
+  static UnixListener bind(const std::string& path);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  void close();  ///< close + unlink (idempotent)
+
+  /// Wait up to `timeout_ms` for a connection; nullopt on timeout so
+  /// the accept loop can poll a stop flag. Throws util::Error on a
+  /// listener error.
+  std::optional<UnixStream> accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace optsched::util

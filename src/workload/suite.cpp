@@ -201,7 +201,15 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
 
         const util::Timer timer;
         try {
-          const api::SolveResult result = api::solve(engine_names[e], request);
+          // --via-socket mode: ship the run to the daemon instead of
+          // solving in-process. The hook returns a rebuilt result whose
+          // schedule borrows *instance, so validation and the oracle
+          // below see it exactly like a local result.
+          const api::SolveResult result =
+              config.remote_solve
+                  ? config.remote_solve(*instance, config.engines[e],
+                                        config.limits)
+                  : api::solve(engine_names[e], request);
           rec.makespan = result.makespan;
           rec.proved_optimal = result.proved_optimal;
           rec.bound_factor = result.bound_factor;
@@ -222,6 +230,10 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
           rec.warm_start_used = result.stats.warm_start_used;
           rec.states_retained = result.stats.states_retained;
           rec.search_skipped_pct = result.stats.search_skipped_pct;
+          rec.cache_hit = result.stats.cache_hit;
+          rec.cache_lookups = result.stats.cache_lookups;
+          rec.cache_bytes = result.stats.cache_bytes;
+          rec.queue_wait_ms = result.stats.queue_wait_ms;
           rec.valid = true;
           if (config.validate_schedules) {
             const auto violations = validator.check(result.schedule);
@@ -317,6 +329,16 @@ std::string SuiteReport::summary() const {
     out << title << " (" << list.size() << "):\n";
     for (const auto& line : list) out << "  " << line << "\n";
   };
+  // Serving-layer line only when runs actually went through a daemon
+  // (in-process suites report zero lookups).
+  std::uint64_t lookups = 0, hits = 0;
+  for (const auto& rec : records) {
+    lookups += rec.cache_lookups ? 1 : 0;
+    hits += rec.cache_hit ? 1 : 0;
+  }
+  if (lookups)
+    out << "cache: " << hits << "/" << lookups << " runs served from cache\n";
+
   dump("ORACLE MISMATCHES", oracle_mismatches);
   dump("VALIDATOR FAILURES", validator_failures);
   dump("ERRORS", errors);
@@ -330,7 +352,8 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
          "loads_incremental,peak_memory_bytes,arena_hot_bytes,"
          "arena_cold_bytes,parallel_mode,states_transferred,steals,"
          "shard_hits,effective_ppes,warm_start_used,states_retained,"
-         "search_skipped_pct,valid,error,spec,time_ms\n";
+         "search_skipped_pct,valid,error,spec,cache_hit,cache_lookups,"
+         "cache_bytes,queue_wait_ms,time_ms\n";
   for (const auto& r : report.records) {
     out << r.instance << ',' << r.family << ',' << csv_escape(r.engine) << ','
         << r.nodes << ',' << r.edges << ',' << r.procs << ','
@@ -346,6 +369,8 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
         << util::format_number(r.search_skipped_pct) << ','
         << (r.valid ? 1 : 0) << ','
         << csv_escape(r.error) << ',' << csv_escape(r.spec) << ','
+        << (r.cache_hit ? 1 : 0) << ',' << r.cache_lookups << ','
+        << r.cache_bytes << ',' << util::format_number(r.queue_wait_ms) << ','
         << util::format_number(r.time_ms) << '\n';
   }
 }
@@ -372,12 +397,13 @@ void write_json(const SuiteReport& report, std::ostream& out) {
   for (const auto& engine : report.engines) {
     util::Accumulator makespan, time_ms;
     std::uint64_t runs = 0, proved = 0, expanded = 0, delta = 0, full = 0;
-    std::uint64_t transferred = 0, shard_hits = 0;
+    std::uint64_t transferred = 0, shard_hits = 0, cache_hits = 0;
     std::size_t peak = 0;
     for (const auto& r : report.records) {
       if (r.engine != engine || !r.error.empty()) continue;
       ++runs;
       if (r.proved_optimal) ++proved;
+      if (r.cache_hit) ++cache_hits;
       makespan.add(r.makespan);
       expanded += r.expanded;
       delta += r.loads_incremental;
@@ -395,6 +421,7 @@ void write_json(const SuiteReport& report, std::ostream& out) {
         << ", \"total_loads_incremental\": " << delta
         << ", \"total_states_transferred\": " << transferred
         << ", \"total_shard_hits\": " << shard_hits
+        << ", \"cache_hits\": " << cache_hits
         << ", \"max_peak_memory_bytes\": " << peak
         << ", \"total_time_ms\": " << json_number(time_ms.sum()) << "}";
     first_engine = false;
@@ -445,7 +472,11 @@ void write_json(const SuiteReport& report, std::ostream& out) {
         << util::format_number(r.search_skipped_pct);
     out << ", \"valid\": " << (r.valid ? "true" : "false") << ", \"error\": \""
         << json_escape(r.error) << "\", \"spec\": \"" << json_escape(r.spec)
-        << "\", \"time_ms\": " << json_number(r.time_ms) << "}"
+        << "\", \"cache_hit\": " << (r.cache_hit ? "true" : "false")
+        << ", \"cache_lookups\": " << r.cache_lookups
+        << ", \"cache_bytes\": " << r.cache_bytes
+        << ", \"queue_wait_ms\": " << json_number(r.queue_wait_ms)
+        << ", \"time_ms\": " << json_number(r.time_ms) << "}"
         << (i + 1 < report.records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

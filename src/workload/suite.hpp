@@ -46,6 +46,20 @@ struct SuiteConfig {
   /// Called once per finished run, serialized under an internal mutex
   /// (suitable for progress lines from any worker).
   std::function<void(const struct SuiteRecord&)> on_record;
+  /// Remote execution hook: when set, every (instance, engine) run is
+  /// delegated here instead of calling api::solve in-process — the
+  /// CLI's `suite --via-socket` mode routes runs through a
+  /// server::Client, reusing this corpus fan-out as the daemon's
+  /// concurrent-load driver. The hook receives the locally
+  /// materialized instance (its `name` is the canonical spec line) and
+  /// must return a result whose schedule borrows that instance, so the
+  /// ScheduleValidator and the differential oracle apply to remote
+  /// results exactly as to local ones. Called concurrently from
+  /// `jobs` worker threads; open one connection per thread.
+  std::function<api::SolveResult(
+      const Instance& instance, const std::string& engine_spec,
+      const api::SolveLimits& limits)>
+      remote_solve;
 };
 
 /// One (instance, engine) run. For serial engines every field except
@@ -88,6 +102,14 @@ struct SuiteRecord {
   bool warm_start_used = false;
   std::uint64_t states_retained = 0;
   double search_skipped_pct = 0.0;
+  /// Serving-layer columns (SolveStats): false/0 for in-process runs;
+  /// filled by the --via-socket remote hook. cache_lookups/cache_bytes
+  /// snapshot daemon-lifetime state and queue_wait_ms is wall-clock, so
+  /// like time_ms they are excluded from determinism diffs.
+  bool cache_hit = false;
+  std::uint64_t cache_lookups = 0;
+  std::size_t cache_bytes = 0;
+  double queue_wait_ms = 0.0;
   bool valid = false;  ///< ScheduleValidator verdict (true when disabled)
   std::string error;   ///< exception text; empty on success
   double time_ms = 0.0;
@@ -120,8 +142,11 @@ struct SuiteReport {
 SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
                       const SuiteConfig& config);
 
-/// One header row plus one row per record; `time_ms` is the only
-/// nondeterministic column (last).
+/// One header row plus one row per record. The trailing five columns
+/// (cache_hit, cache_lookups, cache_bytes, queue_wait_ms, time_ms) are
+/// run-dependent — serving-layer state and wall-clock — so determinism
+/// diffs strip them (`rev | cut -d, -f6- | rev`); every earlier column
+/// is a pure function of spec and engine for serial engines.
 void write_csv(const SuiteReport& report, std::ostream& out);
 
 /// Full report as JSON: suite metadata, per-engine aggregates, failure

@@ -1,0 +1,125 @@
+// util::Json — the wire-protocol value model: strict parsing, exact
+// number round-trips, deterministic serialization, and typed failures on
+// malformed input (the server's first line of defense against hostile
+// frames).
+#include "util/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace optsched::util {
+namespace {
+
+TEST(Jsonl, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_EQ(Json::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  17  ").as_number(), 17.0);  // outer whitespace ok
+}
+
+TEST(Jsonl, ParsesContainers) {
+  const Json v = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.is_object());
+  const auto& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_number(), 1.0);
+  EXPECT_TRUE(a[2].at("b").as_bool());
+  EXPECT_EQ(v.at("c").as_string(), "x");
+}
+
+TEST(Jsonl, DumpIsDeterministicWithSortedKeys) {
+  Json a;
+  a["zeta"] = 1;
+  a["alpha"] = 2;
+  Json b;
+  b["alpha"] = 2;
+  b["zeta"] = 1;
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a.dump(), R"({"alpha":2,"zeta":1})");
+}
+
+TEST(Jsonl, NumbersRoundTripBitExactly) {
+  // The cache-soundness contract: a double that crosses the wire comes
+  // back bit-identical. Exercise values with no short decimal form.
+  for (const double v :
+       {0.1, 1.0 / 3.0, 123.456789012345678, 1e-300, 1.7976931348623157e308,
+        5e-324, -0.0, 3.0000000000000004}) {
+    const double back = Json::parse(Json(v).dump()).as_number();
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+        << "value " << v << " did not round-trip";
+  }
+}
+
+TEST(Jsonl, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  // And the parser refuses non-finite literals outright.
+  EXPECT_THROW(Json::parse("Infinity"), util::Error);
+  EXPECT_THROW(Json::parse("NaN"), util::Error);
+}
+
+TEST(Jsonl, StringEscapesRoundTrip) {
+  const std::string original = "line1\nline2\t\"quoted\"\\x\x01";
+  const Json v(original);
+  EXPECT_EQ(Json::parse(v.dump()).as_string(), original);
+  // \uXXXX escapes, including a surrogate pair (U+1F600).
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Jsonl, MalformedInputThrowsTypedErrors) {
+  for (const char* bad :
+       {"", "   ", "{", "}", "[1, 2", "{\"a\":}", "{\"a\" 1}", "tru",
+        "nul", "+1", "\"unterminated", "\"bad\\qescape\"",
+        "\"\\ud83d\"" /* lone high surrogate */, "{\"a\":1} trailing",
+        "[1,]", "{,}", "'single'", "{\"a\":1,}", "\x80"}) {
+    EXPECT_THROW(Json::parse(bad), util::Error) << "input: " << bad;
+  }
+}
+
+TEST(Jsonl, DepthBoundStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < Json::kMaxDepth + 1; ++i) deep += '[';
+  for (int i = 0; i < Json::kMaxDepth + 1; ++i) deep += ']';
+  EXPECT_THROW(Json::parse(deep), util::Error);
+  // One level inside the bound still parses.
+  std::string ok;
+  for (int i = 0; i < Json::kMaxDepth - 1; ++i) ok += '[';
+  for (int i = 0; i < Json::kMaxDepth - 1; ++i) ok += ']';
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
+TEST(Jsonl, CheckedAccessorsThrowOnTypeMismatch) {
+  const Json num(1.5);
+  EXPECT_THROW(num.as_string(), util::Error);
+  EXPECT_THROW(num.as_object(), util::Error);
+  EXPECT_THROW(num.at("key"), util::Error);
+  const Json obj = Json::parse(R"({"s":"x","n":-1,"f":1.5,"u":7})");
+  EXPECT_THROW(obj.at("missing"), util::Error);
+  EXPECT_EQ(obj.get_u64("u", 0), 7u);
+  EXPECT_EQ(obj.get_u64("absent", 9), 9u);
+  EXPECT_THROW(obj.get_u64("n", 0), util::Error);  // negative
+  EXPECT_THROW(obj.get_u64("f", 0), util::Error);  // fractional
+  EXPECT_EQ(obj.get_string("s", ""), "x");
+  EXPECT_EQ(obj.get_number("f", 0.0), 1.5);
+}
+
+TEST(Jsonl, FullFrameRoundTrip) {
+  const std::string frame =
+      R"({"ok":true,"result":{"makespan":23.5,)"
+      R"("schedule":[[0,1,0,2.5],[1,0,2.5,7]]},"verb":"solve"})";
+  const Json v = Json::parse(frame);
+  EXPECT_EQ(v.dump(), frame);  // already canonical: sorted keys, exact nums
+  EXPECT_EQ(Json::parse(v.dump()), v);
+}
+
+}  // namespace
+}  // namespace optsched::util
