@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include "core/astar.hpp"
+#include "core/bucket_queue.hpp"
 #include "core/expansion.hpp"
+#include "core/heuristics.hpp"
+#include "core/hotpath.hpp"
 #include "core/open_list.hpp"
 #include "dag/generators.hpp"
 #include "machine/automorphism.hpp"
@@ -78,6 +81,122 @@ void BM_OpenListPushPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OpenListPushPop);
+
+// ---- bucketed OPEN vs 4-ary heap -----------------------------------------
+//
+// The same mixed push/pop/prune stream through both OPEN structures at a
+// steady frontier size, with on-grid integer f values so the comparison is
+// purely structural (the bucket queue only runs on exact grids anyway).
+// bench/run_hotpath.sh commits the ratio to BENCH_pr8.json.
+
+constexpr std::uint64_t kBenchFMax = 1 << 17;
+
+core::KeyScale integer_grid() {
+  core::KeyScale ks;
+  ks.exact = true;
+  ks.shift = 0;
+  ks.scale = 1.0;
+  return ks;
+}
+
+template <typename Queue>
+void mixed_push_pop_prune(benchmark::State& state, Queue& open,
+                          std::size_t frontier) {
+  // A*-like stream: children are pushed above the last popped f (an
+  // admissible h makes pops weakly monotone), spread over a ~4k-key slack
+  // band. When the band nears the key-space ceiling the run re-seeds —
+  // amortized noise, identical for both structures.
+  constexpr std::uint64_t kSlack = 4096;
+  util::Rng rng(41);
+  double base = 0.0;
+  auto entry = [&] {
+    return core::OpenEntry{base + static_cast<double>(
+                                      rng.uniform_u64(1, kSlack)),
+                           static_cast<double>(rng.uniform_u64(0, 64)), 0};
+  };
+  auto refill = [&] {
+    open.clear();
+    base = 0.0;
+    for (std::size_t i = 0; i < frontier; ++i) open.push(entry());
+  };
+  refill();
+  std::size_t tick = 0;
+  for (auto _ : state) {
+    open.push(entry());
+    open.push(entry());
+    benchmark::DoNotOptimize(open.pop());
+    base = open.pop().f;
+    if (++tick % 4096 == 0) {
+      // Periodic incumbent improvement: drop the worst tail and refill,
+      // as upper-bound pruning does mid-search.
+      open.prune_at_least(base + kSlack * 7 / 8);
+      while (open.size() < frontier) open.push(entry());
+    }
+    if (base + kSlack + 1 >= static_cast<double>(kBenchFMax)) refill();
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+
+void BM_OpenHeapPushPop(benchmark::State& state) {
+  core::OpenList open;
+  mixed_push_pop_prune(state, open,
+                       static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_OpenHeapPushPop)->Arg(1000)->Arg(100000);
+
+void BM_BucketPushPop(benchmark::State& state) {
+  core::BucketQueue open(integer_grid(), static_cast<double>(kBenchFMax));
+  mixed_push_pop_prune(state, open,
+                       static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_BucketPushPop)->Arg(1000)->Arg(100000);
+
+// ---- heuristic evaluation: scalar vs wide --------------------------------
+//
+// h_path's est_seed pass through the runtime-dispatched kernel vs the
+// forced-scalar reference, at a realistic mid-search context. Args are
+// {num_nodes, scalar?}.
+
+void BM_HeuristicEval(benchmark::State& state) {
+  const auto v = static_cast<std::uint32_t>(state.range(0));
+  const auto g = bench_graph(v);
+  const auto m = machine::Machine::fully_connected(4);
+  const core::SearchProblem problem(g, m);
+  core::SearchConfig cfg;
+  core::Expander expander(problem, cfg);
+  core::StateArena arena;
+  util::FlatSet128 seen(1 << 12);
+
+  core::State root;
+  root.sig = core::root_signature();
+  root.parent = core::kNoParent;
+  core::StateIndex cur = arena.add(root);
+  for (std::uint32_t d = 0; d < v / 2; ++d) {
+    std::vector<core::StateIndex> kids;
+    expander.expand(arena, seen, cur, 1e300,
+                    [&](core::StateIndex k, const core::State&) {
+                      kids.push_back(k);
+                    });
+    if (kids.empty()) break;
+    cur = kids.front();
+  }
+  core::ExpansionContext ctx(problem);
+  ctx.load(arena, cur);
+  std::vector<double> scratch(2 * g.num_nodes(), 0.0);
+
+  core::hotpath::force_scalar(state.range(1) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_h(
+        core::HFunction::kPath, problem, ctx.view(), scratch.data()));
+  }
+  core::hotpath::force_scalar(false);
+}
+BENCHMARK(BM_HeuristicEval)
+    ->ArgNames({"v", "scalar"})
+    ->Args({128, 1})
+    ->Args({128, 0})
+    ->Args({512, 1})
+    ->Args({512, 0});
 
 void BM_ComputeLevels(benchmark::State& state) {
   const auto g = bench_graph(static_cast<std::uint32_t>(state.range(0)));

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Hot-path snapshot (PR 8): the bucketed OPEN list and the branchless/SIMD
+# evaluation path, committed as BENCH_pr8.json. Three sections:
+#
+#   hotpath_micro — google-benchmark JSON for BM_OpenHeapPushPop vs
+#       BM_BucketPushPop (mixed push/pop/prune at 1k and 100k frontiers;
+#       the acceptance bar is >= 1.3x bucket-over-heap items/s) and
+#       BM_HeuristicEval scalar-vs-wide (h_path's est_seed kernel).
+#   queue_suite — the bench corpus through astar with queue=heap,
+#       queue=bucket, and queue=auto. The suite's differential oracle and
+#       validator are armed, so a pop-order divergence fails the snapshot;
+#       per-record queue_kind/fallback_reason columns document which
+#       instances bucketed and why the rest fell back.
+#   parallel_pin — bench/run_parallel.sh rerun with PIN=compact: both
+#       transports at 1-8 PPEs with threads pinned and arenas/deques
+#       first-touched from their own PPE (compare against BENCH_pr5.json).
+#
+# Usage: bench/run_hotpath.sh [build-dir] [out.json]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_hotpath_local.json}
+
+BIN="$BUILD_DIR/examples/optsched_cli"
+MICRO="$BUILD_DIR/bench/bench_micro"
+for exe in "$BIN" "$MICRO"; do
+  if [[ ! -x "$exe" ]]; then
+    echo "error: $exe not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$MICRO" \
+  --benchmark_filter='BM_OpenHeapPushPop|BM_BucketPushPop|BM_HeuristicEval' \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json >"$TMP/micro.json"
+
+"$BIN" suite \
+  --corpus "$(dirname "$0")/corpus_bench.txt" \
+  --engines "astar:queue=heap,astar:queue=bucket,astar" \
+  --jobs 1 \
+  --json "$TMP/queue.json"
+
+PIN=compact "$(dirname "$0")/run_parallel.sh" "$BUILD_DIR" "$TMP/pin.json"
+
+{
+  echo '{'
+  echo '"hotpath_micro":'
+  cat "$TMP/micro.json"
+  echo ',"queue_suite":'
+  cat "$TMP/queue.json"
+  echo ',"parallel_pin":'
+  cat "$TMP/pin.json"
+  echo '}'
+} >"$OUT"
+
+echo "wrote $OUT"

@@ -27,10 +27,17 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 # Serial A* as the oracle reference, then both transports at 1-8 PPEs.
+# PIN=compact|spread adds CPU pinning + first-touch placement to every
+# parallel engine (PR 8); default keeps the historical unpinned sweep.
+PIN=${PIN:-none}
+SUFFIX=""
+if [[ "$PIN" != "none" ]]; then
+  SUFFIX=":pin=${PIN}"
+fi
 ENGINES="astar"
 for mode in ring ws; do
   for ppes in 1 2 4 8; do
-    ENGINES+=",parallel:mode=${mode}:ppes=${ppes}"
+    ENGINES+=",parallel:mode=${mode}:ppes=${ppes}${SUFFIX}"
   done
 done
 

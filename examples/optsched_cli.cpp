@@ -660,6 +660,17 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(
                     result.stats.search.generated),
                 result.stats.search.peak_memory_bytes / 1024);
+  if (result.stats.search.queue_kind[0] != '\0') {
+    std::printf("open list: %s", result.stats.search.queue_kind);
+    if (result.stats.search.bucket_peak > 0)
+      std::printf(", peak bucket span %llu",
+                  static_cast<unsigned long long>(
+                      result.stats.search.bucket_peak));
+    if (result.stats.search.queue_fallback[0] != '\0')
+      std::printf(" (auto fallback: %s)",
+                  result.stats.search.queue_fallback);
+    std::printf("\n");
+  }
   if (result.stats.search.loads_full + result.stats.search.loads_incremental >
       0)
     std::printf("context loads: %llu full, %llu delta; arena hot/cold ~%zu/"
@@ -677,8 +688,10 @@ int main(int argc, char** argv) try {
     std::string balance;
     for (const auto n : per_ppe)
       balance += (balance.empty() ? "" : "/") + std::to_string(n);
-    std::printf("parallel[%s]: %zu PPEs, expanded max/min %llu/%llu (%s)\n",
+    std::printf("parallel[%s]: %zu PPEs (%u pinned), expanded max/min "
+                "%llu/%llu (%s)\n",
                 result.stats.parallel_mode.c_str(), per_ppe.size(),
+                result.stats.pins_applied,
                 static_cast<unsigned long long>(
                     per_ppe.empty() ? 0 : per_ppe.front()),
                 static_cast<unsigned long long>(

@@ -86,6 +86,16 @@ core::PruneConfig opt_prune(const Options& options,
   bad_option(engine, "prune", it->second, "all|none|paper");
 }
 
+core::QueueSelect opt_queue(const Options& options,
+                            const std::string& engine) {
+  const auto it = options.find("queue");
+  if (it == options.end()) return core::QueueSelect::kAuto;
+  if (it->second == "auto") return core::QueueSelect::kAuto;
+  if (it->second == "bucket") return core::QueueSelect::kBucket;
+  if (it->second == "heap") return core::QueueSelect::kHeap;
+  bad_option(engine, "queue", it->second, "auto|bucket|heap");
+}
+
 core::HFunction opt_h(const Options& options, const std::string& engine) {
   const auto it = options.find("h");
   if (it == options.end()) return core::HFunction::kPaper;
@@ -143,6 +153,7 @@ class AStarSolver : public Solver {
     config.h = opt_h(request.options, name_);
     config.h_weight =
         opt_double(request.options, name_, "h-weight", 1.0);
+    config.queue = opt_queue(request.options, name_);
     config.epsilon =
         opt_double(request.options, name_, "epsilon", epsilon_default_);
     config.incumbent_updates =
@@ -191,6 +202,18 @@ class ParallelSolver : public Solver {
     config.search.epsilon =
         opt_double(request.options, "parallel", "epsilon", 0.0);
     config.search.h = opt_h(request.options, "parallel");
+    config.search.queue = opt_queue(request.options, "parallel");
+    const auto pin = request.options.find("pin");
+    if (pin != request.options.end()) {
+      if (pin->second == "none")
+        config.pin = par::PinPolicy::kNone;
+      else if (pin->second == "compact")
+        config.pin = par::PinPolicy::kCompact;
+      else if (pin->second == "spread")
+        config.pin = par::PinPolicy::kSpread;
+      else
+        bad_option("parallel", "pin", pin->second, "none|compact|spread");
+    }
     config.num_ppes = static_cast<std::uint32_t>(
         opt_int(request.options, "parallel", "ppes", 4, /*min_value=*/1));
     config.min_period = static_cast<std::uint32_t>(opt_int(
@@ -273,6 +296,7 @@ class ParallelSolver : public Solver {
               out.stats.expanded_per_ppe.end(),
               std::greater<std::uint64_t>());
     out.stats.effective_ppes = r.par_stats.effective_ppes;
+    out.stats.pins_applied = r.par_stats.pins_applied;
     if (request.warm) {
       const bool used = request.warm->seed_schedule != nullptr;
       out.stats.warm_start_used = used;
@@ -364,6 +388,8 @@ const std::vector<OptionSpec> kAStarOptions = {
     {"h-weight", "weighted A* factor (>= 1; solution within that factor)"},
     {"prune", "pruning preset: all|none|paper"},
     {"incumbent", "anytime incumbent updates: 0|1 (default 1)"},
+    {"queue", "OPEN list: auto|bucket|heap (default auto — bucket when the "
+              "instance's f values fit an exact fixed-point grid, else heap)"},
 };
 
 std::vector<OptionSpec> with_epsilon(std::vector<OptionSpec> options,
@@ -417,6 +443,9 @@ void register_builtin_engines(SolverRegistry& registry) {
          "ws mode: dedup-table shard count, <= 65536 (default 0 = 4x ppes); "
          "the table's fixed allocation is checked against max_memory_bytes "
          "up front"},
+        {"queue", "per-PPE OPEN list: auto|bucket|heap (default auto)"},
+        {"pin", "CPU placement per PPE: none|compact|spread (default none); "
+                "pins worker threads and first-touches their pages in place"},
         {"naive-term", "paper's first-goal termination: 0|1 (default 0)"}},
        [] { return std::make_unique<ParallelSolver>(); }});
   registry.add(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "core/bucket_queue.hpp"
 #include "core/open_list.hpp"
 #include "core/search_kernel.hpp"
 #include "util/timer.hpp"
@@ -53,6 +54,9 @@ struct SearchDriver {
   WarmStart* warm = nullptr;           ///< null = cold solve
   std::vector<std::uint8_t> flags;     ///< per-arena expansion record (warm)
   std::vector<double> bounds;          ///< prune bound at expansion (warm)
+  const char* queue_kind = "";         ///< OPEN structure actually used
+  const char* queue_fallback = "";     ///< why not bucket (when applicable)
+  std::uint64_t bucket_peak = 0;
   util::Timer timer;
   KernelGuard guard;
 
@@ -118,20 +122,30 @@ struct SearchDriver {
         arena.memory_bytes() + seen.memory_bytes() + open_mem;
     result.stats.arena_hot_bytes = arena.hot_memory_bytes();
     result.stats.arena_cold_bytes = arena.cold_memory_bytes();
+    result.stats.queue_kind = queue_kind;
+    result.stats.queue_fallback = queue_fallback;
+    result.stats.bucket_peak = bucket_peak;
     result.stats.elapsed_seconds = timer.seconds();
     sched::validate(result.schedule);
     return result;
   }
 };
 
-// ---- plain A* (4-ary heap on (f, -g)) ------------------------------------
+// ---- plain A* (4-ary heap or bucket queue on (f, -g, index)) -------------
 
+/// Peak-bucket-span counter: only the bucket queue has one.
+inline std::uint64_t queue_peak(const OpenList&) { return 0; }
+inline std::uint64_t queue_peak(const BucketQueue& q) { return q.peak_span(); }
+
+template <typename Queue>
 struct AStarPolicy {
-  explicit AStarPolicy(SearchDriver& driver)
-      : d(driver), exact(driver.config.h_weight == 1.0) {}
+  AStarPolicy(SearchDriver& driver, Queue queue)
+      : d(driver),
+        open(std::move(queue)),
+        exact(driver.config.h_weight == 1.0) {}
 
   SearchDriver& d;
-  OpenList open;
+  Queue open;
   OpenEntry current{};  ///< last popped entry (f drives progress/domination)
   std::size_t max_open = 1;
   bool exact;
@@ -258,8 +272,9 @@ void seed_frontier(SearchDriver& d, Push&& push) {
   if (d.warm) d.warm->states_skipped = skipped;
 }
 
-SearchResult run_astar(SearchDriver& d) {
-  AStarPolicy p(d);
+template <typename Queue>
+SearchResult run_astar_with(SearchDriver& d, Queue queue) {
+  AStarPolicy<Queue> p(d, std::move(queue));
   seed_frontier(d, [&](StateIndex i) {
     const HotState& s = d.arena.hot(i);
     p.open.push({s.f, s.g, i});
@@ -267,7 +282,10 @@ SearchResult run_astar(SearchDriver& d) {
 
   const double bound_factor = std::max(1.0, d.config.h_weight);
 
-  if (const auto hit = run_search_loop(d.guard, p))
+  const auto hit = run_search_loop(d.guard, p);
+  d.bucket_peak = queue_peak(p.open);
+
+  if (hit)
     return d.finish(*hit, false, bound_factor, p.max_open,
                     p.open.memory_bytes());
 
@@ -281,6 +299,18 @@ SearchResult run_astar(SearchDriver& d) {
   return d.finish(Termination::kOptimal, p.exact,
                   p.exact ? 1.0 : bound_factor, p.max_open,
                   p.open.memory_bytes());
+}
+
+SearchResult run_astar(SearchDriver& d) {
+  const QueueChoice choice = choose_queue(d.problem, d.config);
+  d.queue_fallback = choice.fallback;
+  if (choice.use_bucket) {
+    d.queue_kind = "bucket";
+    return run_astar_with(
+        d, BucketQueue(d.problem.key_scale(), choice.max_f));
+  }
+  d.queue_kind = "heap";
+  return run_astar_with(d, OpenList());
 }
 
 // ---- Aε* (FOCAL) ---------------------------------------------------------
@@ -304,7 +334,10 @@ struct FocalEntry {
 
 struct FocalPolicy {
   explicit FocalPolicy(SearchDriver& driver)
-      : d(driver), eps(driver.config.epsilon) {}
+      : d(driver), eps(driver.config.epsilon) {
+    d.queue_kind = "focal";
+    if (d.config.queue != QueueSelect::kHeap) d.queue_fallback = "focal";
+  }
 
   SearchDriver& d;
   std::set<FocalEntry> open;

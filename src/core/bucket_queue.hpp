@@ -1,0 +1,242 @@
+// Bucketed OPEN list: an array of f-keyed buckets with a monotone cursor.
+//
+// A* pops are (weakly) f-monotone, so a calendar of buckets indexed by the
+// fixed-point f key (core/key_scale.hpp) replaces the 4-ary heap's
+// O(log n) sift chains with O(1) pushes and an amortized-O(1) cursor walk
+// on pop: the cursor only rescans a bucket range when an inconsistent
+// heuristic pushes below it, and `prune_at_least`/`extract_surplus` drop
+// or drain whole buckets from the top instead of rebuilding a heap.
+//
+// Pop order is *identical* to OpenList's: both order on
+// (f asc, g desc, index asc). f equality is exact inside a bucket — keys
+// are exact by construction — and the (g desc, index asc) tie-break is a
+// strict total order (indices are unique), so given the same push
+// sequence both structures produce the same pop sequence; the randomized
+// bucket-vs-heap differential suite asserts exactly that. Entries inside
+// a bucket form a binary max-heap on (g, -index), so per-bucket cost is
+// O(log bucket) — logarithmic in the f-plateau size, not the frontier.
+//
+// Construction requires an exact KeyScale and a bucket span within
+// kMaxBuckets; `admissible()` reports why an instance/config cannot use
+// the bucket queue so `queue=auto` can fall back to the heap.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/key_scale.hpp"
+#include "core/open_list.hpp"
+#include "core/state.hpp"
+#include "util/assert.hpp"
+
+namespace optsched::core {
+
+class SearchProblem;
+
+class BucketQueue {
+ public:
+  /// Hard cap on the bucket array (vector headers alone cost ~24 bytes per
+  /// bucket; 2^18 keys the span of any sane exact-search instance).
+  static constexpr std::int64_t kMaxBuckets = std::int64_t{1} << 18;
+
+  /// Can this (scale, max f) pair be bucketed at all? `max_f` must bound
+  /// every f the run can push (U with upper-bound pruning, the loose
+  /// serial bound without it).
+  static bool admissible(const KeyScale& ks, double max_f) {
+    return ks.exact && ks.on_grid(max_f) &&
+           ks.key_of(max_f) + 2 <= kMaxBuckets;
+  }
+
+  BucketQueue(const KeyScale& ks, double max_f) : scale_(ks) {
+    OPTSCHED_ASSERT(admissible(ks, max_f));
+    buckets_.resize(static_cast<std::size_t>(scale_.key_of(max_f)) + 2);
+    inv_scale_ = 1.0 / scale_.scale;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void push(const OpenEntry& e) {
+    const std::int64_t key = key_for(e.f);
+    Bucket& b = buckets_[static_cast<std::size_t>(key)];
+    b.push_back({e.g, e.index});
+    std::push_heap(b.begin(), b.end(), deeper_last);
+    if (key < cursor_) cursor_ = key;
+    ++size_;
+    if (size_ == 1) {
+      // Push into an empty queue (fresh, cleared, or drained by pops):
+      // every bucket is empty, so the watermarks re-anchor to this key —
+      // keeping peak_span a live-span high-water mark, not an all-time
+      // key-range one.
+      lo_key_ = hi_key_ = key;
+    } else {
+      lo_key_ = std::min(lo_key_, key);
+      hi_key_ = std::max(hi_key_, key);
+    }
+    peak_span_ = std::max(peak_span_,
+                          static_cast<std::uint64_t>(hi_key_ - lo_key_ + 1));
+  }
+
+  /// O(batch): per-entry push is already O(log plateau), no heapify pass
+  /// to amortize (cf. OpenList::push_batch).
+  void push_batch(const std::vector<OpenEntry>& batch) {
+    for (const OpenEntry& e : batch) push(e);
+  }
+
+  const OpenEntry& top() const {
+    OPTSCHED_ASSERT(!empty());
+    const std::int64_t key = settle_cursor();
+    const Entry& e = buckets_[static_cast<std::size_t>(key)].front();
+    top_scratch_ = {f_of(key), e.g, e.index};
+    return top_scratch_;
+  }
+
+  OpenEntry pop() {
+    OPTSCHED_ASSERT(!empty());
+    cursor_ = settle_cursor();
+    Bucket& b = buckets_[static_cast<std::size_t>(cursor_)];
+    std::pop_heap(b.begin(), b.end(), deeper_last);
+    const Entry e = b.back();
+    b.pop_back();
+    --size_;
+    return {f_of(cursor_), e.g, e.index};
+  }
+
+  void clear() noexcept {
+    for (std::int64_t k = lo_key_; k <= hi_key_ && size_ > 0; ++k) {
+      size_ -= buckets_[static_cast<std::size_t>(k)].size();
+      buckets_[static_cast<std::size_t>(k)].clear();
+    }
+    OPTSCHED_ASSERT(size_ == 0);
+    cursor_ = 0;
+    lo_key_ = 0;
+    hi_key_ = -1;
+  }
+
+  /// Remove every entry with f >= bound — O(buckets dropped), no rebuild.
+  void prune_at_least(double bound) {
+    if (empty()) return;
+    const std::int64_t cut = std::min(
+        static_cast<std::int64_t>(buckets_.size()), cut_key(bound));
+    for (std::int64_t k = std::max(cut, lo_key_); k <= hi_key_; ++k) {
+      size_ -= buckets_[static_cast<std::size_t>(k)].size();
+      buckets_[static_cast<std::size_t>(k)].clear();
+    }
+    hi_key_ = std::min(hi_key_, cut - 1);
+  }
+
+  /// Drain up to `count` entries from the *worst* end for load sharing,
+  /// never touching the best bucket (donating near-best states would
+  /// stall the donor — the same slack-band rule as OpenList).
+  std::vector<OpenEntry> extract_surplus(std::size_t count) {
+    std::vector<OpenEntry> out;
+    if (size_ <= 1 || count == 0) return out;
+    const std::int64_t best = settle_cursor();
+    const std::int64_t guard = cut_key(donation_threshold(f_of(best)));
+    for (std::int64_t k = hi_key_; k >= guard && out.size() < count; --k) {
+      Bucket& b = buckets_[static_cast<std::size_t>(k)];
+      while (!b.empty() && out.size() < count) {
+        std::pop_heap(b.begin(), b.end(), deeper_last);
+        out.push_back({f_of(k), b.back().g, b.back().index});
+        b.pop_back();
+        --size_;
+      }
+    }
+    return out;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    std::size_t bytes = buckets_.capacity() * sizeof(Bucket);
+    for (const Bucket& b : buckets_) bytes += b.capacity() * sizeof(Entry);
+    return bytes;
+  }
+
+  /// Widest occupied key span observed (buckets between the lowest and
+  /// highest live f keys) — the structure's resident-width counter.
+  std::uint64_t peak_span() const noexcept { return peak_span_; }
+
+  /// The slack band protecting a donor's near-best frontier: states within
+  /// ~0.1% of the best f are never donated (shared with OpenList).
+  static double donation_threshold(double best_f) {
+    return best_f + std::max(1.0, std::fabs(best_f)) * (1.0 / 1024.0);
+  }
+
+ private:
+  struct Entry {
+    double g;
+    StateIndex index;
+  };
+  using Bucket = std::vector<Entry>;
+
+  /// Max-heap order on (g, -index): pop_heap yields the deepest entry,
+  /// ties by smallest index — OpenList::before's exact tie-break.
+  static bool deeper_last(const Entry& a, const Entry& b) noexcept {
+    if (a.g != b.g) return a.g < b.g;
+    return a.index > b.index;
+  }
+
+  std::int64_t key_for(double f) const {
+    OPTSCHED_ASSERT(scale_.on_grid(f));
+    const auto key = scale_.key_of(f);
+    OPTSCHED_ASSERT(key >= 0 &&
+                    key < static_cast<std::int64_t>(buckets_.size()));
+    return key;
+  }
+
+  /// First key whose bucket holds entries with f >= bound (for pruning:
+  /// an on-grid bound maps exactly; an off-grid one conservatively up).
+  std::int64_t cut_key(double bound) const {
+    const double scaled = bound * scale_.scale;
+    const auto floor_key = static_cast<std::int64_t>(std::floor(scaled));
+    const std::int64_t k = scaled == std::floor(scaled) ? floor_key
+                                                        : floor_key + 1;
+    return std::clamp<std::int64_t>(k, 0,
+                                    static_cast<std::int64_t>(buckets_.size()));
+  }
+
+  double f_of(std::int64_t key) const { return key * inv_scale_; }
+
+  /// First non-empty bucket at or after the cursor (the cursor may trail
+  /// after pops empty a bucket, or lead after a below-cursor push).
+  std::int64_t settle_cursor() const {
+    std::int64_t k = std::max(cursor_, lo_key_);
+    while (buckets_[static_cast<std::size_t>(k)].empty()) {
+      ++k;
+      OPTSCHED_ASSERT(k <= hi_key_);
+    }
+    return k;
+  }
+
+  KeyScale scale_;
+  double inv_scale_ = 1.0;
+  std::vector<Bucket> buckets_;
+  std::int64_t cursor_ = 0;
+  std::int64_t lo_key_ = 0;   ///< lowest key ever occupied
+  std::int64_t hi_key_ = -1;  ///< highest key ever occupied
+  std::size_t size_ = 0;
+  std::uint64_t peak_span_ = 0;
+  mutable OpenEntry top_scratch_{};
+};
+
+/// Outcome of OPEN-list selection for one (instance, config) pair.
+struct QueueChoice {
+  bool use_bucket = false;
+  /// Why the bucket queue was rejected; "" when chosen, or when queue=heap
+  /// picked the heap explicitly (no fallback happened).
+  const char* fallback = "";
+  double max_f = 0.0;  ///< f bound the bucket array is sized for
+};
+
+/// Decide heap vs bucket for a best-first engine. Bucket requires: an
+/// exact fixed-point key scale for the instance, h_weight == 1 (a weight
+/// multiplies h off the grid), epsilon == 0 (FOCAL uses its own set), a
+/// finite f bound whose key span fits kMaxBuckets, and — for kComposite —
+/// the W/(p * max_speed) workload atom on the grid. queue=bucket still
+/// falls back on these (soundness is not configurable); queue=heap skips
+/// the checks entirely.
+QueueChoice choose_queue(const SearchProblem& problem,
+                         const SearchConfig& config);
+
+}  // namespace optsched::core

@@ -24,6 +24,18 @@ const char* to_string(Termination t) {
   return "?";
 }
 
+const char* to_string(QueueSelect q) {
+  switch (q) {
+    case QueueSelect::kAuto:
+      return "auto";
+    case QueueSelect::kBucket:
+      return "bucket";
+    case QueueSelect::kHeap:
+      return "heap";
+  }
+  return "?";
+}
+
 ExpansionContext::ExpansionContext(const SearchProblem& problem)
     : problem_(&problem) {
   const auto v = problem.num_nodes();
@@ -32,7 +44,8 @@ ExpansionContext::ExpansionContext(const SearchProblem& problem)
   proc_ready_.assign(problem.num_procs(), 0.0);
   busy_.assign(problem.num_procs(), false);
   pending_parents_.assign(v, 0);
-  ready_.reserve(v);
+  ready_bits_.assign((v + 63) / 64, 0);
+  ready_list_.reserve(v);
   chain_.reserve(v);
   path_.reserve(v);
   undo_.reserve(v);
@@ -54,21 +67,18 @@ double ExpansionContext::start_time(NodeId n, ProcId p) const {
 
 void ExpansionContext::ready_insert(NodeId n) {
   const std::uint32_t rank = problem_->priority_rank(n);
-  const auto it = std::lower_bound(
-      ready_.begin(), ready_.end(), rank, [&](NodeId a, std::uint32_t r) {
-        return problem_->priority_rank(a) < r;
-      });
-  ready_.insert(it, n);
+  std::uint64_t& word = ready_bits_[rank >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (rank & 63);
+  OPTSCHED_ASSERT((word & bit) == 0);
+  word |= bit;
 }
 
 void ExpansionContext::ready_remove(NodeId n) {
   const std::uint32_t rank = problem_->priority_rank(n);
-  const auto it = std::lower_bound(
-      ready_.begin(), ready_.end(), rank, [&](NodeId a, std::uint32_t r) {
-        return problem_->priority_rank(a) < r;
-      });
-  OPTSCHED_ASSERT(it != ready_.end() && *it == n);
-  ready_.erase(it);
+  std::uint64_t& word = ready_bits_[rank >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (rank & 63);
+  OPTSCHED_ASSERT((word & bit) != 0);
+  word &= ~bit;
 }
 
 void ExpansionContext::reset() {
@@ -83,16 +93,13 @@ void ExpansionContext::reset() {
   assignment_seq_.clear();
   path_.clear();
   undo_.clear();
-  ready_.clear();
+  std::fill(ready_bits_.begin(), ready_bits_.end(), 0);
   for (NodeId n = 0; n < problem_->num_nodes(); ++n) {
     const auto pending =
         static_cast<std::uint32_t>(graph.num_parents(n));
     pending_parents_[n] = pending;
-    if (pending == 0) ready_.push_back(n);
+    if (pending == 0) ready_insert(n);  // bitset is inherently rank-sorted
   }
-  std::sort(ready_.begin(), ready_.end(), [&](NodeId a, NodeId b) {
-    return problem_->priority_rank(a) < problem_->priority_rank(b);
-  });
 }
 
 double ExpansionContext::apply(NodeId n, ProcId p) {
@@ -228,7 +235,7 @@ void ExpansionContext::move_to(const StateArena& arena, StateIndex index) {
 
 Expander::Expander(const SearchProblem& problem, const SearchConfig& config)
     : problem_(&problem), config_(config), ctx_(problem) {
-  h_scratch_.assign(problem.num_nodes(), 0.0);
+  h_scratch_.assign(2 * std::size_t{problem.num_nodes()}, 0.0);
   proc_rep_.assign(problem.num_procs(), 0);
   class_taken_.assign(problem.num_nodes(), false);
   ctx_.set_stats(&stats_);

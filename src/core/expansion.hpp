@@ -16,6 +16,7 @@
 // full/incremental split is observable through ExpandStats.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -92,9 +93,32 @@ class ExpansionContext {
   NodeId nmax() const noexcept { return nmax_; }
   std::uint32_t depth() const noexcept { return depth_; }
 
-  /// Ready nodes in the paper's priority order (descending b+t level),
-  /// maintained incrementally across apply/rewind.
-  const std::vector<NodeId>& ready() const noexcept { return ready_; }
+  /// Ready nodes in the paper's priority order (descending b+t level).
+  /// Readiness is kept as a rank-indexed bitset (O(1) insert/remove in
+  /// apply/rewind instead of a sorted-vector memmove); this accessor
+  /// materializes it into a reused scratch vector — the hot expansion
+  /// loop iterates the bitset words directly and never pays for this.
+  const std::vector<NodeId>& ready() const {
+    ready_list_.clear();
+    for_each_ready([&](NodeId n) { ready_list_.push_back(n); });
+    return ready_list_;
+  }
+
+  /// Visit ready nodes in priority-rank order: a ctz scan over the bitset
+  /// words — same order the sorted ready vector historically produced
+  /// (ranks are unique). `fn` must not change readiness.
+  template <typename Fn>
+  void for_each_ready(Fn&& fn) const {
+    const std::vector<NodeId>& by_rank = problem_->node_by_rank();
+    for (std::size_t w = 0; w < ready_bits_.size(); ++w) {
+      std::uint64_t bits = ready_bits_[w];
+      while (bits != 0) {
+        const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        fn(by_rank[(w << 6) + b]);
+      }
+    }
+  }
 
   /// Earliest start of `n` on `p` given this context (append semantics).
   double start_time(NodeId n, ProcId p) const;
@@ -140,7 +164,9 @@ class ExpansionContext {
   std::vector<ProcId> proc_of_;
   std::vector<double> proc_ready_;
   std::vector<bool> busy_;
-  std::vector<NodeId> ready_;
+  /// Readiness bitset indexed by priority rank (bit r = node_by_rank[r]).
+  std::vector<std::uint64_t> ready_bits_;
+  mutable std::vector<NodeId> ready_list_;  ///< ready() scratch
   std::vector<std::uint32_t> pending_parents_;
   std::vector<StateIndex> chain_;   // scratch for parent walks
   std::vector<StateIndex> path_;    // arena indices root -> loaded, by depth
@@ -253,12 +279,12 @@ void Expander::expand(StateArena& arena, Seen& seen, StateIndex index,
     class_taken_.assign(problem_->num_nodes(), false);
   }
 
-  for (const NodeId n : ctx_.ready_) {
+  ctx_.for_each_ready([&](const NodeId n) {
     if (config_.prune.node_equivalence) {
       const NodeId rep = equiv.representative(n);
       if (class_taken_[rep]) {
         ++stats_.skipped_equivalence;
-        continue;
+        return;
       }
       class_taken_[rep] = true;
     }
@@ -269,7 +295,7 @@ void Expander::expand(StateArena& arena, Seen& seen, StateIndex index,
       }
       try_emit_child(arena, seen, index, n, q, prune_bound, emit);
     }
-  }
+  });
 }
 
 template <typename Seen, typename Emit>

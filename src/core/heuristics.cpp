@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/hotpath.hpp"
+
 namespace optsched::core {
 
 const char* to_string(HFunction h) {
@@ -20,26 +22,29 @@ const char* to_string(HFunction h) {
 
 namespace {
 
+// Reads the precomputed scaled_static_level array: max over sl[i] * scale
+// equals (max over sl[i]) * scale bit-exactly — x -> fl(x * scale) is
+// monotone and max is a selection — so this matches the historical
+// "max raw levels, then scale" formulation double-for-double.
 double h_paper(const SearchProblem& problem, const ScheduleView& view) {
   const auto& graph = problem.graph();
-  const auto& sl = problem.levels().static_level;
-  const double scale = problem.sl_scale();
+  const double* sl_scaled = problem.scaled_static_level().data();
 
   if (view.nmax == dag::kInvalidNode) {
     // Empty schedule: any node's static level is a chain of work that must
     // still execute sequentially, so max_n sl(n) lower-bounds the optimum.
-    double best = 0.0;
-    for (NodeId n = 0; n < problem.num_nodes(); ++n)
-      best = std::max(best, sl[n]);
-    return best * scale;
+    return hotpath::max_reduce(sl_scaled, problem.num_nodes());
   }
   double best = 0.0;
   for (const auto& [child, cost] : graph.children(view.nmax)) {
     (void)cost;
-    if (view.proc_of[child] == machine::kInvalidProc)
-      best = std::max(best, sl[child]);
+    // Branch-free select: unscheduled children contribute their level,
+    // scheduled ones 0 (levels are >= 0, so 0 never wins spuriously).
+    const double v =
+        view.proc_of[child] == machine::kInvalidProc ? sl_scaled[child] : 0.0;
+    best = std::max(best, v);
   }
-  return best * scale;
+  return best;
 }
 
 // Topological earliest-start lower bound. For unscheduled nodes in
@@ -50,11 +55,21 @@ double h_paper(const SearchProblem& problem, const ScheduleView& view) {
 //                          : est(m) + w(m)/max_speed
 // Then the goal cost is at least est(n) + sl(n)/max_speed for every
 // unscheduled n (the node still has its static-level chain ahead of it).
+// Two-pass form: pass 1 (hotpath::est_seed, branch-free and vectorized)
+// seeds est[i] = finish or 0 and add[i] = 0 or scaled weight, so pass 2's
+// inner parent loop is the single expression est[p] + add[p] — scheduled
+// parents contribute finish + 0, unscheduled ones est + w*scale, exactly
+// the historical branchy values (adding literal 0.0 to finish >= 0 is
+// exact). `scratch` must hold 2 * num_nodes doubles.
 double h_path(const SearchProblem& problem, const ScheduleView& view,
-              double* est) {
+              double* scratch) {
   const auto& graph = problem.graph();
-  const auto& sl = problem.levels().static_level;
-  const double scale = problem.sl_scale();
+  const std::size_t v = problem.num_nodes();
+  const double* sl_scaled = problem.scaled_static_level().data();
+  double* est = scratch;
+  double* add = scratch + v;
+  hotpath::est_seed(view.proc_of, view.finish_time,
+                    problem.scaled_weight().data(), v, est, add);
 
   double bound = view.g;
   for (const NodeId n : graph.topo_order()) {
@@ -62,13 +77,10 @@ double h_path(const SearchProblem& problem, const ScheduleView& view,
     double e = 0.0;
     for (const auto& [parent, cost] : graph.parents(n)) {
       (void)cost;
-      if (view.proc_of[parent] != machine::kInvalidProc)
-        e = std::max(e, view.finish_time[parent]);
-      else
-        e = std::max(e, est[parent] + graph.weight(parent) * scale);
+      e = std::max(e, est[parent] + add[parent]);
     }
-    est[n] = e;
-    bound = std::max(bound, e + sl[n] * scale);
+    est[n] = e;  // add[n] stays w*scale: children see e + w(n)*scale
+    bound = std::max(bound, e + sl_scaled[n]);
   }
   return bound - view.g;
 }

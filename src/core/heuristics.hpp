@@ -46,8 +46,9 @@ struct ScheduleView {
   std::uint32_t num_scheduled;
 };
 
-/// Evaluate the selected heuristic. `scratch` must hold >= num_nodes
-/// doubles (reused across calls to avoid per-expansion allocation).
+/// Evaluate the selected heuristic. `scratch` must hold >= 2 * num_nodes
+/// doubles (the h_path propagation arrays; reused across calls to avoid
+/// per-expansion allocation).
 double evaluate_h(HFunction fn, const SearchProblem& problem,
                   const ScheduleView& view, double* scratch);
 

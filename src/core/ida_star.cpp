@@ -192,7 +192,7 @@ SearchResult ida_star_schedule(const SearchProblem& problem,
     const auto v = problem.num_nodes();
     std::vector<double> finish(v, 0.0);
     std::vector<ProcId> proc_of(v, machine::kInvalidProc);
-    std::vector<double> scratch(v, 0.0);
+    std::vector<double> scratch(2 * std::size_t{v}, 0.0);
     const ScheduleView empty{finish.data(), proc_of.data(), 0.0,
                              dag::kInvalidNode, 0};
     return evaluate_h(config.h, problem, empty, scratch.data());

@@ -7,10 +7,15 @@
 // the two hottest data structures in the search (see bench_micro).
 //
 // Tie-breaking on larger g prefers deeper states among equal-f candidates,
-// which reaches goal states sooner without affecting optimality.
+// which reaches goal states sooner without affecting optimality. The final
+// tie-break on smaller state index makes the order a *strict total* order,
+// so the heap and the bucket queue (core/bucket_queue.hpp) produce
+// identical pop sequences — the property the bucket-vs-heap differential
+// suite pins down.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -77,10 +82,18 @@ class OpenList {
     for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
   }
 
-  /// Extract up to `count` entries that are *not* the current best — used by
-  /// the parallel algorithm's load sharing (donating its best state would
-  /// stall the donor). Entries are removed from this heap.
+  /// Extract up to `count` entries for the parallel algorithm's load
+  /// sharing, worst-first and never from inside the donor's near-best slack
+  /// band (donation_threshold): handing away a second-best frontier state
+  /// would stall the donor. Entries are removed from this heap.
   std::vector<OpenEntry> extract_surplus(std::size_t count);
+
+  /// States with f below this stay home during load sharing: the donor's
+  /// best f plus a ~0.1% relative slack band. Shared with BucketQueue so
+  /// both queues donate from the same region of the frontier.
+  static double donation_threshold(double best_f) {
+    return best_f + std::max(1.0, std::fabs(best_f)) * (1.0 / 1024.0);
+  }
 
   std::size_t memory_bytes() const noexcept {
     return heap_.capacity() * sizeof(OpenEntry);
@@ -89,7 +102,8 @@ class OpenList {
  private:
   static bool before(const OpenEntry& a, const OpenEntry& b) noexcept {
     if (a.f != b.f) return a.f < b.f;
-    return a.g > b.g;
+    if (a.g != b.g) return a.g > b.g;
+    return a.index < b.index;
   }
 
   void sift_up(std::size_t i) {
@@ -126,14 +140,33 @@ class OpenList {
 inline std::vector<OpenEntry> OpenList::extract_surplus(std::size_t count) {
   std::vector<OpenEntry> result;
   if (heap_.size() <= 1 || count == 0) return result;
-  count = std::min(count, heap_.size() - 1);
-  // Take from the *back* of the array: cheap to remove and biased toward
-  // worse states, so the donor keeps its promising frontier. The receiver
-  // re-heapifies on insert.
-  for (std::size_t k = 0; k < count; ++k) {
-    result.push_back(heap_.back());
-    heap_.pop_back();
+  // The back of a 4-ary heap array is *not* among the worst entries — it
+  // can hold the donor's second-best state. Donate only from outside the
+  // slack band around the current best f, worst states first.
+  const double threshold = donation_threshold(heap_[0].f);
+  std::vector<OpenEntry> eligible;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].f >= threshold)
+      eligible.push_back(heap_[i]);
+    else
+      heap_[kept++] = heap_[i];  // the top always stays: threshold > top f
   }
+  heap_.resize(kept);
+  if (eligible.size() > count) {
+    const auto worse = [](const OpenEntry& a, const OpenEntry& b) {
+      return before(b, a);
+    };
+    std::nth_element(eligible.begin(),
+                     eligible.begin() + static_cast<std::ptrdiff_t>(count),
+                     eligible.end(), worse);
+    heap_.insert(heap_.end(),
+                 eligible.begin() + static_cast<std::ptrdiff_t>(count),
+                 eligible.end());
+    eligible.resize(count);
+  }
+  result = std::move(eligible);
+  for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
   return result;
 }
 

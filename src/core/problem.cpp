@@ -53,10 +53,21 @@ void SearchProblem::init_derived() {
   priority_rank_.assign(graph_->num_nodes(), 0);
   for (std::uint32_t r = 0; r < order.size(); ++r)
     priority_rank_[order[r]] = r;
+  node_by_rank_ = std::move(order);
 
   ub_ = std::make_shared<const sched::Schedule>(
       sched::upper_bound_schedule(*graph_, *machine_, comm_));
   ub_len_ = ub_->makespan();
+
+  const std::size_t v = graph_->num_nodes();
+  scaled_static_level_.resize(v);
+  scaled_weight_.resize(v);
+  for (NodeId n = 0; n < v; ++n) {
+    scaled_static_level_[n] = levels_.static_level[n] * sl_scale_;
+    scaled_weight_[n] = graph_->weight(n) * sl_scale_;
+  }
+
+  key_scale_ = derive_key_scale(*this);  // needs ub_len_, so last
 }
 
 }  // namespace optsched::core

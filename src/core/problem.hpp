@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/key_scale.hpp"
 #include "dag/equivalence.hpp"
 #include "dag/graph.hpp"
 #include "dag/levels.hpp"
@@ -59,6 +60,26 @@ class SearchProblem {
   /// b-level + t-level; rank 0 = highest priority). Ties by smaller id.
   std::uint32_t priority_rank(NodeId n) const { return priority_rank_[n]; }
 
+  /// Inverse permutation of priority_rank: node_by_rank()[r] is the node
+  /// with rank r. Lets the expansion ready-bitset iterate in rank order.
+  const std::vector<NodeId>& node_by_rank() const noexcept {
+    return node_by_rank_;
+  }
+
+  /// Fixed-point grid certified for every f/g the search can produce
+  /// (core/key_scale.hpp); !exact means the bucket queue must not be used.
+  const KeyScale& key_scale() const noexcept { return key_scale_; }
+
+  /// static_level[n] * sl_scale and weight(n) * sl_scale, precomputed so
+  /// the heuristic inner loops read contiguous arrays with no per-element
+  /// multiply (and so scalar and wide paths share the exact same doubles).
+  const std::vector<double>& scaled_static_level() const noexcept {
+    return scaled_static_level_;
+  }
+  const std::vector<double>& scaled_weight() const noexcept {
+    return scaled_weight_;
+  }
+
   /// The paper's upper-bound heuristic schedule (the incumbent the search
   /// starts from) and its makespan U.
   const sched::Schedule& upper_bound_schedule() const noexcept { return *ub_; }
@@ -75,9 +96,13 @@ class SearchProblem {
   dag::NodeEquivalence equiv_;
   machine::AutomorphismGroup autos_;
   std::vector<std::uint32_t> priority_rank_;
+  std::vector<NodeId> node_by_rank_;
   std::shared_ptr<const sched::Schedule> ub_;
   double ub_len_ = 0.0;
   double sl_scale_ = 1.0;
+  KeyScale key_scale_;
+  std::vector<double> scaled_static_level_;
+  std::vector<double> scaled_weight_;
 };
 
 }  // namespace optsched::core

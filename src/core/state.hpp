@@ -128,6 +128,14 @@ class StateArena {
     return idx;
   }
 
+  /// Pre-size both arrays. The parallel engine calls this from each PPE's
+  /// own thread after pinning, so the arena's first pages are first-touched
+  /// (hence NUMA-placed) where the PPE runs.
+  void reserve(std::size_t n) {
+    hot_.reserve(n);
+    cold_.reserve(n);
+  }
+
   const HotState& hot(StateIndex i) const {
     OPTSCHED_ASSERT(i < hot_.size());
     return hot_[i];

@@ -1,0 +1,59 @@
+#include "parallel/placement.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+
+#include <vector>
+#endif
+
+namespace optsched::par {
+
+const char* to_string(PinPolicy p) {
+  switch (p) {
+    case PinPolicy::kNone:
+      return "none";
+    case PinPolicy::kCompact:
+      return "compact";
+    case PinPolicy::kSpread:
+      return "spread";
+  }
+  return "?";
+}
+
+bool pin_current_thread(PinPolicy policy, std::uint32_t ppe_id,
+                        std::uint32_t num_ppes) {
+  if (policy == PinPolicy::kNone || num_ppes == 0) return false;
+#if defined(__linux__)
+  // Enumerate the CPUs this process may use (respects taskset/cgroups).
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c)
+    if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+  if (cpus.empty()) return false;
+
+  const auto n = static_cast<std::uint32_t>(cpus.size());
+  std::uint32_t slot;
+  if (policy == PinPolicy::kCompact) {
+    slot = ppe_id % n;
+  } else {
+    // Spread: space PPEs evenly over the allowed set. stride >= 1; when
+    // there are at least as many CPUs as PPEs this lands each PPE
+    // floor(n / num_ppes) CPUs apart.
+    const std::uint32_t stride =
+        num_ppes < n ? n / num_ppes : 1;
+    slot = (ppe_id * stride) % n;
+  }
+
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpus[slot], &one);
+  return sched_setaffinity(0, sizeof(one), &one) == 0;
+#else
+  (void)ppe_id;
+  return false;
+#endif
+}
+
+}  // namespace optsched::par

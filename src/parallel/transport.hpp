@@ -97,6 +97,9 @@ struct ParallelStats {
   /// initial-frontier feedability clamp (ws mode on tiny instances).
   std::uint32_t requested_ppes = 0;
   std::uint32_t effective_ppes = 0;
+  /// Worker threads successfully pinned to a CPU (parallel/placement.hpp);
+  /// 0 when pin=none or the platform has no affinity support.
+  std::uint32_t pins_applied = 0;
 };
 
 /// Published per-PPE status: the quiescence-detection flags plus the
@@ -155,6 +158,11 @@ class PpeLink {
   /// paper's scheme — cross-PPE duplicates pass). Work stealing: the
   /// global hash-sharded table (cross-PPE duplicates are filtered).
   virtual bool dedup_insert(const util::Key128& sig) = 0;
+
+  /// Called once from the owning PPE's thread before any search work, so
+  /// links can first-touch their thread-local structures from the right
+  /// CPU after pinning. Default: nothing to warm.
+  virtual void on_thread_start() {}
 
   /// Record a signature without using the probe result: the deterministic
   /// seed expansion runs identically on every PPE against a throwaway

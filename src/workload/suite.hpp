@@ -82,6 +82,11 @@ struct SuiteRecord {
   bool proved_optimal = false;
   double bound_factor = 0.0;
   std::string termination;
+  /// OPEN structure the solve ran on ("heap"/"bucket"/"focal"; empty for
+  /// non-search engines) and why queue=auto fell back to the heap (empty
+  /// when it did not). Pure functions of spec and engine.
+  std::string queue_kind;
+  std::string fallback_reason;
   std::uint64_t expanded = 0;
   std::uint64_t generated = 0;
   std::uint64_t loads_full = 0;
@@ -110,6 +115,12 @@ struct SuiteRecord {
   std::uint64_t cache_lookups = 0;
   std::size_t cache_bytes = 0;
   double queue_wait_ms = 0.0;
+  /// Bucket-queue peak key span and pinned-thread count. Run-dependent:
+  /// the parallel engine's peak depends on thread timing and pinning on
+  /// the host's affinity support, so both live in the trailing CSV zone
+  /// determinism diffs strip.
+  std::uint64_t bucket_peak = 0;
+  std::uint32_t pins_applied = 0;
   bool valid = false;  ///< ScheduleValidator verdict (true when disabled)
   std::string error;   ///< exception text; empty on success
   double time_ms = 0.0;
@@ -142,10 +153,11 @@ struct SuiteReport {
 SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
                       const SuiteConfig& config);
 
-/// One header row plus one row per record. The trailing five columns
-/// (cache_hit, cache_lookups, cache_bytes, queue_wait_ms, time_ms) are
-/// run-dependent — serving-layer state and wall-clock — so determinism
-/// diffs strip them (`rev | cut -d, -f6- | rev`); every earlier column
+/// One header row plus one row per record. The trailing seven columns
+/// (cache_hit, cache_lookups, cache_bytes, queue_wait_ms, bucket_peak,
+/// pins_applied, time_ms) are run-dependent — serving-layer state,
+/// thread-timing/host-affinity counters, and wall-clock — so determinism
+/// diffs strip them (`rev | cut -d, -f8- | rev`); every earlier column
 /// is a pure function of spec and engine for serial engines.
 void write_csv(const SuiteReport& report, std::ostream& out);
 

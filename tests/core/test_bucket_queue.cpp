@@ -1,0 +1,326 @@
+#include "core/bucket_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/open_list.hpp"
+#include "core/problem.hpp"
+#include "dag/graph.hpp"
+#include "machine/machine.hpp"
+#include "util/rng.hpp"
+
+namespace optsched::core {
+namespace {
+
+using machine::Machine;
+
+KeyScale grid(int shift) {
+  KeyScale ks;
+  ks.exact = true;
+  ks.shift = shift;
+  ks.scale = std::ldexp(1.0, shift);
+  return ks;
+}
+
+TEST(BucketQueue, PopsInFOrder) {
+  BucketQueue q(grid(0), 100.0);
+  q.push({3.0, 0.0, 1});
+  q.push({1.0, 0.0, 2});
+  q.push({2.0, 0.0, 3});
+  EXPECT_EQ(q.pop().index, 2u);
+  EXPECT_EQ(q.pop().index, 3u);
+  EXPECT_EQ(q.pop().index, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueue, TiesPreferLargerGThenSmallerIndex) {
+  BucketQueue q(grid(0), 100.0);
+  q.push({5.0, 1.0, 1});
+  q.push({5.0, 4.0, 2});
+  q.push({5.0, 4.0, 7});
+  q.push({5.0, 2.0, 3});
+  EXPECT_EQ(q.pop().index, 2u);  // deepest first, ties by smallest index
+  EXPECT_EQ(q.pop().index, 7u);
+  EXPECT_EQ(q.pop().index, 3u);
+  EXPECT_EQ(q.pop().index, 1u);
+}
+
+TEST(BucketQueue, FractionalGridKeysAreExact) {
+  // shift 2: grid step 0.25 — the f values of a speeds={1,2,4} machine.
+  BucketQueue q(grid(2), 16.0);
+  q.push({1.25, 0.0, 0});
+  q.push({1.0, 0.0, 1});
+  q.push({1.5, 0.0, 2});
+  EXPECT_DOUBLE_EQ(q.top().f, 1.0);
+  EXPECT_EQ(q.pop().index, 1u);
+  EXPECT_DOUBLE_EQ(q.pop().f, 1.25);
+  EXPECT_DOUBLE_EQ(q.pop().f, 1.5);
+}
+
+/// The load-bearing property: same push sequence => same pop sequence as
+/// the 4-ary heap, bit for bit, including both tie-break levels.
+TEST(BucketQueue, PopSequenceMatchesOpenListExactly) {
+  util::Rng rng(17);
+  OpenList heap;
+  BucketQueue bucket(grid(1), 512.0);
+  for (int i = 0; i < 5000; ++i) {
+    const OpenEntry e{static_cast<double>(rng.uniform_u64(0, 1000)) / 2.0,
+                      static_cast<double>(rng.uniform_u64(0, 8)),
+                      static_cast<StateIndex>(i)};
+    heap.push(e);
+    bucket.push(e);
+  }
+  ASSERT_EQ(heap.size(), bucket.size());
+  while (!heap.empty()) {
+    const OpenEntry a = heap.pop();
+    const OpenEntry b = bucket.pop();
+    ASSERT_EQ(a.index, b.index);
+    ASSERT_EQ(a.f, b.f);
+    ASSERT_EQ(a.g, b.g);
+  }
+  EXPECT_TRUE(bucket.empty());
+}
+
+/// Interleaved pushes and pops, including pushes below the cursor after
+/// pops advanced it (the inconsistent-heuristic path).
+TEST(BucketQueue, InterleavedPushPopMatchesOpenList) {
+  util::Rng rng(99);
+  OpenList heap;
+  BucketQueue bucket(grid(0), 1000.0);
+  StateIndex next = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (heap.empty() || rng.chance(0.6)) {
+      const OpenEntry e{static_cast<double>(rng.uniform_u64(0, 1000)),
+                        static_cast<double>(rng.uniform_u64(0, 50)), next++};
+      heap.push(e);
+      bucket.push(e);
+    } else {
+      const OpenEntry a = heap.pop();
+      const OpenEntry b = bucket.pop();
+      ASSERT_EQ(a.index, b.index);
+      ASSERT_EQ(a.f, b.f);
+    }
+  }
+}
+
+TEST(BucketQueue, PushBatchEquivalentToSerialPushes) {
+  util::Rng rng(31);
+  BucketQueue batched(grid(0), 600.0), serial(grid(0), 600.0);
+  std::vector<OpenEntry> batch;
+  for (int i = 0; i < 200; ++i) {
+    const OpenEntry e{static_cast<double>(rng.uniform_u64(0, 500)), 0.0,
+                      static_cast<StateIndex>(i)};
+    serial.push(e);
+    batch.push_back(e);
+  }
+  batched.push_batch(batch);
+  ASSERT_EQ(batched.size(), serial.size());
+  while (!serial.empty()) EXPECT_EQ(batched.pop().index, serial.pop().index);
+}
+
+TEST(BucketQueue, PruneAtLeastDropsWholeBuckets) {
+  BucketQueue q(grid(0), 200.0);
+  for (int i = 0; i < 100; ++i)
+    q.push({static_cast<double>(i), 0.0, static_cast<StateIndex>(i)});
+  q.prune_at_least(50.0);
+  EXPECT_EQ(q.size(), 50u);
+  double last = -1;
+  while (!q.empty()) {
+    const double f = q.pop().f;
+    EXPECT_GE(f, last);
+    EXPECT_LT(f, 50.0);
+    last = f;
+  }
+}
+
+TEST(BucketQueue, PruneWithOffGridBoundRoundsUp) {
+  BucketQueue q(grid(0), 20.0);
+  q.push({3.0, 0.0, 0});
+  q.push({4.0, 0.0, 1});
+  // 3.5 is off the integer grid; everything at f >= 3.5 means f >= 4.
+  q.prune_at_least(3.5);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.pop().f, 3.0);
+}
+
+TEST(BucketQueue, ExtractSurplusDrainsWorstFirst) {
+  BucketQueue q(grid(0), 200.0);
+  q.push({1.0, 0.0, 0});
+  q.push({100.0, 0.0, 1});
+  q.push({2.0, 0.0, 2});
+  q.push({50.0, 0.0, 3});
+  const auto out = q.extract_surplus(2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].f, 100.0);
+  EXPECT_DOUBLE_EQ(out[1].f, 50.0);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.top().f, 1.0);
+}
+
+TEST(BucketQueue, ExtractSurplusProtectsNearBestBand) {
+  // Everything within ~0.1% of the best f is never donated.
+  BucketQueue q(grid(2), 4096.0);
+  const double best = 1024.0;
+  q.push({best, 0.0, 0});
+  q.push({best + 0.25, 0.0, 1});  // inside the slack band
+  q.push({best + 128.0, 0.0, 2});
+  const auto out = q.extract_surplus(8);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].index, 2u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BucketQueue, ExtractSurplusAllNearBestDonatesNothing) {
+  BucketQueue q(grid(0), 100.0);
+  for (int i = 0; i < 5; ++i)
+    q.push({5.0, static_cast<double>(i), static_cast<StateIndex>(i)});
+  EXPECT_TRUE(q.extract_surplus(3).empty());
+  EXPECT_EQ(q.size(), 5u);
+}
+
+TEST(BucketQueue, PeakSpanTracksWidestOccupiedRange) {
+  BucketQueue q(grid(0), 1000.0);
+  q.push({10.0, 0.0, 0});
+  EXPECT_EQ(q.peak_span(), 1u);
+  q.push({14.0, 0.0, 1});
+  EXPECT_EQ(q.peak_span(), 5u);  // keys 10..14 inclusive
+  q.pop();
+  q.pop();
+  q.push({500.0, 0.0, 2});  // span resets low, peak stays latched
+  EXPECT_EQ(q.peak_span(), 5u);
+}
+
+TEST(BucketQueue, ClearResets) {
+  BucketQueue q(grid(0), 100.0);
+  q.push({7.0, 0.0, 0});
+  q.push({3.0, 0.0, 1});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push({5.0, 0.0, 2});
+  EXPECT_EQ(q.pop().index, 2u);
+}
+
+TEST(BucketQueue, AdmissibleRejectsBadScalesAndSpans) {
+  KeyScale bad;
+  bad.exact = false;
+  EXPECT_FALSE(BucketQueue::admissible(bad, 10.0));
+
+  const KeyScale unit = grid(0);
+  EXPECT_TRUE(BucketQueue::admissible(unit, 100.0));
+  EXPECT_FALSE(BucketQueue::admissible(unit, 100.5));  // off-grid bound
+  // Span past kMaxBuckets.
+  EXPECT_FALSE(BucketQueue::admissible(
+      unit, static_cast<double>(BucketQueue::kMaxBuckets)));
+  // A fine grid shrinks the representable span accordingly.
+  EXPECT_FALSE(BucketQueue::admissible(grid(20), 1024.0));
+  EXPECT_TRUE(BucketQueue::admissible(grid(10), 255.0));
+}
+
+// ---- key-scale derivation over real problems -----------------------------
+
+dag::TaskGraph chain_graph(std::vector<double> weights, double comm) {
+  dag::TaskGraph g;
+  dag::NodeId prev = dag::kInvalidNode;
+  for (const double w : weights) {
+    const dag::NodeId n = g.add_node(w);
+    if (prev != dag::kInvalidNode) g.add_edge(prev, n, comm);
+    prev = n;
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(KeyScale, IntegerInstanceLandsOnCoarseGrid) {
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(2));
+  const KeyScale& ks = problem.key_scale();
+  EXPECT_TRUE(ks.exact);
+  EXPECT_DOUBLE_EQ(ks.pruned_f_bound, problem.upper_bound());
+  EXPECT_TRUE(ks.on_grid(problem.upper_bound()));
+  EXPECT_GE(ks.loose_f_bound, ks.pruned_f_bound);
+}
+
+TEST(KeyScale, PowerOfTwoSpeedsStayExact) {
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(3, {1.0, 2.0, 4.0}));
+  const KeyScale& ks = problem.key_scale();
+  EXPECT_TRUE(ks.exact);
+  EXPECT_GE(ks.shift, 2);        // 2/4 = 0.5, 5/4 = 1.25 need 2^-2
+  EXPECT_TRUE(ks.on_grid(1.25));
+  EXPECT_FALSE(ks.on_grid(1.0 / 3.0));
+}
+
+TEST(KeyScale, SpeedThreeIsNotRepresentable) {
+  // 1/3 repeats in binary: no power-of-two grid holds it.
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(2, {1.0, 3.0}));
+  const KeyScale& ks = problem.key_scale();
+  EXPECT_FALSE(ks.exact);
+  EXPECT_STREQ(ks.reason, "granularity");
+}
+
+// ---- queue selection -----------------------------------------------------
+
+TEST(ChooseQueue, AutoSelectsBucketOnRepresentableInstances) {
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(2));
+  SearchConfig config;
+  const QueueChoice choice = choose_queue(problem, config);
+  EXPECT_TRUE(choice.use_bucket);
+  EXPECT_STREQ(choice.fallback, "");
+  EXPECT_DOUBLE_EQ(choice.max_f, problem.upper_bound());
+}
+
+TEST(ChooseQueue, AutoNeverSelectsBucketWhenScaleCheckFails) {
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(2, {1.0, 3.0}));
+  SearchConfig config;
+  const QueueChoice choice = choose_queue(problem, config);
+  EXPECT_FALSE(choice.use_bucket);
+  EXPECT_STREQ(choice.fallback, "granularity");
+
+  // queue=bucket cannot override soundness: still the heap, same reason.
+  config.queue = QueueSelect::kBucket;
+  const QueueChoice forced = choose_queue(problem, config);
+  EXPECT_FALSE(forced.use_bucket);
+  EXPECT_STREQ(forced.fallback, "granularity");
+}
+
+TEST(ChooseQueue, ExplicitHeapIsNotAFallback) {
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(2));
+  SearchConfig config;
+  config.queue = QueueSelect::kHeap;
+  const QueueChoice choice = choose_queue(problem, config);
+  EXPECT_FALSE(choice.use_bucket);
+  EXPECT_STREQ(choice.fallback, "");
+}
+
+TEST(ChooseQueue, FocalAndWeightedSearchFallBack) {
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(2));
+  SearchConfig focal;
+  focal.epsilon = 0.2;
+  EXPECT_STREQ(choose_queue(problem, focal).fallback, "focal");
+
+  SearchConfig weighted;
+  weighted.h_weight = 2.0;
+  EXPECT_STREQ(choose_queue(problem, weighted).fallback, "weighted");
+}
+
+TEST(ChooseQueue, LooseBoundUsedWithoutUpperBoundPruning) {
+  const SearchProblem problem(chain_graph({3.0, 5.0, 2.0}, 4.0),
+                              Machine::fully_connected(2));
+  SearchConfig config;
+  config.prune = PruneConfig::none();
+  const QueueChoice choice = choose_queue(problem, config);
+  if (choice.use_bucket) {
+    EXPECT_DOUBLE_EQ(choice.max_f, problem.key_scale().loose_f_bound);
+  }
+}
+
+}  // namespace
+}  // namespace optsched::core

@@ -59,7 +59,7 @@ TEST_P(Admissibility, HNeverExceedsTrueRemainingCost) {
   cfg.prune.duplicate_detection = false;  // full-tree probes (see above)
   Expander expander(problem, cfg);
   ExpansionContext ctx(problem);
-  std::vector<double> scratch(g.num_nodes(), 0.0);
+  std::vector<double> scratch(2 * g.num_nodes(), 0.0);
   util::Rng rng(seed * 7919 + 13);
   util::FlatSet128 unused(16);
 
@@ -143,7 +143,7 @@ TEST(Heuristics, GoalStatesHaveZeroH) {
     cur = arena.add(child);
   }
   ctx.load(arena, cur);
-  std::vector<double> scratch(g.num_nodes());
+  std::vector<double> scratch(2 * g.num_nodes());
   for (HFunction h : {HFunction::kZero, HFunction::kPaper, HFunction::kPath,
                       HFunction::kComposite})
     EXPECT_DOUBLE_EQ(evaluate_h(h, problem, ctx.view(), scratch.data()), 0.0)
@@ -157,7 +157,7 @@ TEST(Heuristics, ZeroIsAlwaysZero) {
   ExpansionContext ctx(problem);
   StateArena arena;
   ctx.load(arena, arena.add(root_state()));
-  std::vector<double> scratch(g.num_nodes());
+  std::vector<double> scratch(2 * g.num_nodes());
   EXPECT_DOUBLE_EQ(
       evaluate_h(HFunction::kZero, problem, ctx.view(), scratch.data()), 0.0);
 }
@@ -180,7 +180,7 @@ TEST(Heuristics, CompositeDominatesPaper) {
   seen.insert(root_signature());
 
   ExpansionContext ctx(problem);
-  std::vector<double> scratch(g.num_nodes());
+  std::vector<double> scratch(2 * g.num_nodes());
   for (int step = 0; step < 6; ++step) {
     std::vector<StateIndex> kids;
     expander.expand(arena, seen, cur, kInf,
@@ -206,7 +206,7 @@ TEST(Heuristics, HeterogeneousScaling) {
   ExpansionContext ctx(problem);
   StateArena arena;
   ctx.load(arena, arena.add(root_state()));
-  std::vector<double> scratch(g.num_nodes());
+  std::vector<double> scratch(2 * g.num_nodes());
   // Root h_paper = max sl * 0.5 = 24 * 0.5.
   EXPECT_DOUBLE_EQ(
       evaluate_h(HFunction::kPaper, problem, ctx.view(), scratch.data()),

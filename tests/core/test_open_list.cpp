@@ -29,6 +29,16 @@ TEST(OpenList, TiesPreferLargerG) {
   EXPECT_EQ(open.pop().index, 2u);  // deepest first
 }
 
+TEST(OpenList, TiesPreferSmallerIndex) {
+  OpenList open;
+  open.push({5.0, 2.0, 9});
+  open.push({5.0, 2.0, 1});
+  open.push({5.0, 2.0, 4});
+  EXPECT_EQ(open.pop().index, 1u);  // (f, -g, index) strict total order
+  EXPECT_EQ(open.pop().index, 4u);
+  EXPECT_EQ(open.pop().index, 9u);
+}
+
 TEST(OpenList, HeapSortsRandomSequence) {
   util::Rng rng(7);
   OpenList open;
@@ -82,6 +92,46 @@ TEST(OpenList, ExtractSurplusNeverEmptiesHeap) {
   open.push({2.0, 0.0, 2});
   EXPECT_EQ(open.extract_surplus(5).size(), 1u);
   EXPECT_EQ(open.size(), 1u);
+}
+
+/// Regression: extract_surplus used to donate from the *back of the heap
+/// array*, which for a 4-ary heap can hold near-best entries — a donor
+/// could hand away the states it was about to expand and stall. It must
+/// donate the worst-f entries instead.
+TEST(OpenList, ExtractSurplusPicksWorstNotArrayTail) {
+  OpenList open;
+  open.push({1.0, 0.0, 0});
+  open.push({100.0, 0.0, 1});
+  open.push({2.0, 0.0, 2});  // lands at the array tail of the 4-ary heap
+  const auto out = open.extract_surplus(1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].f, 100.0);
+  EXPECT_EQ(open.size(), 2u);
+  EXPECT_DOUBLE_EQ(open.top().f, 1.0);
+}
+
+TEST(OpenList, ExtractSurplusProtectsNearBestBand) {
+  OpenList open;
+  open.push({1.0, 0.0, 0});
+  open.push({1.0005, 0.0, 1});  // within ~0.1% of the best: never donated
+  open.push({50.0, 0.0, 2});
+  open.push({100.0, 0.0, 3});
+  const auto out = open.extract_surplus(3);
+  ASSERT_EQ(out.size(), 2u);
+  std::set<double> donated;
+  for (const auto& e : out) donated.insert(e.f);
+  EXPECT_EQ(donated, (std::set<double>{50.0, 100.0}));
+  // Remaining heap still pops in order.
+  EXPECT_DOUBLE_EQ(open.pop().f, 1.0);
+  EXPECT_DOUBLE_EQ(open.pop().f, 1.0005);
+}
+
+TEST(OpenList, ExtractSurplusAllEqualFDonatesNothing) {
+  OpenList open;
+  for (int i = 0; i < 5; ++i)
+    open.push({5.0, static_cast<double>(i), static_cast<StateIndex>(i)});
+  EXPECT_TRUE(open.extract_surplus(3).empty());
+  EXPECT_EQ(open.size(), 5u);
 }
 
 TEST(OpenList, PushBatchEquivalentToSerialPushes) {
