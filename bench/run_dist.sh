@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Distributed-transport sweep: serial A* vs multi-process HDA*
+# (mode=dist) at 2/4/8 worker processes over the bench corpus, via the
+# suite runner itself — differential oracle and ScheduleValidator armed,
+# so every dist solve is cross-checked against the serial optimum before
+# it is recorded, and a transport bug fails the snapshot instead of
+# silently landing in it. Committed as BENCH_pr9.json. Usage:
+#
+#   bench/run_dist.sh [build-dir] [out.json]
+#
+# The headline numbers are the wire counters in the JSON aggregates:
+# `total_states_serialized` / `total_batches_sent` show how much of the
+# frontier crosses process boundaries under signature-hash ownership
+# (the HDA* trade: no shared memory at all, every duplicate check
+# resolved by the owner), and `total_termination_rounds` how many
+# quiescence evaluations the coordinator's Mattern-style detector needed.
+# Compare expanded totals against the serial row for the duplicate-work
+# overhead of fully partitioned SEEN sets.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_dist_local.json}
+
+BIN="$BUILD_DIR/examples/optsched_cli"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B $BUILD_DIR -S . &&" \
+       "cmake --build $BUILD_DIR --target optsched_cli)" >&2
+  exit 1
+fi
+
+ENGINES="astar"
+for procs in 2 4 8; do
+  ENGINES+=",parallel:mode=dist:procs=${procs}"
+done
+
+# --jobs 1: each dist solve owns the machine (the coordinator forks
+# `procs` worker processes), so the sweep measures the transport, not
+# contention between concurrently solved instances.
+"$BIN" suite \
+  --corpus "$(dirname "$0")/corpus_bench.txt" \
+  --engines "$ENGINES" \
+  --jobs 1 \
+  --json "$OUT"
+
+echo "wrote $OUT"

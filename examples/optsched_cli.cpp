@@ -483,10 +483,11 @@ int submit_main(int argc, char** argv) {
   if (cli.has("csv")) {
     std::ofstream out(cli.get("csv", ""));
     OPTSCHED_REQUIRE(out.good(), "cannot write --csv file");
-    // Same determinism contract as the suite CSV: the trailing five
-    // columns are run-dependent; everything before them is a pure
-    // function of (spec, engine), so CI diffs passes with
-    // `rev | cut -d, -f6- | rev`.
+    // Same determinism contract as the suite CSV: the serving-layer
+    // columns (cache_hit..queue_wait_ms) and time_ms are run-dependent;
+    // everything else is a pure function of (spec, engine), so CI diffs
+    // passes after stripping those columns by name with
+    // scripts/strip_csv_columns.awk.
     out << "spec,engine,makespan,proved_optimal,bound_factor,termination,"
            "expanded,generated,peak_memory_bytes,valid,error,cache_hit,"
            "cache_lookups,cache_bytes,queue_wait_ms,time_ms\n";
@@ -494,7 +495,7 @@ int submit_main(int argc, char** argv) {
       out << '"' << r.spec << "\"," << base.engine << ','
           << util::format_number(r.makespan) << ','
           << (r.proved_optimal ? 1 : 0) << ','
-          << util::format_number(r.bound_factor) << ',' << r.termination
+          << util::format_number_lenient(r.bound_factor) << ',' << r.termination
           << ',' << r.expanded << ',' << r.generated << ','
           << r.peak_memory_bytes << ',' << (r.valid ? 1 : 0) << ','
           << r.error << ',' << (r.cache_hit ? 1 : 0) << ','
@@ -697,7 +698,17 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(
                     per_ppe.empty() ? 0 : per_ppe.back()),
                 balance.c_str());
-    if (result.stats.parallel_mode == "ws")
+    if (result.stats.parallel_mode == "dist")
+      std::printf("  wire: %llu states serialized into %llu batches, "
+                  "%llu relayed; termination: %llu rounds\n",
+                  static_cast<unsigned long long>(
+                      result.stats.states_serialized),
+                  static_cast<unsigned long long>(result.stats.batches_sent),
+                  static_cast<unsigned long long>(
+                      result.stats.states_transferred),
+                  static_cast<unsigned long long>(
+                      result.stats.termination_rounds));
+    else if (result.stats.parallel_mode == "ws")
       std::printf("  stealing: %llu steals (%llu states) in %llu attempts, "
                   "%llu donations; dedup: %u shards, %llu duplicates "
                   "filtered\n",

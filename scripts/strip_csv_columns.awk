@@ -1,0 +1,76 @@
+# Drop CSV columns *by header name* before a determinism diff.
+#
+#   awk -f scripts/strip_csv_columns.awk -v strip=colA,colB report.csv
+#
+# Reads the header row, resolves each name in `strip` to its column
+# index, and prints every row without those columns. This replaces the
+# old positional `rev | cut -d, -fN- | rev` idiom, which silently
+# diffed the wrong columns whenever a new column landed in (or moved
+# out of) the trailing run-dependent zone. A name in `strip` that is
+# not present in the header is a hard error (exit 2): a renamed or
+# removed column must fail the CI job loudly, not quietly re-enter the
+# determinism diff.
+#
+# Fields are split with a character-level scanner that respects
+# double-quoted cells (the suite/churn `spec` column contains commas,
+# e.g. machine=clique:3@1,2,4), so this runs under any POSIX awk —
+# no gawk FPAT dependency.
+
+BEGIN {
+  if (strip == "") {
+    print "strip_csv_columns.awk: pass -v strip=name[,name...]" > "/dev/stderr"
+    bad = 2
+    exit 2
+  }
+  nstrip = split(strip, names, ",")
+  for (i = 1; i <= nstrip; i++) want[names[i]] = 1
+}
+
+{
+  # Split $0 into cells[1..ncell], honoring quotes. Doubled quotes
+  # inside a quoted cell toggle the state twice, which is still
+  # correct for deciding whether a comma is a separator.
+  ncell = 0
+  cell = ""
+  inq = 0
+  len = length($0)
+  for (i = 1; i <= len; i++) {
+    c = substr($0, i, 1)
+    if (c == "\"") {
+      inq = !inq
+      cell = cell c
+    } else if (c == "," && !inq) {
+      cells[++ncell] = cell
+      cell = ""
+    } else {
+      cell = cell c
+    }
+  }
+  cells[++ncell] = cell
+
+  if (NR == 1) {
+    for (i = 1; i <= ncell; i++)
+      if (cells[i] in want) {
+        drop[i] = 1
+        found[cells[i]] = 1
+      }
+    for (name in want)
+      if (!(name in found)) {
+        printf "strip_csv_columns.awk: column '%s' not in header: %s\n", \
+               name, $0 > "/dev/stderr"
+        bad = 2
+        exit 2
+      }
+  }
+
+  out = ""
+  first = 1
+  for (i = 1; i <= ncell; i++) {
+    if (i in drop) continue
+    out = out (first ? "" : ",") cells[i]
+    first = 0
+  }
+  print out
+}
+
+END { if (bad) exit bad }

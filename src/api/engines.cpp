@@ -233,8 +233,34 @@ class ParallelSolver : public Solver {
         config.mode = par::TransportMode::kRing;
       else if (mode->second == "ws")
         config.mode = par::TransportMode::kWorkStealing;
+      else if (mode->second == "dist")
+        config.mode = par::TransportMode::kDistributed;
       else
-        bad_option("parallel", "mode", mode->second, "ring|ws");
+        bad_option("parallel", "mode", mode->second, "ring|ws|dist");
+    }
+    // Distributed mode: `procs` (worker *processes*) is its spelling of
+    // the worker count; it is exact-only and always sound-terminating.
+    if (request.options.count("procs")) {
+      if (config.mode != par::TransportMode::kDistributed)
+        throw InvalidRequest(
+            "engine 'parallel': option 'procs' requires mode=dist "
+            "(use 'ppes' for the in-process modes)");
+      config.num_ppes = static_cast<std::uint32_t>(
+          opt_int(request.options, "parallel", "procs", 4, /*min_value=*/1));
+    }
+    if (config.mode == par::TransportMode::kDistributed) {
+      if (config.search.epsilon != 0.0)
+        throw InvalidRequest(
+            "engine 'parallel': mode=dist supports exact search only "
+            "(epsilon must be 0)");
+      if (config.search.h_weight != 1.0)
+        throw InvalidRequest(
+            "engine 'parallel': mode=dist supports exact search only "
+            "(weight must be 1)");
+      if (config.naive_termination)
+        throw InvalidRequest(
+            "engine 'parallel': mode=dist always uses sound termination "
+            "(drop naive-term)");
     }
     const auto it = request.options.find("topology");
     if (it != request.options.end()) {
@@ -297,6 +323,9 @@ class ParallelSolver : public Solver {
               std::greater<std::uint64_t>());
     out.stats.effective_ppes = r.par_stats.effective_ppes;
     out.stats.pins_applied = r.par_stats.pins_applied;
+    out.stats.states_serialized = r.par_stats.states_serialized;
+    out.stats.batches_sent = r.par_stats.batches_sent;
+    out.stats.termination_rounds = r.par_stats.termination_rounds;
     if (request.warm) {
       const bool used = request.warm->seed_schedule != nullptr;
       out.stats.warm_start_used = used;
@@ -427,12 +456,15 @@ void register_builtin_engines(SolverRegistry& registry) {
        [] { return std::make_unique<IdaSolver>(); }});
   registry.add(
       {"parallel",
-       "multi-threaded parallel A*/Aeps*: ring (Sec. 3.3) or work stealing",
+       "multi-threaded parallel A*/Aeps*: ring (Sec. 3.3), work stealing, "
+       "or multi-process HDA* (mode=dist)",
        {.optimal = true, .anytime = true, .parallel = true, .bounded = true,
         .warm_start = true},
        {{"ppes", "worker thread count (default 4)"},
         {"mode", "transport: ring (paper Sec. 3.3) | ws (work stealing + "
-                 "sharded dedup); default ring"},
+                 "sharded dedup) | dist (worker processes over AF_UNIX "
+                 "sockets, exact-only); default ring"},
+        {"procs", "dist mode: worker process count (default 4)"},
         {"epsilon", "approximation factor (default 0 = exact)"},
         {"h", "heuristic function: zero|paper|path|composite"},
         {"topology", "ring mode: PPE interconnect: ring|mesh|clique"},

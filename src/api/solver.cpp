@@ -1,6 +1,7 @@
 #include "api/solver.hpp"
 
 #include <charconv>
+#include <cmath>
 
 #include "util/strings.hpp"
 
@@ -48,7 +49,10 @@ std::string canonical_engine_spec(const std::string& spec) {
     double number = 0.0;
     const char* end = value.data() + value.size();
     const auto [ptr, ec] = std::from_chars(value.data(), end, number);
-    const bool numeric = !value.empty() && ec == std::errc() && ptr == end;
+    // from_chars accepts "inf"/"nan" spellings; format_number (rightly)
+    // refuses them, so non-finite tokens stay opaque like mode names.
+    const bool numeric = !value.empty() && ec == std::errc() &&
+                         ptr == end && std::isfinite(number);
     out += ':' + key + '=' + (numeric ? util::format_number(number) : value);
   }
   return out;

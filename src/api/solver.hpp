@@ -128,6 +128,13 @@ struct SolveStats {
   /// pin=compact|spread); 0 for pin=none and serial engines.
   std::uint32_t pins_applied = 0;
   std::uint32_t engines_raced = 0;     ///< portfolio members launched
+  /// Distributed mode (parallel engine, mode=dist): states encoded into
+  /// wire batches, batch frames relayed worker->worker, and
+  /// quiescence-condition evaluations by the coordinator's termination
+  /// detector; all 0 for the in-process modes and serial engines.
+  std::uint64_t states_serialized = 0;
+  std::uint64_t batches_sent = 0;
+  std::uint64_t termination_rounds = 0;
   /// Warm-start re-solve (SolveSession): whether any previous-solve state
   /// was reused, how many arena states survived the delta, and the
   /// session's estimate of search work skipped vs. the previous solve

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/config.hpp"
@@ -130,8 +131,17 @@ class BucketQueue {
   /// Drain up to `count` entries from the *worst* end for load sharing,
   /// never touching the best bucket (donating near-best states would
   /// stall the donor — the same slack-band rule as OpenList).
-  std::vector<OpenEntry> extract_surplus(std::size_t count) {
+  ///
+  /// `live_bound` is the incumbent bound at extraction time (see
+  /// OpenList::extract_surplus): buckets at or above it are dead and are
+  /// pruned here rather than donated, so a bound that tightened since the
+  /// donor's last prune cannot ship dead states.
+  std::vector<OpenEntry> extract_surplus(
+      std::size_t count,
+      double live_bound = std::numeric_limits<double>::infinity()) {
     std::vector<OpenEntry> out;
+    if (live_bound < std::numeric_limits<double>::infinity())
+      prune_at_least(live_bound);
     if (size_ <= 1 || count == 0) return out;
     const std::int64_t best = settle_cursor();
     const std::int64_t guard = cut_key(donation_threshold(f_of(best)));

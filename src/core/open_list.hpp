@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/state.hpp"
@@ -86,7 +87,17 @@ class OpenList {
   /// sharing, worst-first and never from inside the donor's near-best slack
   /// band (donation_threshold): handing away a second-best frontier state
   /// would stall the donor. Entries are removed from this heap.
-  std::vector<OpenEntry> extract_surplus(std::size_t count);
+  ///
+  /// `live_bound` is the *current* incumbent bound at extraction time:
+  /// the donation band is computed against the frontier as pruned by that
+  /// bound, so a bound that tightened after the donor last pruned cannot
+  /// leak dead states (f >= live_bound) into the donation — they are
+  /// dropped here exactly as prune_at_least would drop them. Pass
+  /// +infinity (the default) when no bound applies (weighted/bounded
+  /// searches, which never prune at the incumbent).
+  std::vector<OpenEntry> extract_surplus(
+      std::size_t count,
+      double live_bound = std::numeric_limits<double>::infinity());
 
   /// States with f below this stay home during load sharing: the donor's
   /// best f plus a ~0.1% relative slack band. Shared with BucketQueue so
@@ -137,8 +148,11 @@ class OpenList {
   std::vector<OpenEntry> heap_;
 };
 
-inline std::vector<OpenEntry> OpenList::extract_surplus(std::size_t count) {
+inline std::vector<OpenEntry> OpenList::extract_surplus(std::size_t count,
+                                                        double live_bound) {
   std::vector<OpenEntry> result;
+  if (live_bound < std::numeric_limits<double>::infinity())
+    prune_at_least(live_bound);
   if (heap_.size() <= 1 || count == 0) return result;
   // The back of a 4-ary heap array is *not* among the worst entries — it
   // can hold the donor's second-best state. Donate only from outside the

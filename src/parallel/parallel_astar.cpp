@@ -11,6 +11,7 @@
 #include "core/open_list.hpp"
 #include "core/search_kernel.hpp"
 #include "core/signature.hpp"
+#include "parallel/dist_transport.hpp"
 #include "util/timer.hpp"
 
 namespace optsched::par {
@@ -120,16 +121,20 @@ class PpeOpen {
     return idx;
   }
 
-  /// Remove up to `count` entries biased away from the best (load sharing).
-  std::vector<StateIndex> extract_surplus(std::size_t count) {
+  /// Remove up to `count` entries biased away from the best (load
+  /// sharing). `live_bound` is the incumbent bound *at extraction time*:
+  /// the underlying queues re-apply it so a donation band computed before
+  /// the incumbent tightened cannot ship dead states (f >= bound).
+  std::vector<StateIndex> extract_surplus(std::size_t count,
+                                          double live_bound) {
     std::vector<StateIndex> out;
     if (bucket_) {
-      for (const auto& e : bucket_->extract_surplus(count))
+      for (const auto& e : bucket_->extract_surplus(count, live_bound))
         out.push_back(e.index);
       return out;
     }
     if (eps_ == 0) {
-      for (const auto& e : heap_.extract_surplus(count))
+      for (const auto& e : heap_.extract_surplus(count, live_bound))
         out.push_back(e.index);
       return out;
     }
@@ -361,7 +366,12 @@ class Ppe final : public PpeHost {
   }
 
   std::vector<StateIndex> extract_surplus(std::size_t n) override {
-    return open_.extract_surplus(n);
+    // Re-read the shared incumbent at extraction time: the donation band a
+    // transport computed from an earlier frontier snapshot may predate a
+    // bound tightened by another PPE's goal, and exact search must never
+    // donate states that bound has already killed.
+    return open_.extract_surplus(n, exact() ? shared_.incumbent_bound()
+                                            : kInf);
   }
 
   std::vector<StateIndex> extract_best(std::size_t n) override {
@@ -712,6 +722,11 @@ ParallelResult parallel_astar_schedule(const SearchProblem& problem,
   OPTSCHED_REQUIRE(config.shards <= (1u << 16),
                    "shards must be <= 65536 (0 = auto)");
   StateArena::require_packable(problem.num_nodes(), problem.num_procs());
+
+  // The distributed mode runs on its own multi-process harness, not the
+  // in-process Transport substrate below.
+  if (config.mode == TransportMode::kDistributed)
+    return dist_astar_schedule(problem, config);
 
   // Run with the effective PPE count (see measure_effective_ppes); the
   // adjusted config must outlive the run — Shared keeps a reference.

@@ -11,6 +11,7 @@ const char* to_string(TransportMode mode) {
   switch (mode) {
     case TransportMode::kRing: return "ring";
     case TransportMode::kWorkStealing: return "ws";
+    case TransportMode::kDistributed: return "dist";
   }
   return "?";
 }
@@ -18,6 +19,7 @@ const char* to_string(TransportMode mode) {
 std::unique_ptr<Transport> make_transport(const ParallelConfig& config,
                                           const core::SearchProblem& problem,
                                           std::atomic<bool>& done) {
+  OPTSCHED_ASSERT(config.mode != TransportMode::kDistributed);
   if (config.mode == TransportMode::kWorkStealing)
     return std::make_unique<WsTransport>(config.num_ppes, config.steal_batch,
                                          config.shards, done);

@@ -56,6 +56,12 @@ struct ParallelConfig;  // parallel_astar.hpp
 enum class TransportMode : std::uint8_t {
   kRing,          ///< paper §3.3: static partition + periodic rebalancing
   kWorkStealing,  ///< per-PPE deques + hash-sharded duplicate detection
+  /// HDA* over worker *processes*: signature-hash ownership, serialized
+  /// state batches over AF_UNIX sockets, coordinator-side termination
+  /// detection (parallel/dist_transport.hpp). Does not run on the
+  /// in-process Transport/PpeLink substrate below — the dispatch in
+  /// parallel_astar_schedule routes it to the distributed harness.
+  kDistributed,
 };
 
 const char* to_string(TransportMode mode);
@@ -100,6 +106,10 @@ struct ParallelStats {
   /// Worker threads successfully pinned to a CPU (parallel/placement.hpp);
   /// 0 when pin=none or the platform has no affinity support.
   std::uint32_t pins_applied = 0;
+  // Distributed (multi-process) scheme — 0 for the in-process modes.
+  std::uint64_t states_serialized = 0;   ///< states encoded into wire batches
+  std::uint64_t batches_sent = 0;        ///< batch frames shipped worker->worker
+  std::uint64_t termination_rounds = 0;  ///< quiescence-condition evaluations
 };
 
 /// Published per-PPE status: the quiescence-detection flags plus the

@@ -49,7 +49,12 @@ Json outcome_to_json(const SolveOutcome& outcome) {
   out["engine"] = outcome.engine;
   out["makespan"] = outcome.makespan;
   out["proved_optimal"] = outcome.proved_optimal;
-  out["bound_factor"] = outcome.bound_factor;
+  // JSON has no inf literal and Json::dump rejects non-finite numbers;
+  // "no guarantee" travels as an explicit null (decoded back below).
+  if (std::isfinite(outcome.bound_factor))
+    out["bound_factor"] = outcome.bound_factor;
+  else
+    out["bound_factor"] = Json();
   out["termination"] = outcome.termination;
   out["expanded"] = outcome.expanded;
   out["generated"] = outcome.generated;

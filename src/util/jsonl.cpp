@@ -240,8 +240,13 @@ void dump_value(const Json& v, std::string& out) {
     case Json::Type::kBool: out += v.as_bool() ? "true" : "false"; return;
     case Json::Type::kNumber: {
       const double d = v.as_number();
-      // JSON has no non-finite literals; match the report writers.
-      out += std::isfinite(d) ? format_number(d) : "null";
+      // JSON has no non-finite literals, and silently coercing to null
+      // would round-trip a number into a type the decoder did not ask
+      // for. A caller with a legitimate non-finite sentinel (the solve
+      // protocol's unbounded bound_factor) must encode the null itself.
+      OPTSCHED_REQUIRE(std::isfinite(d),
+                       "cannot serialize non-finite number as JSON");
+      out += format_number(d);
       return;
     }
     case Json::Type::kString: dump_string(v.as_string(), out); return;

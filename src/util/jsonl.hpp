@@ -16,8 +16,10 @@
 //    UB or a crash.
 //
 // Deliberately not a general-purpose JSON library: no comments, no
-// NaN/Infinity literals (non-finite doubles serialize as null, like the
-// suite report writers), no duplicate-key detection (last wins).
+// NaN/Infinity literals — dump() throws util::Error on a non-finite
+// number (a caller with a legitimate non-finite sentinel encodes null
+// explicitly, as the solve protocol does for an unbounded bound_factor)
+// — and no duplicate-key detection (last wins).
 #pragma once
 
 #include <cstdint>

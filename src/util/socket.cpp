@@ -29,6 +29,31 @@ sockaddr_un make_address(const std::string& path) {
   return addr;
 }
 
+/// connect() with EINTR handled correctly: a connect interrupted by a
+/// signal keeps completing in the background (POSIX), so retrying the
+/// call can fail spuriously and treating EINTR as failure misreads a
+/// live peer as dead. Wait for completion with poll() and read the
+/// final status from SO_ERROR. Returns 0 on success; otherwise -1 with
+/// errno set to the connect failure.
+int connect_fd(int fd, const sockaddr_un& addr) {
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0)
+    return 0;
+  if (errno != EINTR) return -1;
+  pollfd pfd{fd, POLLOUT, 0};
+  while (::poll(&pfd, 1, -1) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return -1;
+  if (err != 0) {
+    errno = err;
+    return -1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 UnixStream::UnixStream(UnixStream&& other) noexcept
@@ -57,8 +82,7 @@ UnixStream UnixStream::connect(const std::string& path) {
   const sockaddr_un addr = make_address(path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket()");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  if (connect_fd(fd, addr) != 0) {
     const int saved = errno;
     ::close(fd);
     errno = saved;
@@ -153,11 +177,12 @@ UnixListener UnixListener::bind(const std::string& path) {
   // Replace a stale socket file from a crashed daemon — but only if
   // nothing is accepting on it, so two live daemons cannot fight over
   // one path. The probe uses its own fd: a socket that went through a
-  // failed connect() is not reusable for bind().
+  // failed connect() is not reusable for bind(). connect_fd (not bare
+  // ::connect) so a signal during the probe cannot misread a live
+  // listener as stale and unlink its socket from under it.
   const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (probe < 0) throw_errno("socket()");
-  const bool live = ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
-                              sizeof(addr)) == 0;
+  const bool live = connect_fd(probe, addr) == 0;
   ::close(probe);
   if (live)
     throw Error("socket '" + path + "' already has a live listener");

@@ -41,6 +41,10 @@ class UnixStream {
   static UnixStream connect(const std::string& path);
 
   bool valid() const { return fd_ >= 0; }
+  /// The underlying descriptor, for callers multiplexing with poll().
+  /// Check has_buffered_line() too: a frame already buffered does not
+  /// make the fd readable.
+  int fd() const { return fd_; }
   void close();
 
   /// Half-close both directions without releasing the fd: a peer (or a
@@ -59,6 +63,14 @@ class UnixStream {
   /// `max_bytes` — the caller must treat that as fatal for the
   /// connection (the stream cannot resynchronize mid-line).
   bool read_line(std::string& out, std::size_t max_bytes = 1 << 20);
+
+  /// A complete frame is already buffered: the next read_line() returns
+  /// without touching the socket. poll()-driven callers must drain these
+  /// before sleeping on the fd, or a buffered frame sits stranded behind
+  /// a quiet socket.
+  bool has_buffered_line() const {
+    return buffer_.find('\n') != std::string::npos;
+  }
 
  private:
   int fd_ = -1;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -70,7 +71,27 @@ inline std::vector<std::string> split_ws(std::string_view text) {
 /// (sizes, seeds-as-params, cost means) print bare. Used by the scenario
 /// serializer and the suite report writers, where the default 6-digit
 /// iostream formatting would hide small makespan disagreements.
+///
+/// Finite values only: a non-finite double throws util::Error instead of
+/// silently emitting "inf"/"nan" tokens that no parser on the other side
+/// of a wire format accepts (the jsonl parser rejects them by design, and
+/// the scenario/corpus readers treat them as malformed). Callers writing
+/// human-facing reports where ±inf is a legitimate sentinel (unbounded
+/// bound_factor columns) use format_number_lenient instead.
 inline std::string format_number(double v) {
+  OPTSCHED_REQUIRE(std::isfinite(v),
+                   "cannot format non-finite number for a wire format");
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  OPTSCHED_ASSERT(ec == std::errc());
+  return std::string(buf, end);
+}
+
+/// format_number with ±inf/NaN spelled out ("inf", "-inf", "nan" — the
+/// std::to_chars spellings): for CSV columns and log lines read by humans
+/// or by name-aware report tooling, never for round-tripped wire formats.
+inline std::string format_number_lenient(double v) {
+  if (std::isfinite(v)) return format_number(v);
   char buf[64];
   const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
   OPTSCHED_ASSERT(ec == std::errc());

@@ -238,6 +238,9 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
           rec.cache_lookups = result.stats.cache_lookups;
           rec.cache_bytes = result.stats.cache_bytes;
           rec.queue_wait_ms = result.stats.queue_wait_ms;
+          rec.states_serialized = result.stats.states_serialized;
+          rec.batches_sent = result.stats.batches_sent;
+          rec.termination_rounds = result.stats.termination_rounds;
           rec.valid = true;
           if (config.validate_schedules) {
             const auto violations = validator.check(result.schedule);
@@ -358,13 +361,15 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
          "arena_cold_bytes,parallel_mode,states_transferred,steals,"
          "shard_hits,effective_ppes,warm_start_used,states_retained,"
          "search_skipped_pct,valid,error,spec,cache_hit,cache_lookups,"
-         "cache_bytes,queue_wait_ms,bucket_peak,pins_applied,time_ms\n";
+         "cache_bytes,queue_wait_ms,bucket_peak,pins_applied,"
+         "states_serialized,batches_sent,termination_rounds,time_ms\n";
   for (const auto& r : report.records) {
     out << r.instance << ',' << r.family << ',' << csv_escape(r.engine) << ','
         << r.nodes << ',' << r.edges << ',' << r.procs << ','
         << util::format_number(r.makespan)
         << ',' << (r.proved_optimal ? 1 : 0) << ','
-        << util::format_number(r.bound_factor) << ',' << r.termination << ','
+        << util::format_number_lenient(r.bound_factor) << ',' << r.termination
+        << ','
         << r.queue_kind << ',' << r.fallback_reason << ','
         << r.expanded << ',' << r.generated << ',' << r.loads_full << ','
         << r.loads_incremental << ',' << r.peak_memory_bytes << ','
@@ -378,6 +383,8 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
         << (r.cache_hit ? 1 : 0) << ',' << r.cache_lookups << ','
         << r.cache_bytes << ',' << util::format_number(r.queue_wait_ms) << ','
         << r.bucket_peak << ',' << r.pins_applied << ','
+        << r.states_serialized << ',' << r.batches_sent << ','
+        << r.termination_rounds << ','
         << util::format_number(r.time_ms) << '\n';
   }
 }
@@ -405,6 +412,7 @@ void write_json(const SuiteReport& report, std::ostream& out) {
     util::Accumulator makespan, time_ms;
     std::uint64_t runs = 0, proved = 0, expanded = 0, delta = 0, full = 0;
     std::uint64_t transferred = 0, shard_hits = 0, cache_hits = 0;
+    std::uint64_t serialized = 0, batches = 0, term_rounds = 0;
     std::size_t peak = 0;
     for (const auto& r : report.records) {
       if (r.engine != engine || !r.error.empty()) continue;
@@ -417,6 +425,9 @@ void write_json(const SuiteReport& report, std::ostream& out) {
       full += r.loads_full;
       transferred += r.states_transferred;
       shard_hits += r.shard_hits;
+      serialized += r.states_serialized;
+      batches += r.batches_sent;
+      term_rounds += r.termination_rounds;
       peak = std::max(peak, r.peak_memory_bytes);
       time_ms.add(r.time_ms);
     }
@@ -428,6 +439,9 @@ void write_json(const SuiteReport& report, std::ostream& out) {
         << ", \"total_loads_incremental\": " << delta
         << ", \"total_states_transferred\": " << transferred
         << ", \"total_shard_hits\": " << shard_hits
+        << ", \"total_states_serialized\": " << serialized
+        << ", \"total_batches_sent\": " << batches
+        << ", \"total_termination_rounds\": " << term_rounds
         << ", \"cache_hits\": " << cache_hits
         << ", \"max_peak_memory_bytes\": " << peak
         << ", \"total_time_ms\": " << json_number(time_ms.sum()) << "}";
@@ -473,7 +487,10 @@ void write_json(const SuiteReport& report, std::ostream& out) {
           << (r.expanded_per_ppe.empty() ? 0 : r.expanded_per_ppe.back())
           << ", \"ppe_expanded_max\": "
           << (r.expanded_per_ppe.empty() ? 0 : r.expanded_per_ppe.front())
-          << ", \"effective_ppes\": " << r.effective_ppes;
+          << ", \"effective_ppes\": " << r.effective_ppes
+          << ", \"states_serialized\": " << r.states_serialized
+          << ", \"batches_sent\": " << r.batches_sent
+          << ", \"termination_rounds\": " << r.termination_rounds;
     }
     out << ", \"warm_start_used\": " << (r.warm_start_used ? "true" : "false")
         << ", \"states_retained\": " << r.states_retained

@@ -121,6 +121,12 @@ struct SuiteRecord {
   /// determinism diffs strip.
   std::uint64_t bucket_peak = 0;
   std::uint32_t pins_applied = 0;
+  /// Distributed-mode counters (parallel engine, mode=dist; 0 elsewhere).
+  /// Run-dependent — bound-arrival timing changes which states cross
+  /// process boundaries — so they live in the trailing CSV zone too.
+  std::uint64_t states_serialized = 0;
+  std::uint64_t batches_sent = 0;
+  std::uint64_t termination_rounds = 0;
   bool valid = false;  ///< ScheduleValidator verdict (true when disabled)
   std::string error;   ///< exception text; empty on success
   double time_ms = 0.0;
@@ -153,12 +159,15 @@ struct SuiteReport {
 SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
                       const SuiteConfig& config);
 
-/// One header row plus one row per record. The trailing seven columns
+/// One header row plus one row per record. The trailing ten columns
 /// (cache_hit, cache_lookups, cache_bytes, queue_wait_ms, bucket_peak,
-/// pins_applied, time_ms) are run-dependent — serving-layer state,
-/// thread-timing/host-affinity counters, and wall-clock — so determinism
-/// diffs strip them (`rev | cut -d, -f8- | rev`); every earlier column
-/// is a pure function of spec and engine for serial engines.
+/// pins_applied, states_serialized, batches_sent, termination_rounds,
+/// time_ms) are run-dependent — serving-layer state, thread-timing and
+/// host-affinity counters, dist-mode communication, and wall-clock — so
+/// determinism diffs strip them by *name* (scripts/strip_csv_columns.awk;
+/// never by position, which silently breaks when columns move); every
+/// earlier column is a pure function of spec and engine for serial
+/// engines.
 void write_csv(const SuiteReport& report, std::ostream& out);
 
 /// Full report as JSON: suite metadata, per-engine aggregates, failure

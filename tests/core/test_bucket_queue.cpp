@@ -173,6 +173,23 @@ TEST(BucketQueue, ExtractSurplusProtectsNearBestBand) {
   EXPECT_EQ(q.size(), 2u);
 }
 
+/// Regression (stale donation band): same contract as
+/// OpenList::extract_surplus — the live incumbent bound prunes dead
+/// buckets before the donation band is computed, so a tightened bound
+/// cannot leak dead states into a donation.
+TEST(BucketQueue, ExtractSurplusHonorsLiveBound) {
+  BucketQueue q(grid(0), 200.0);
+  q.push({1.0, 0.0, 0});
+  q.push({10.0, 0.0, 1});
+  q.push({30.0, 0.0, 2});  // dead under the tightened bound
+  q.push({40.0, 0.0, 3});  // dead under the tightened bound
+  const auto out = q.extract_surplus(4, 25.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].f, 10.0);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.top().f, 1.0);
+}
+
 TEST(BucketQueue, ExtractSurplusAllNearBestDonatesNothing) {
   BucketQueue q(grid(0), 100.0);
   for (int i = 0; i < 5; ++i)

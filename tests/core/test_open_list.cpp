@@ -126,6 +126,33 @@ TEST(OpenList, ExtractSurplusProtectsNearBestBand) {
   EXPECT_DOUBLE_EQ(open.pop().f, 1.0005);
 }
 
+/// Regression (stale donation band): the work-stealing donor used to
+/// compute the donation band over an OPEN that still held states at or
+/// above the *current* incumbent bound — a bound that tightened since the
+/// donor's last prune let dead states (f >= bound) ship to a thief.
+/// extract_surplus now takes the live bound and prunes first.
+TEST(OpenList, ExtractSurplusHonorsLiveBound) {
+  OpenList open;
+  open.push({1.0, 0.0, 0});
+  open.push({10.0, 0.0, 1});
+  open.push({30.0, 0.0, 2});  // dead under the tightened bound
+  open.push({40.0, 0.0, 3});  // dead under the tightened bound
+  const auto out = open.extract_surplus(4, 25.0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].f, 10.0);
+  // The dead states were pruned outright, not retained for later donation.
+  EXPECT_EQ(open.size(), 1u);
+  EXPECT_DOUBLE_EQ(open.top().f, 1.0);
+}
+
+TEST(OpenList, ExtractSurplusLiveBoundAtExactFIsDead) {
+  OpenList open;
+  open.push({1.0, 0.0, 0});
+  open.push({25.0, 0.0, 1});  // f == bound: dead (prune_at_least semantics)
+  EXPECT_TRUE(open.extract_surplus(2, 25.0).empty());
+  EXPECT_EQ(open.size(), 1u);
+}
+
 TEST(OpenList, ExtractSurplusAllEqualFDonatesNothing) {
   OpenList open;
   for (int i = 0; i < 5; ++i)

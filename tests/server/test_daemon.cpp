@@ -268,6 +268,44 @@ TEST(Daemon, MalformedFramesGetTypedErrorsAndDaemonSurvives) {
   daemon.wait();
 }
 
+/// Regression (socket-layer short-write/EINTR sweep): a client that dies
+/// mid-frame — partial line written, no newline, abrupt close — must
+/// read as EOF on the daemon side, not as a short read retried forever
+/// or a crash; and a client that closes before reading its reply must
+/// cost the daemon nothing more than an EPIPE on that one connection.
+TEST(Daemon, ClientKilledMidFrameDoesNotWedgeTheDaemon) {
+  Daemon daemon(base_config());
+  daemon.start();
+
+  {
+    // Half a solve command, never terminated, then the client vanishes.
+    util::UnixStream raw =
+        util::UnixStream::connect(daemon.config().socket_path);
+    const std::string partial = "{\"verb\":\"solve\",\"spec\":\"family=ra";
+    ASSERT_EQ(::write(raw.fd(), partial.data(), partial.size()),
+              static_cast<ssize_t>(partial.size()));
+  }
+
+  {
+    // A complete command whose sender closes without reading the reply:
+    // the daemon's reply write hits a dead peer (EPIPE, not SIGPIPE).
+    util::UnixStream raw =
+        util::UnixStream::connect(daemon.config().socket_path);
+    Command command;
+    command.verb = Verb::kSolve;
+    command.solve = solve_command(kSpecA);
+    raw.write_line(encode_command(command));
+  }
+
+  // Meanwhile the daemon still serves well-behaved clients, repeatedly.
+  Client client(daemon.config().socket_path);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NO_THROW(client.solve_raw(solve_command(kSpecB)));
+
+  daemon.stop();
+  daemon.wait();
+}
+
 TEST(Daemon, QueueCapRejectsOverloadedTyped) {
   register_gated_engine();
   DaemonConfig config = base_config();

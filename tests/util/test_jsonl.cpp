@@ -57,9 +57,23 @@ TEST(Jsonl, NumbersRoundTripBitExactly) {
   }
 }
 
-TEST(Jsonl, NonFiniteDumpsAsNull) {
-  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
-  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+TEST(Jsonl, NonFiniteDumpThrows) {
+  // Regression: non-finite numbers used to serialize as null, silently
+  // turning a number into a different type on the other side of the
+  // wire. dump() now rejects them; a caller with a legitimate sentinel
+  // encodes null explicitly (as the solve protocol's bound_factor does).
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(),
+               util::Error);
+  EXPECT_THROW(Json(-std::numeric_limits<double>::infinity()).dump(),
+               util::Error);
+  EXPECT_THROW(Json(std::nan("")).dump(), util::Error);
+  // Buried inside a container, too — the check walks the whole value.
+  Json obj;
+  obj["ok"] = 1.0;
+  obj["bad"] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(obj.dump(), util::Error);
+  // An explicit null round-trips fine.
+  EXPECT_EQ(Json().dump(), "null");
   // And the parser refuses non-finite literals outright.
   EXPECT_THROW(Json::parse("Infinity"), util::Error);
   EXPECT_THROW(Json::parse("NaN"), util::Error);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace optsched::util {
 namespace {
 
@@ -34,6 +37,33 @@ TEST(Strings, JoinRoundTripsSplit) {
   EXPECT_EQ(join(parts, ","), "x,y,z");
   EXPECT_EQ(join({}, ","), "");
   EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, FormatNumberShortestExactForm) {
+  EXPECT_EQ(format_number(14.0), "14");
+  EXPECT_EQ(format_number(0.1), "0.1");
+  EXPECT_EQ(format_number(-3.5), "-3.5");
+}
+
+TEST(Strings, FormatNumberRejectsNonFinite) {
+  // Regression: format_number used to emit "inf"/"nan" tokens straight
+  // into wire formats whose parsers reject them (jsonl, scenario specs).
+  // Non-finite input is now a typed error at the encode site.
+  EXPECT_THROW(format_number(std::numeric_limits<double>::infinity()),
+               util::Error);
+  EXPECT_THROW(format_number(-std::numeric_limits<double>::infinity()),
+               util::Error);
+  EXPECT_THROW(format_number(std::nan("")), util::Error);
+}
+
+TEST(Strings, FormatNumberLenientSpellsOutSentinels) {
+  // The human-facing reports keep ±inf/NaN as readable tokens.
+  EXPECT_EQ(format_number_lenient(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(format_number_lenient(-std::numeric_limits<double>::infinity()),
+            "-inf");
+  EXPECT_EQ(format_number_lenient(std::nan("")), "nan");
+  EXPECT_EQ(format_number_lenient(2.5), format_number(2.5));
 }
 
 }  // namespace
