@@ -4,7 +4,8 @@
 # suite runner itself — differential oracle and ScheduleValidator armed,
 # so every dist solve is cross-checked against the serial optimum before
 # it is recorded, and a transport bug fails the snapshot instead of
-# silently landing in it. Committed as BENCH_pr9.json. Usage:
+# silently landing in it. Committed as BENCH_pr9.json (JSON wire) and
+# BENCH_pr10.json (binary wire v2 — DESIGN.md §11). Usage:
 #
 #   bench/run_dist.sh [build-dir] [out.json]
 #
@@ -12,10 +13,15 @@
 # `total_states_serialized` / `total_batches_sent` show how much of the
 # frontier crosses process boundaries under signature-hash ownership
 # (the HDA* trade: no shared memory at all, every duplicate check
-# resolved by the owner), and `total_termination_rounds` how many
-# quiescence evaluations the coordinator's Mattern-style detector needed.
-# Compare expanded totals against the serial row for the duplicate-work
-# overhead of fully partitioned SEEN sets.
+# resolved by the owner), `total_states_deduped_at_send` what the
+# send-side filters suppressed, `total_flushes` / `total_bytes_sent`
+# the gathered-write syscall amortization, and
+# `total_termination_rounds` how many quiescence evaluations the
+# coordinator's Mattern-style detector needed (O(status frames) since
+# wire v2's idle backoff + dirty-flag caching). Compare expanded totals
+# against the serial row for the duplicate-work overhead of fully
+# partitioned SEEN sets, and total_time_ms across BENCH_pr9 vs
+# BENCH_pr10 for the wire-path speedup at identical semantics.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}

@@ -698,7 +698,7 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(
                     per_ppe.empty() ? 0 : per_ppe.back()),
                 balance.c_str());
-    if (result.stats.parallel_mode == "dist")
+    if (result.stats.parallel_mode == "dist") {
       std::printf("  wire: %llu states serialized into %llu batches, "
                   "%llu relayed; termination: %llu rounds\n",
                   static_cast<unsigned long long>(
@@ -708,6 +708,17 @@ int main(int argc, char** argv) try {
                       result.stats.states_transferred),
                   static_cast<unsigned long long>(
                       result.stats.termination_rounds));
+      std::printf("  wire: %llu deduped at send, %llu gathered writes "
+                  "(%.1f batches/write), %llu bytes on the wire\n",
+                  static_cast<unsigned long long>(
+                      result.stats.states_deduped_at_send),
+                  static_cast<unsigned long long>(result.stats.flushes),
+                  result.stats.flushes
+                      ? static_cast<double>(result.stats.batches_sent) /
+                            static_cast<double>(result.stats.flushes)
+                      : 0.0,
+                  static_cast<unsigned long long>(result.stats.bytes_sent));
+    }
     else if (result.stats.parallel_mode == "ws")
       std::printf("  stealing: %llu steals (%llu states) in %llu attempts, "
                   "%llu donations; dedup: %u shards, %llu duplicates "

@@ -135,6 +135,13 @@ struct SolveStats {
   std::uint64_t states_serialized = 0;
   std::uint64_t batches_sent = 0;
   std::uint64_t termination_rounds = 0;
+  /// Distributed wire-path counters (PR 10): remote children suppressed
+  /// by the send-side duplicate filter, gathered socket writes on the
+  /// worker side, and total bytes written to dist sockets across all
+  /// processes. All 0 for in-process modes and serial engines.
+  std::uint64_t states_deduped_at_send = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t bytes_sent = 0;
   /// Warm-start re-solve (SolveSession): whether any previous-solve state
   /// was reused, how many arena states survived the delta, and the
   /// session's estimate of search work skipped vs. the previous solve

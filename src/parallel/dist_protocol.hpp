@@ -9,7 +9,7 @@
 // worker built from different binaries fail fast instead of
 // misinterpreting each other.
 //
-// Frame vocabulary (kWireVersion = 1):
+// Frame vocabulary (kWireVersion = 2):
 //
 //   worker -> coordinator
 //     hello   {t, v, rank}                     handshake
@@ -21,11 +21,19 @@
 //     bye     {t, <full counter set>}          final stats, then _exit(0)
 //
 //   coordinator -> worker
-//     init    {t, v, graph, machine, comm, cfg, procs, rank, seed_bound,
-//              mem_bytes, batch}
+//     init    {t, v, wire, graph, machine, comm, cfg, procs, rank,
+//              seed_bound, mem_bytes, batch, flush_us}
 //     batch   {t, states:[..]}                 relay of another worker's batch
 //     bound   {t, len}                         incumbent broadcast
 //     stop    {t, reason}                      terminate (0 = quiescent)
+//
+// Version 2 keeps this vocabulary and the JSON encoding of every rare
+// frame, but moves the hot frames (batch/status/bound) to the binary
+// framing in parallel/wire.hpp when the negotiated `wire` field of the
+// init frame says 2 (the `wire=v1|v2` engine option; the handshake
+// itself is always JSON, so a peer from a different binary still fails
+// fast on the version tag). The JSON batch shapes above remain the v1
+// codec, kept as the differential baseline.
 //
 // A state travels as its assignment sequence from the root — the same
 // self-contained representation the in-process transports ship
@@ -57,7 +65,7 @@
 
 namespace optsched::par {
 
-inline constexpr int kWireVersion = 1;
+inline constexpr int kWireVersion = 2;
 
 // ---- instance + config serialization (init frame payloads) ---------------
 
@@ -101,35 +109,59 @@ class DistTermination {
   /// A batch frame was enqueued for worker `to`. MUST be called before
   /// the frame can possibly reach the worker (i.e. before the socket
   /// write is queued) — that ordering is the whole soundness argument.
-  void on_enqueue(std::uint32_t to) { ++sent_[to]; }
+  void on_enqueue(std::uint32_t to) {
+    ++sent_[to];
+    dirty_ = true;
+  }
 
   /// Worker `from` reported a status: idle flag plus the total number of
   /// batch frames it has processed. Statuses arrive FIFO per worker
   /// (one stream socket each), so `received` is monotone per worker; a
   /// worker's statuses may interleave arbitrarily with other workers'.
-  void on_status(std::uint32_t from, bool idle, std::uint64_t received) {
+  /// Returns true when the status changed the detector's state — the
+  /// only case in which quiescent() can change its answer.
+  bool on_status(std::uint32_t from, bool idle, std::uint64_t received) {
+    const bool changed =
+        idle_[from] != idle || received_[from] != received;
     idle_[from] = idle;
     received_[from] = received;
+    if (changed) dirty_ = true;
+    return changed;
   }
 
   /// Evaluate the quiescence condition: every worker's latest status is
-  /// idle and has acknowledged every batch ever enqueued for it. Counts
-  /// one termination round per evaluation.
+  /// idle and has acknowledged every batch ever enqueued for it.
+  ///
+  /// The full scan only runs — and the rounds counter only ticks — when
+  /// an event since the last evaluation could have changed the answer;
+  /// callers that spin this in a poll loop get the cached verdict for
+  /// free, so rounds() is O(state-changing status frames), not O(poll
+  /// iterations). That cache is sound because the condition is a pure
+  /// function of (sent_, received_, idle_), all of which set dirty_.
   bool quiescent() {
+    if (!dirty_) return cached_;
+    dirty_ = false;
     ++rounds_;
-    for (std::size_t k = 0; k < sent_.size(); ++k)
-      if (!idle_[k] || received_[k] != sent_[k]) return false;
-    return true;
+    cached_ = evaluate();
+    return cached_;
   }
 
   std::uint64_t rounds() const noexcept { return rounds_; }
   std::uint64_t sent_to(std::uint32_t k) const { return sent_[k]; }
 
  private:
+  bool evaluate() const {
+    for (std::size_t k = 0; k < sent_.size(); ++k)
+      if (!idle_[k] || received_[k] != sent_[k]) return false;
+    return true;
+  }
+
   std::vector<std::uint64_t> sent_;
   std::vector<std::uint64_t> received_;
   std::vector<bool> idle_;
   std::uint64_t rounds_ = 0;
+  bool dirty_ = true;  ///< evaluate once even before any event
+  bool cached_ = false;
 };
 
 }  // namespace optsched::par

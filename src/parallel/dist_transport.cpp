@@ -14,11 +14,20 @@
 // Worker side is single-threaded: drain frames (non-blocking), expand
 // the best local state, ship remote-owned children in batches, repeat;
 // park in poll() when the frontier is empty or dominated.
+//
+// Wire path (PR 10): under the negotiated wire v2 the hot frames travel
+// in the binary framing of parallel/wire.hpp — delta-encoded batches the
+// coordinator relays verbatim (it reads only the destination varint),
+// binary status/bound, a per-destination send-side duplicate filter, an
+// adaptive size/age outbox flush, gathered writev-style socket writes,
+// and exponential idle-status backoff. wire=v1 keeps the PR 9 JSON path
+// bit-for-bit as the differential baseline. See DESIGN.md §11.
 #include "parallel/dist_transport.hpp"
 
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <spawn.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -45,6 +54,7 @@
 #include "core/open_list.hpp"
 #include "core/signature.hpp"
 #include "parallel/dist_protocol.hpp"
+#include "parallel/wire.hpp"
 #include "util/assert.hpp"
 #include "util/flat_set.hpp"
 #include "util/jsonl.hpp"
@@ -85,6 +95,18 @@ constexpr std::size_t kFrameCap = std::size_t{1} << 26;
 /// feedback; the Mattern counters ride along).
 constexpr std::uint32_t kStatusPeriod = 128;
 
+/// Idle-status exponential backoff (wire v2): first repeat idle status
+/// waits this long, doubling up to the cap. The cap stays far below the
+/// worker's 100 ms park timeout so the final status of a search is
+/// never delayed meaningfully, while a worker being flooded with
+/// duplicate imports collapses thousands of rcvd-only statuses into a
+/// handful.
+constexpr std::uint64_t kIdleBackoffStartUs = 500;
+constexpr std::uint64_t kIdleBackoffCapUs = 8000;
+
+/// Auto outbox flush threshold under wire v2 (states per destination).
+constexpr std::uint32_t kAutoFlushStatesV2 = 256;
+
 /// Same signature-hash ownership the ws mode uses for seed partitioning:
 /// a pure function of the signature, so every process agrees on who owns
 /// a state without communicating.
@@ -112,7 +134,7 @@ class DistWorker {
       hello["t"] = "hello";
       hello["v"] = kWireVersion;
       hello["rank"] = rank_;
-      stream_.write_line(hello.dump());
+      send_json(hello);
 
       std::string line;
       if (!stream_.read_line(line, kFrameCap)) return 1;  // coordinator gone
@@ -162,8 +184,12 @@ class DistWorker {
     config_ = search_config_from_json(j.at("cfg"));
     procs_ = static_cast<std::uint32_t>(j.at("procs").as_number());
     OPTSCHED_REQUIRE(rank_ < procs_, "worker rank out of range");
+    wire_ver_ = static_cast<std::uint32_t>(j.at("wire").as_number());
+    OPTSCHED_REQUIRE(wire_ver_ == 1 || wire_ver_ == 2,
+                     "unknown wire codec version");
     batch_size_ = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(j.at("batch").as_number()));
+    flush_us_ = static_cast<std::uint64_t>(get_u64(j, "flush_us"));
     mem_cap_ = static_cast<std::size_t>(get_u64(j, "mem_bytes"));
 
     problem_.emplace(graph_, *machine_,
@@ -180,6 +206,9 @@ class DistWorker {
       incumbent_ = std::min(incumbent_, j.at("seed_bound").as_number());
 
     outbox_.assign(procs_, {});
+    enc_.assign(procs_, {});
+    for (std::uint32_t k = 0; k < procs_; ++k) enc_[k].reset(k);
+    send_filter_.assign(procs_, wire::SendFilter(std::size_t{1} << 14));
     arena_.reserve(std::size_t{1} << 12);
     seen_ = util::FlatSet128(std::size_t{1} << 10);
 
@@ -203,25 +232,62 @@ class DistWorker {
       drain_frames();
       if (stop_) break;
       if (halted_) {  // memory cap tripped: only answer frames
-        wait_for_frame();
+        wait_for_frame(100);
         continue;
+      }
+      // Age-based flush (wire v2): pending exports never sit longer than
+      // flush_us_, so a neighbour starved for work is fed promptly even
+      // when no outbox reaches the size threshold.
+      if (wire_ver_ >= 2 && pending_states_ > 0 &&
+          clock_.micros() - pending_since_ >=
+              static_cast<std::int64_t>(flush_us_)) {
+        flush_all();  // one synchronized cut: cheaper than per-owner
+        pump_writes();  // staggering, which costs a gather write each
       }
       // Fast-drop a fully dominated frontier (heap top is min f).
       if (!open_.empty() && open_.top().f >= incumbent_ - 1e-9) open_.clear();
       if (open_.empty()) {
-        flush_all();
-        send_status(/*idle=*/true);
-        wait_for_frame();
+        flush_all();  // everything ships before the idle report — a
+                      // quiescent stop must never strand outbox states
+        int park_ms = 100;
+        const bool owed =
+            last_status_idle_ != 1 || last_status_rcvd_ != rcvd_batches_;
+        if (owed) {
+          // Exponential backoff on repeat idle statuses (v2): the first
+          // report after going idle is immediate; a flood of duplicate
+          // imports only bumps rcvd, and those reports coalesce under a
+          // growing delay. v1 keeps the PR 9 behaviour (report every
+          // change immediately).
+          const auto waited =
+              static_cast<std::uint64_t>(idle_backoff_.micros());
+          if (wire_ver_ < 2 || waited >= idle_backoff_us_) {
+            send_status(/*idle=*/true);
+            idle_backoff_us_ =
+                idle_backoff_us_ == 0
+                    ? kIdleBackoffStartUs
+                    : std::min(idle_backoff_us_ * 2, kIdleBackoffCapUs);
+            idle_backoff_.reset();
+          } else {
+            // Wake in time to send the delayed report even if no frame
+            // arrives — termination must not wait out the full park.
+            park_ms = static_cast<int>((idle_backoff_us_ - waited) / 1000 + 1);
+          }
+        }
+        pump_writes();
+        wait_for_frame(park_ms);
         continue;
       }
       const OpenEntry e = open_.pop();
       if (e.f >= incumbent_ - 1e-9) continue;  // stale
+      idle_backoff_us_ = 0;  // real work: next idle report is immediate
       expand(e.index);
+      pump_writes();
       if (++since_status >= kStatusPeriod) {
-        flush_all();
+        if (wire_ver_ < 2) flush_all();  // PR 9 cadence for the baseline
         send_status(/*idle=*/false);
         since_status = 0;
         check_memory();
+        pump_writes();
       }
     }
   }
@@ -247,13 +313,29 @@ class DistWorker {
       open_.push({child.f(), child.g, idx});
       return;
     }
+    // Send-side duplicate filter (v2): a signature already shipped to
+    // this owner is not re-serialized — the owner's SEEN check would
+    // drop it anyway, so suppressing the resend only saves wire traffic
+    // (DESIGN.md §11.3). v1 ships everything, as PR 9 did.
+    if (wire_ver_ >= 2 && !send_filter_[owner].fresh(child.sig)) {
+      ++deduped_;
+      return;
+    }
     // Remote-owned: serialize and batch. The local arena copy stays
     // behind as an unreferenced chain — cheaper than compacting, and it
     // is charged against this worker's memory share.
-    outbox_[owner].push_back(
-        state_msg_to_json({assignment_sequence(idx), child.f()}));
-    ++serialized_;
-    if (outbox_[owner].size() >= batch_size_) flush(owner);
+    if (wire_ver_ >= 2) {
+      if (pending_states_ == 0) pending_since_ = clock_.micros();
+      enc_[owner].append(assignment_sequence(idx), child.f());
+      ++pending_states_;
+      ++serialized_;
+      if (enc_[owner].count() >= batch_size_) flush(owner);
+    } else {
+      outbox_[owner].push_back(
+          state_msg_to_json({assignment_sequence(idx), child.f()}));
+      ++serialized_;
+      if (outbox_[owner].size() >= batch_size_) flush(owner);
+    }
   }
 
   void offer_goal(double len,
@@ -264,7 +346,7 @@ class DistWorker {
     goal["t"] = "goal";
     goal["len"] = len;
     goal["a"] = assignments_to_json(seq);
-    stream_.write_line(goal.dump());
+    send_json(goal);
   }
 
   std::vector<std::pair<NodeId, ProcId>> assignment_sequence(
@@ -278,22 +360,56 @@ class DistWorker {
     return seq;
   }
 
+  /// Append framed bytes to the outgoing gather queue (shipped by the
+  /// next pump_writes()).
+  void queue_frame(std::string bytes) {
+    bytes_out_ += bytes.size();
+    pending_writes_.push_back(std::move(bytes));
+  }
+
+  /// One JSON frame, shipped immediately (after anything already queued,
+  /// preserving FIFO order on the stream).
+  void send_json(const Json& j) {
+    std::string line = j.dump();
+    line += '\n';
+    queue_frame(std::move(line));
+    pump_writes();
+  }
+
+  /// Gathered write of every queued frame — many frames, one syscall.
+  void pump_writes() {
+    if (pending_writes_.empty()) return;
+    stream_.write_gather(pending_writes_);
+    pending_writes_.clear();
+    ++flushes_;
+  }
+
   void flush(std::uint32_t owner) {
-    if (outbox_[owner].empty()) return;
-    Json states{Json::Array{}};
-    for (auto& s : outbox_[owner]) states.push_back(std::move(s));
-    outbox_[owner].clear();
-    Json frame;
-    frame["t"] = "batch";
-    frame["to"] = owner;
-    frame["states"] = std::move(states);
-    stream_.write_line(frame.dump());
+    if (wire_ver_ >= 2) {
+      auto& enc = enc_[owner];
+      if (enc.empty()) return;
+      pending_states_ -= enc.count();
+      queue_frame(enc.take_frame());
+    } else {
+      if (outbox_[owner].empty()) return;
+      Json states{Json::Array{}};
+      for (auto& s : outbox_[owner]) states.push_back(std::move(s));
+      outbox_[owner].clear();
+      Json frame;
+      frame["t"] = "batch";
+      frame["to"] = owner;
+      frame["states"] = std::move(states);
+      std::string line = frame.dump();
+      line += '\n';
+      queue_frame(std::move(line));
+    }
     ++batches_out_;
   }
 
   void flush_all() {
     for (std::uint32_t k = 0; k < procs_; ++k) flush(k);
   }
+
 
   void send_status(bool idle) {
     // Idle statuses are only worth a frame when something changed since
@@ -302,14 +418,26 @@ class DistWorker {
     if (idle && last_status_idle_ == 1 && last_status_rcvd_ == rcvd_batches_)
       return;
     max_open_ = std::max(max_open_, open_.size());
-    Json st;
-    st["t"] = "status";
-    st["idle"] = idle;
-    st["rcvd"] = rcvd_batches_;
-    st["exp"] = expander_->stats().expanded;
-    st["open"] = static_cast<std::uint64_t>(open_.size());
-    st["minf"] = open_.empty() ? Json() : Json(open_.top().f);
-    stream_.write_line(st.dump());
+    if (wire_ver_ >= 2) {
+      wire::StatusMsg s;
+      s.idle = idle;
+      s.rcvd = rcvd_batches_;
+      s.exp = expander_->stats().expanded;
+      s.open = open_.size();
+      s.min_f = open_.empty() ? kInf : open_.top().f;
+      queue_frame(wire::encode_status(s));
+    } else {
+      Json st;
+      st["t"] = "status";
+      st["idle"] = idle;
+      st["rcvd"] = rcvd_batches_;
+      st["exp"] = expander_->stats().expanded;
+      st["open"] = static_cast<std::uint64_t>(open_.size());
+      st["minf"] = open_.empty() ? Json() : Json(open_.top().f);
+      std::string line = st.dump();
+      line += '\n';
+      queue_frame(std::move(line));
+    }
     last_status_idle_ = idle ? 1 : 0;
     last_status_rcvd_ = rcvd_batches_;
   }
@@ -330,17 +458,22 @@ class DistWorker {
     bye["ser"] = serialized_;
     bye["batches"] = batches_out_;
     bye["rcvd"] = rcvd_batches_;
+    bye["dedup"] = deduped_;
+    bye["flush"] = flushes_;
+    bye["bytes"] = bytes_out_;
     bye["max_open"] = static_cast<std::uint64_t>(
         std::max(max_open_, open_.size()));
     bye["mem"] = static_cast<std::uint64_t>(memory_now());
     bye["hot"] = static_cast<std::uint64_t>(arena_.hot_memory_bytes());
     bye["cold"] = static_cast<std::uint64_t>(arena_.cold_memory_bytes());
-    stream_.write_line(bye.dump());
+    send_json(bye);
   }
 
   std::size_t memory_now() const {
+    std::size_t filters = 0;
+    for (const auto& f : send_filter_) filters += f.memory_bytes();
     return arena_.memory_bytes() + open_.memory_bytes() +
-           seen_.memory_bytes();
+           seen_.memory_bytes() + filters;
   }
 
   void check_memory() {
@@ -349,14 +482,14 @@ class DistWorker {
     Json limit;
     limit["t"] = "limit";
     limit["reason"] = 4;  // memory
-    stream_.write_line(limit.dump());
+    send_json(limit);
     halted_ = true;
   }
 
   /// Process every frame already buffered or readable without blocking.
   void drain_frames() {
     for (;;) {
-      if (!stream_.has_buffered_line()) {
+      if (!wire::has_buffered_frame(stream_)) {
         pollfd pfd{stream_.fd(), POLLIN, 0};
         int rc;
         while ((rc = ::poll(&pfd, 1, 0)) < 0 && errno == EINTR) {
@@ -364,25 +497,39 @@ class DistWorker {
         if (rc <= 0 || (pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0)
           return;
       }
-      std::string line;
-      OPTSCHED_REQUIRE(stream_.read_line(line, kFrameCap),
+      wire::Frame fr;
+      OPTSCHED_REQUIRE(wire::read_frame(stream_, fr, kFrameCap),
                        "coordinator closed the socket");
-      handle_frame(Json::parse(line));
+      handle_frame(fr);
       if (stop_) return;
     }
   }
 
-  /// Park until the socket becomes readable (or a short timeout elapses,
+  /// Park until the socket becomes readable (or `timeout_ms` elapses,
   /// so a lost wakeup can never wedge the worker).
-  void wait_for_frame() {
-    if (stream_.has_buffered_line()) return;
+  void wait_for_frame(int timeout_ms) {
+    if (wire::has_buffered_frame(stream_)) return;
     pollfd pfd{stream_.fd(), POLLIN, 0};
     int rc;
-    while ((rc = ::poll(&pfd, 1, 100)) < 0 && errno == EINTR) {
+    while ((rc = ::poll(&pfd, 1, timeout_ms)) < 0 && errno == EINTR) {
     }
   }
 
-  void handle_frame(const Json& j) {
+  void handle_frame(const wire::Frame& fr) {
+    if (fr.type == wire::FrameType::kBatch) {
+      auto batch = wire::decode_batch(fr.payload());
+      OPTSCHED_REQUIRE(batch.to == rank_, "batch relayed to the wrong worker");
+      for (const auto& m : batch.states) import_msg(m);
+      ++rcvd_batches_;
+      return;
+    }
+    if (fr.type == wire::FrameType::kBound) {
+      incumbent_ = std::min(incumbent_, wire::decode_bound(fr.payload()));
+      return;
+    }
+    OPTSCHED_REQUIRE(fr.type == wire::FrameType::kJson,
+                     "unexpected binary frame type for a worker");
+    const Json j = Json::parse(fr.raw);
     const std::string& t = j.at("t").as_string();
     if (t == "batch") {
       for (const auto& s : j.at("states").as_array())
@@ -404,8 +551,14 @@ class DistWorker {
   void import_msg(const StateMsg& msg) {
     const auto& graph = problem_->graph();
     const auto& machine = *machine_;
-    const std::size_t pre = arena_.size();
 
+    // Phase 1: replay the machine simulation into flat scratch arrays
+    // only — signature and g fall out of it. The arena is not touched
+    // until the state is known to be fresh, so a duplicate (or a stray
+    // goal) costs the simulation and a hash probe, never arena growth,
+    // rollback, or context invalidation. On the bench corpus a large
+    // share of imports are duplicates; this keeps them off the arena
+    // entirely.
     auto& finish = import_finish_;
     auto& proc_of = import_proc_of_;
     auto& proc_ready = import_proc_ready_;
@@ -415,13 +568,6 @@ class DistWorker {
 
     util::Key128 sig = core::root_signature();
     double g = 0.0;
-    std::uint32_t depth = 0;
-
-    State root;
-    root.sig = sig;
-    root.parent = kNoParent;
-    StateIndex parent = arena_.add(root);
-
     for (const auto& [node, proc] : msg.assignments) {
       double dat = 0.0;
       for (const auto& [par, cost] : graph.parents(node))
@@ -435,30 +581,40 @@ class DistWorker {
       proc_ready[proc] = ft;
       g = std::max(g, ft);
       sig = core::extend_signature(sig, node, proc, ft);
+    }
+
+    if (msg.assignments.size() == problem_->num_nodes()) {
+      offer_goal(g, msg.assignments);  // goals ride goal frames, but
+      return;                          // tolerate one in a batch
+    }
+    OPTSCHED_ASSERT(owner_of_sig(sig, procs_) == rank_);
+    if (!seen_.insert(sig)) return;
+
+    // Phase 2 (fresh states only): materialize the parent chain in the
+    // arena from the already-computed finish times.
+    State root;
+    root.sig = core::root_signature();
+    root.parent = kNoParent;
+    StateIndex parent = arena_.add(root);
+    util::Key128 chain_sig = core::root_signature();
+    double chain_g = 0.0;
+    std::uint32_t depth = 0;
+    for (const auto& [node, proc] : msg.assignments) {
+      const double ft = finish[node];
+      chain_g = std::max(chain_g, ft);
+      chain_sig = core::extend_signature(chain_sig, node, proc, ft);
       ++depth;
 
       State s;
-      s.sig = sig;
+      s.sig = chain_sig;
       s.finish = ft;
-      s.g = g;
+      s.g = chain_g;
       s.h = 0.0;  // interior-chain h is never read; the final h is below
       s.parent = parent;
       s.node = node;
       s.proc = proc;
       s.depth = depth;
       parent = arena_.add(s);
-    }
-    OPTSCHED_ASSERT(depth == msg.assignments.size());
-
-    if (depth == problem_->num_nodes()) {  // goals ride goal frames, but
-      offer_goal(g, msg.assignments);      // tolerate one in a batch
-      rollback(pre);
-      return;
-    }
-    OPTSCHED_ASSERT(owner_of_sig(sig, procs_) == rank_);
-    if (!seen_.insert(sig)) {
-      rollback(pre);
-      return;
     }
 
     import_ctx_->move_to(arena_, parent);
@@ -471,16 +627,12 @@ class DistWorker {
     open_.push({g + h, g, parent});
   }
 
-  void rollback(std::size_t pre) {
-    arena_.truncate(pre);
-    expander_->invalidate_context_from(static_cast<StateIndex>(pre));
-    import_ctx_->invalidate_from(static_cast<StateIndex>(pre));
-  }
-
   UnixStream stream_;
   std::uint32_t rank_ = 0;
   std::uint32_t procs_ = 1;
+  std::uint32_t wire_ver_ = kWireVersion;
   std::uint32_t batch_size_ = 16;
+  std::uint64_t flush_us_ = 500;
   std::size_t mem_cap_ = 0;  ///< 0 = unlimited
 
   dag::TaskGraph graph_;
@@ -497,7 +649,13 @@ class DistWorker {
   StateArena arena_;
   OpenList open_;
   util::FlatSet128 seen_{16};
-  std::vector<std::vector<Json>> outbox_;  ///< per-owner pending states
+  std::vector<std::vector<Json>> outbox_;   ///< per-owner pending (wire v1)
+  std::vector<wire::BatchEncoder> enc_;     ///< per-owner pending (wire v2)
+  std::vector<wire::SendFilter> send_filter_;  ///< per-owner shipped sigs
+  std::vector<std::string> pending_writes_;    ///< frames awaiting one writev
+  std::uint64_t pending_states_ = 0;  ///< states across all v2 outboxes
+  util::Timer clock_;                 ///< worker-lifetime monotonic clock
+  std::int64_t pending_since_ = 0;    ///< stamp when pending went 0 -> 1
 
   double incumbent_ = kInf;
   bool stop_ = false;
@@ -506,6 +664,11 @@ class DistWorker {
   std::uint64_t rcvd_batches_ = 0;
   std::uint64_t serialized_ = 0;
   std::uint64_t batches_out_ = 0;
+  std::uint64_t deduped_ = 0;
+  std::uint64_t flushes_ = 0;   ///< gathered write syscalls (pump_writes)
+  std::uint64_t bytes_out_ = 0;
+  std::uint64_t idle_backoff_us_ = 0;  ///< 0 = report immediately
+  util::Timer idle_backoff_;
   std::size_t max_open_ = 0;
   int last_status_idle_ = -1;
   std::uint64_t last_status_rcvd_ = 0;
@@ -517,7 +680,8 @@ struct Event {
   enum Kind { kFrame, kEof, kFail };
   Kind kind;
   std::uint32_t rank;
-  Json frame;         ///< kFrame
+  wire::Frame frame;  ///< kFrame: binary frame, or JSON (parsed in `json`)
+  Json json;          ///< kFrame with frame.type == kJson
   std::string error;  ///< kFail
 };
 
@@ -529,8 +693,12 @@ struct WorkerHandle {
 
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<std::string> outq;
+  std::deque<std::string> outq;  ///< pre-framed bytes (binary or line+'\n')
   bool closing = false;
+
+  /// Bytes shipped by the writer thread; written only there, read after
+  /// the join in cleanup().
+  std::uint64_t bytes_written = 0;
 
   std::uint64_t expanded = 0;  ///< latest status
   double min_f = kInf;         ///< latest status (kInf when idle/empty)
@@ -558,13 +726,20 @@ class DistCoordinator {
     Json stop;
     stop["t"] = "stop";
     stop["reason"] = stop_code;
-    broadcast(stop.dump());
+    broadcast(json_line(stop));
     collect_byes();
     cleanup();
     return assemble(stop_code);
   }
 
  private:
+  bool wire_v2() const { return config_.wire_version >= 2; }
+
+  static std::string json_line(const Json& j) {
+    std::string line = j.dump();
+    line += '\n';
+    return line;
+  }
   // ---- process + thread management ---------------------------------------
 
   void spawn_all() {
@@ -577,9 +752,13 @@ class DistCoordinator {
       // survive the exec.
       ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
 
-      // Everything the child touches between fork and exec is built
-      // here: fork may run while other threads (suite jobs) hold the
+      // Everything the child touches before exec is built here: the
+      // spawn may run while other threads (suite jobs) hold the
       // allocator lock, so the child must stay async-signal-safe.
+      // posix_spawn (vfork semantics on glibc) over a hand-rolled
+      // fork+exec: the coordinator's address space — large after a long
+      // suite run — is never duplicated, which on a single-core host is
+      // a measurable slice of the per-worker startup serialization.
       const std::string var = std::string(kWorkerEnv) + "=" +
                               std::to_string(sv[1]) + "," +
                               std::to_string(k);
@@ -591,16 +770,15 @@ class DistCoordinator {
       envp.push_back(nullptr);
       char* argv[] = {const_cast<char*>("optsched-dist-worker"), nullptr};
 
-      const pid_t pid = ::fork();
-      if (pid == 0) {
-        ::execve("/proc/self/exe", argv, envp.data());
-        ::_exit(127);  // exec failed; parent sees EOF and throws
-      }
+      pid_t pid = -1;
+      const int rc = ::posix_spawn(&pid, "/proc/self/exe", nullptr, nullptr,
+                                   argv, envp.data());
       ::close(sv[1]);
-      if (pid < 0) {
+      if (rc != 0) {
         ::close(sv[0]);
         OPTSCHED_REQUIRE(false,
-                         std::string("fork failed: ") + std::strerror(errno));
+                         std::string("posix_spawn failed: ") +
+                             std::strerror(rc));
       }
       auto w = std::make_unique<WorkerHandle>();
       w->pid = pid;
@@ -614,37 +792,49 @@ class DistCoordinator {
   }
 
   void reader_main(std::uint32_t rank) {
-    std::string line;
     try {
-      while (workers_[rank]->stream.read_line(line, kFrameCap))
-        push_event({Event::kFrame, rank, Json::parse(line), {}});
-      push_event({Event::kEof, rank, {}, {}});
+      wire::Frame fr;
+      while (wire::read_frame(workers_[rank]->stream, fr, kFrameCap)) {
+        Event ev{Event::kFrame, rank, {}, {}, {}};
+        if (fr.type == wire::FrameType::kJson) ev.json = Json::parse(fr.raw);
+        ev.frame = std::move(fr);
+        push_event(std::move(ev));
+      }
+      push_event({Event::kEof, rank, {}, {}, {}});
     } catch (const std::exception& e) {
-      push_event({Event::kFail, rank, {}, e.what()});
+      push_event({Event::kFail, rank, {}, {}, e.what()});
     }
   }
 
   void writer_main(std::uint32_t rank) {
     WorkerHandle& w = *workers_[rank];
+    std::vector<std::string> frames;
     try {
       for (;;) {
-        std::string frame;
+        frames.clear();
         {
           std::unique_lock<std::mutex> lock(w.mu);
           w.cv.wait(lock, [&] { return w.closing || !w.outq.empty(); });
           if (w.outq.empty()) return;  // closing, fully drained
-          frame = std::move(w.outq.front());
-          w.outq.pop_front();
+          // Drain the whole queue: everything pending goes out in one
+          // gathered write instead of one syscall per frame.
+          while (!w.outq.empty()) {
+            frames.push_back(std::move(w.outq.front()));
+            w.outq.pop_front();
+          }
         }
-        w.stream.write_line(frame);
+        w.stream.write_gather(frames);
+        for (const auto& f : frames) w.bytes_written += f.size();
       }
     } catch (const std::exception& e) {
       // The reader's EOF/Fail event carries the failure; a send error
       // here is only reported if the reader somehow stays healthy.
-      push_event({Event::kFail, rank, {}, e.what()});
+      push_event({Event::kFail, rank, {}, {}, e.what()});
     }
   }
 
+  /// Queue pre-framed bytes (a binary frame, or a JSON line with its
+  /// '\n') for worker `rank`.
   void enqueue(std::uint32_t rank, std::string frame) {
     WorkerHandle& w = *workers_[rank];
     {
@@ -711,6 +901,7 @@ class DistCoordinator {
     Json init;
     init["t"] = "init";
     init["v"] = kWireVersion;
+    init["wire"] = config_.wire_version;
     init["graph"] = graph_to_json(problem_.graph());
     init["machine"] = machine_to_json(problem_.machine());
     init["comm"] = static_cast<int>(problem_.comm());
@@ -723,8 +914,15 @@ class DistCoordinator {
     const std::size_t cap = config_.search.max_memory_bytes;
     init["mem_bytes"] = static_cast<std::uint64_t>(
         cap ? std::max<std::size_t>(1, cap / procs_) : 0);
-    init["batch"] = config_.steal_batch;
-    return init.dump();
+    // Outbox flush threshold: explicit batch= option, else 256 under the
+    // binary codec and the PR 9 steal_batch default under v1 (so the v1
+    // baseline's flush cadence stays bit-for-bit comparable).
+    init["batch"] = config_.flush_states
+                        ? config_.flush_states
+                        : (wire_v2() ? kAutoFlushStatesV2
+                                     : config_.steal_batch);
+    init["flush_us"] = config_.flush_us;
+    return json_line(init);
   }
 
   [[noreturn]] void fail(std::uint32_t rank, const std::string& why) {
@@ -750,7 +948,40 @@ class DistCoordinator {
       if (ev->kind == Event::kEof) fail(ev->rank, "socket closed");
       if (ev->kind == Event::kFail) fail(ev->rank, ev->error);
 
-      const Json& j = ev->frame;
+      // Binary hot frames (wire v2). A batch is relayed *verbatim* — the
+      // coordinator reads only the destination and count varints at the
+      // head of the payload, never the states.
+      if (ev->frame.type == wire::FrameType::kBatch) {
+        const auto payload = ev->frame.payload();
+        const std::uint32_t to = wire::batch_dest(payload);
+        OPTSCHED_REQUIRE(to < procs_, "batch routed to unknown worker");
+        states_relayed_ += wire::batch_count(payload);
+        ++batches_relayed_;
+        // Enqueue-count *before* the frame can reach the worker: the
+        // soundness order DistTermination documents.
+        term_.on_enqueue(to);
+        enqueue(to, std::move(ev->frame.raw));
+        continue;
+      }
+      if (ev->frame.type == wire::FrameType::kStatus) {
+        const wire::StatusMsg s = wire::decode_status(ev->frame.payload());
+        WorkerHandle& w = *workers_[ev->rank];
+        w.expanded = s.exp;
+        w.min_f = s.min_f;
+        const bool changed = term_.on_status(ev->rank, s.idle, s.rcvd);
+        maybe_progress();
+        if (search.max_expansions && total_expanded() >= search.max_expansions)
+          return 1;
+        // Quiescence is re-evaluated only when the detector's state
+        // changed (satellite of the status-backoff work): an unchanged
+        // status cannot change the verdict, and quiescent() itself
+        // caches on a dirty flag as a second guard.
+        if (changed && s.idle && term_.quiescent()) return 0;
+        continue;
+      }
+      OPTSCHED_REQUIRE(ev->frame.type == wire::FrameType::kJson,
+                       "unexpected binary frame type for the coordinator");
+      const Json& j = ev->json;
       const std::string& t = j.at("t").as_string();
       if (t == "hello") {
         OPTSCHED_REQUIRE(j.at("v").as_number() == kWireVersion,
@@ -769,27 +1000,30 @@ class DistCoordinator {
         Json relay;
         relay["t"] = "batch";
         relay["states"] = j.at("states");
-        enqueue(to, relay.dump());
+        enqueue(to, json_line(relay));
       } else if (t == "goal") {
         const double len = j.at("len").as_number();
         if (len < incumbent_len_ - 1e-9) {
           incumbent_len_ = len;
           incumbent_seq_ = assignments_from_json(j.at("a"));
-          Json bound;
-          bound["t"] = "bound";
-          bound["len"] = len;
-          broadcast(bound.dump());
+          broadcast(wire_v2() ? wire::encode_bound(len)
+                              : json_line([&] {
+                                  Json bound;
+                                  bound["t"] = "bound";
+                                  bound["len"] = len;
+                                  return bound;
+                                }()));
         }
       } else if (t == "status") {
         WorkerHandle& w = *workers_[ev->rank];
         w.expanded = get_u64(j, "exp");
         w.min_f = j.at("minf").is_null() ? kInf : j.at("minf").as_number();
         const bool idle = j.at("idle").as_bool();
-        term_.on_status(ev->rank, idle, get_u64(j, "rcvd"));
+        const bool changed = term_.on_status(ev->rank, idle, get_u64(j, "rcvd"));
         maybe_progress();
         if (search.max_expansions && total_expanded() >= search.max_expansions)
           return 1;
-        if (idle && term_.quiescent()) return 0;
+        if (changed && idle && term_.quiescent()) return 0;
       } else if (t == "limit") {
         return static_cast<int>(j.at("reason").as_number());
       } else if (t == "err") {
@@ -818,7 +1052,11 @@ class DistCoordinator {
                                                  : ev->error);
         continue;  // EOF after bye: normal worker exit
       }
-      const Json& j = ev->frame;
+      // Binary batches/statuses racing the stop: dropped (sound — a
+      // quiescent stop guarantees none are in flight, and aborted stops
+      // carry no proof).
+      if (ev->frame.type != wire::FrameType::kJson) continue;
+      const Json& j = ev->json;
       const std::string& t = j.at("t").as_string();
       if (t == "bye") {
         workers_[ev->rank]->bye = j;
@@ -908,8 +1146,13 @@ class DistCoordinator {
       st.max_open_size = std::max(
           st.max_open_size, static_cast<std::size_t>(get_u64(b, "max_open")));
       out.par_stats.states_serialized += get_u64(b, "ser");
+      out.par_stats.states_deduped_at_send += get_u64(b, "dedup");
+      out.par_stats.flushes += get_u64(b, "flush");
+      out.par_stats.bytes_sent += get_u64(b, "bytes");
       out.par_stats.expanded_per_ppe.push_back(get_u64(b, "exp"));
     }
+    // Coordinator-side relay bytes (writer threads are joined by now).
+    for (const auto& w : workers_) out.par_stats.bytes_sent += w->bytes_written;
     st.queue_kind = "heap";
     st.queue_fallback =
         config_.search.queue == core::QueueSelect::kHeap ? "" : "dist";

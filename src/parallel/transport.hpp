@@ -110,6 +110,16 @@ struct ParallelStats {
   std::uint64_t states_serialized = 0;   ///< states encoded into wire batches
   std::uint64_t batches_sent = 0;        ///< batch frames shipped worker->worker
   std::uint64_t termination_rounds = 0;  ///< quiescence-condition evaluations
+  /// Remote-owned children suppressed by the send-side duplicate filter
+  /// (wire.hpp SendFilter) before serialization.
+  std::uint64_t states_deduped_at_send = 0;
+  /// Gathered socket writes on the worker side; states_serialized /
+  /// batches_sent is the mean batch size, batches_sent / flushes the
+  /// mean frames-per-syscall.
+  std::uint64_t flushes = 0;
+  /// Bytes written to dist sockets across all processes (workers + the
+  /// coordinator's relay writers).
+  std::uint64_t bytes_sent = 0;
 };
 
 /// Published per-PPE status: the quiescence-detection flags plus the

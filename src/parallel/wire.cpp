@@ -1,0 +1,310 @@
+#include "parallel/wire.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/socket.hpp"
+
+namespace optsched::par::wire {
+
+namespace {
+
+// Shared prefix length of two assignment sequences.
+std::size_t shared_prefix(
+    const std::vector<std::pair<dag::NodeId, machine::ProcId>>& a,
+    const std::vector<std::pair<dag::NodeId, machine::ProcId>>& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+std::uint32_t checked_u32(std::uint64_t v, const char* what) {
+  OPTSCHED_REQUIRE(v <= 0xffffffffULL,
+                   std::string("wire: ") + what + " out of range");
+  return static_cast<std::uint32_t>(v);
+}
+
+// Frame header in front of an already-encoded payload.
+std::string frame_bytes(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 12);
+  out.push_back(static_cast<char>(kMagic));
+  out.push_back(static_cast<char>(type));
+  put_varint(out, payload.size());
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
+// ---- primitives ----------------------------------------------------------
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((bits >> (8 * i)) & 0xff);
+  out.append(b, 8);
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    OPTSCHED_REQUIRE(pos_ < data_.size(), "wire: truncated varint");
+    const auto byte = static_cast<unsigned char>(data_[pos_++]);
+    OPTSCHED_REQUIRE(shift < 64 && (shift != 63 || (byte & 0x7e) == 0),
+                     "wire: overlong varint");
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+double Reader::f64() {
+  OPTSCHED_REQUIRE(pos_ + 8 <= data_.size(), "wire: truncated f64");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+  pos_ += 8;
+  return std::bit_cast<double>(bits);
+}
+
+// ---- batch codec ---------------------------------------------------------
+
+void BatchEncoder::reset(std::uint32_t to) {
+  to_ = to;
+  count_ = 0;
+  states_.clear();
+  prev_.clear();
+}
+
+void BatchEncoder::append(
+    const std::vector<std::pair<dag::NodeId, machine::ProcId>>& assignments,
+    double f) {
+  OPTSCHED_REQUIRE(std::isfinite(f), "wire: non-finite f in batch state");
+  const std::size_t prefix = shared_prefix(prev_, assignments);
+  put_varint(states_, prefix);
+  put_varint(states_, assignments.size() - prefix);
+  for (std::size_t i = prefix; i < assignments.size(); ++i) {
+    put_varint(states_, assignments[i].first);
+    put_varint(states_, assignments[i].second);
+  }
+  put_f64(states_, f);
+  prev_ = assignments;
+  ++count_;
+}
+
+std::string BatchEncoder::take_frame() {
+  std::string payload;
+  payload.reserve(states_.size() + 12);
+  put_varint(payload, to_);
+  put_varint(payload, count_);
+  payload.append(states_);
+  count_ = 0;
+  states_.clear();
+  prev_.clear();
+  return frame_bytes(FrameType::kBatch, payload);
+}
+
+std::uint32_t batch_dest(std::string_view payload) {
+  Reader r(payload);
+  return checked_u32(r.varint(), "batch dest");
+}
+
+std::uint64_t batch_count(std::string_view payload) {
+  Reader r(payload);
+  r.varint();  // to
+  return r.varint();
+}
+
+DecodedBatch decode_batch(std::string_view payload) {
+  Reader r(payload);
+  DecodedBatch out;
+  out.to = checked_u32(r.varint(), "batch dest");
+  const std::uint64_t count = r.varint();
+  // Every state record costs at least 10 bytes (two varints + f64), so a
+  // count claiming more than the payload can hold is malformed — reject
+  // before reserving.
+  OPTSCHED_REQUIRE(count <= payload.size() / 10 + 1,
+                   "wire: batch count exceeds payload");
+  out.states.reserve(static_cast<std::size_t>(count));
+  std::vector<std::pair<dag::NodeId, machine::ProcId>> prev;
+  for (std::uint64_t s = 0; s < count; ++s) {
+    const std::uint64_t prefix = r.varint();
+    OPTSCHED_REQUIRE(prefix <= prev.size(),
+                     "wire: batch delta prefix exceeds previous state");
+    const std::uint64_t suffix = r.varint();
+    // Each suffix pair costs at least 2 bytes on the wire.
+    OPTSCHED_REQUIRE(suffix <= r.remaining() / 2 + 1,
+                     "wire: batch suffix exceeds payload");
+    StateMsg msg;
+    msg.assignments.assign(prev.begin(),
+                           prev.begin() + static_cast<std::ptrdiff_t>(prefix));
+    msg.assignments.reserve(static_cast<std::size_t>(prefix + suffix));
+    for (std::uint64_t i = 0; i < suffix; ++i) {
+      const auto node = checked_u32(r.varint(), "node id");
+      const auto proc = checked_u32(r.varint(), "proc id");
+      msg.assignments.emplace_back(node, proc);
+    }
+    msg.f = r.f64();
+    OPTSCHED_REQUIRE(std::isfinite(msg.f),
+                     "wire: non-finite f in batch state");
+    prev = msg.assignments;
+    out.states.push_back(std::move(msg));
+  }
+  OPTSCHED_REQUIRE(r.done(), "wire: trailing bytes after batch states");
+  return out;
+}
+
+// ---- status / bound ------------------------------------------------------
+
+std::string encode_status(const StatusMsg& s) {
+  const bool has_minf = std::isfinite(s.min_f);
+  std::string payload;
+  payload.reserve(40);
+  payload.push_back(static_cast<char>((s.idle ? 1 : 0) | (has_minf ? 2 : 0)));
+  put_varint(payload, s.rcvd);
+  put_varint(payload, s.exp);
+  put_varint(payload, s.open);
+  if (has_minf) put_f64(payload, s.min_f);
+  return frame_bytes(FrameType::kStatus, payload);
+}
+
+StatusMsg decode_status(std::string_view payload) {
+  OPTSCHED_REQUIRE(!payload.empty(), "wire: empty status payload");
+  const auto flags = static_cast<unsigned char>(payload[0]);
+  OPTSCHED_REQUIRE((flags & ~0x03u) == 0, "wire: unknown status flags");
+  Reader r(payload.substr(1));
+  StatusMsg s;
+  s.idle = (flags & 1) != 0;
+  s.rcvd = r.varint();
+  s.exp = r.varint();
+  s.open = r.varint();
+  if ((flags & 2) != 0) {
+    s.min_f = r.f64();
+    OPTSCHED_REQUIRE(std::isfinite(s.min_f), "wire: non-finite status minf");
+  }
+  OPTSCHED_REQUIRE(r.done(), "wire: trailing bytes after status");
+  return s;
+}
+
+std::string encode_bound(double len) {
+  OPTSCHED_REQUIRE(std::isfinite(len), "wire: non-finite bound");
+  std::string payload;
+  put_f64(payload, len);
+  return frame_bytes(FrameType::kBound, payload);
+}
+
+double decode_bound(std::string_view payload) {
+  Reader r(payload);
+  const double len = r.f64();
+  OPTSCHED_REQUIRE(r.done() && std::isfinite(len), "wire: malformed bound");
+  return len;
+}
+
+// ---- stream framing ------------------------------------------------------
+
+namespace {
+
+// Parse a buffered binary-frame header. Returns true when the complete
+// frame is buffered, filling header/payload sizes; false when more bytes
+// are needed. Throws on a malformed header or an oversized frame.
+bool binary_frame_extent(std::string_view buf, std::size_t max_bytes,
+                         std::size_t& header_len, std::size_t& payload_len) {
+  std::uint64_t len = 0;
+  int shift = 0;
+  std::size_t pos = 2;  // magic + type
+  while (true) {
+    if (pos >= buf.size()) return false;
+    const auto byte = static_cast<unsigned char>(buf[pos++]);
+    OPTSCHED_REQUIRE(shift < 64, "wire: overlong frame length");
+    len |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  OPTSCHED_REQUIRE(len <= max_bytes,
+                   "frame exceeds " + std::to_string(max_bytes) + " bytes");
+  header_len = pos;
+  payload_len = static_cast<std::size_t>(len);
+  return buf.size() >= header_len + payload_len;
+}
+
+}  // namespace
+
+bool read_frame(util::UnixStream& s, Frame& out, std::size_t max_bytes) {
+  while (true) {
+    const std::string_view buf = s.buffered();
+    if (!buf.empty()) {
+      if (static_cast<unsigned char>(buf[0]) == kMagic) {
+        if (buf.size() >= 2) {
+          const auto t = static_cast<unsigned char>(buf[1]);
+          OPTSCHED_REQUIRE(t >= 1 && t <= 3, "wire: unknown frame type");
+          std::size_t header = 0, payload = 0;
+          if (binary_frame_extent(buf, max_bytes, header, payload)) {
+            out.type = static_cast<FrameType>(t);
+            out.raw.assign(buf.data(), header + payload);
+            out.payload_off = header;
+            s.consume(header + payload);
+            return true;
+          }
+        }
+        // Guard buffered growth while waiting for the rest of the frame
+        // (header is at most 12 bytes).
+        OPTSCHED_REQUIRE(buf.size() <= max_bytes + 12,
+                         "frame exceeds " + std::to_string(max_bytes) +
+                             " bytes");
+      } else {
+        const std::size_t nl = buf.find('\n');
+        if (nl != std::string_view::npos) {
+          OPTSCHED_REQUIRE(nl <= max_bytes,
+                           "frame exceeds " + std::to_string(max_bytes) +
+                               " bytes");
+          out.type = FrameType::kJson;
+          out.raw.assign(buf.data(), nl);
+          out.payload_off = 0;
+          s.consume(nl + 1);
+          return true;
+        }
+        OPTSCHED_REQUIRE(buf.size() <= max_bytes,
+                         "frame exceeds " + std::to_string(max_bytes) +
+                             " bytes");
+      }
+    }
+    if (!s.fill_some()) {
+      OPTSCHED_REQUIRE(s.buffered().empty(), "connection closed mid-frame");
+      return false;  // clean EOF at a frame boundary
+    }
+  }
+}
+
+bool has_buffered_frame(const util::UnixStream& s) {
+  const std::string_view buf = s.buffered();
+  if (buf.empty()) return false;
+  if (static_cast<unsigned char>(buf[0]) != kMagic)
+    return buf.find('\n') != std::string_view::npos;
+  if (buf.size() < 2) return false;
+  std::size_t header = 0, payload = 0;
+  // Malformed headers surface as errors in read_frame, not here: report
+  // "complete" so the caller proceeds to read and gets the typed error.
+  try {
+    return binary_frame_extent(buf, std::numeric_limits<std::size_t>::max(),
+                               header, payload);
+  } catch (...) {
+    return true;
+  }
+}
+
+}  // namespace optsched::par::wire

@@ -212,26 +212,61 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+bool needs_escape(char c) {
+  return c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20;
+}
+
 void dump_string(const std::string& text, std::string& out) {
+  // Append maximal runs of clean characters in one shot; almost every
+  // string the dist protocol and the reports emit is escape-free, so the
+  // common cost is a single memcpy instead of length() one-byte appends.
   out += '"';
-  for (const char c : text) {
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!needs_escape(c)) continue;
+    out.append(text, run, i - run);
+    run = i + 1;
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      default: {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      }
     }
   }
+  out.append(text, run, text.size() - run);
   out += '"';
+}
+
+/// Lower bound on the dumped size, used to reserve the output buffer once
+/// instead of letting it double its way up through reallocations. Cheap by
+/// construction: strings count raw length (escapes only grow the result),
+/// numbers a typical short rendering.
+std::size_t dump_estimate(const Json& v) {
+  switch (v.type()) {
+    case Json::Type::kNull: return 4;
+    case Json::Type::kBool: return 5;
+    case Json::Type::kNumber: return 8;
+    case Json::Type::kString: return v.as_string().size() + 2;
+    case Json::Type::kArray: {
+      std::size_t n = 2;
+      for (const auto& item : v.as_array()) n += dump_estimate(item) + 1;
+      return n;
+    }
+    case Json::Type::kObject: {
+      std::size_t n = 2;
+      for (const auto& [key, value] : v.as_object())
+        n += key.size() + 4 + dump_estimate(value);
+      return n;
+    }
+  }
+  return 0;
 }
 
 void dump_value(const Json& v, std::string& out) {
@@ -295,6 +330,7 @@ Json Json::parse(std::string_view text) { return Parser(text).run(); }
 
 std::string Json::dump() const {
   std::string out;
+  out.reserve(dump_estimate(*this));
   dump_value(*this, out);
   return out;
 }

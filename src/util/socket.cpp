@@ -6,6 +6,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -96,20 +97,92 @@ void UnixStream::shutdown_io() {
 }
 
 void UnixStream::write_line(std::string_view line) {
-  OPTSCHED_REQUIRE(valid(), "write_line on a closed stream");
   std::string frame(line);
   frame += '\n';
+  write_all(frame);
+}
+
+void UnixStream::write_all(std::string_view bytes) {
+  OPTSCHED_REQUIRE(valid(), "write on a closed stream");
   std::size_t sent = 0;
-  while (sent < frame.size()) {
+  while (sent < bytes.size()) {
     // MSG_NOSIGNAL: a peer that hung up must surface as an EPIPE error
     // on this call, not a process-wide SIGPIPE.
-    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("send()");
     }
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+void UnixStream::write_gather(const std::vector<std::string>& frames) {
+  OPTSCHED_REQUIRE(valid(), "write on a closed stream");
+  constexpr std::size_t kMaxIov = 64;  // well under any IOV_MAX
+  iovec iov[kMaxIov];
+  std::size_t next = 0;      // first frame not yet fully queued
+  std::size_t offset = 0;    // bytes of frames[next] already sent
+  while (next < frames.size()) {
+    std::size_t n_iov = 0;
+    for (std::size_t i = next; i < frames.size() && n_iov < kMaxIov; ++i) {
+      const std::string& f = frames[i];
+      const std::size_t skip = (i == next) ? offset : 0;
+      if (f.size() == skip) continue;  // empty (or fully-sent) frame
+      iov[n_iov].iov_base = const_cast<char*>(f.data() + skip);
+      iov[n_iov].iov_len = f.size() - skip;
+      ++n_iov;
+    }
+    if (n_iov == 0) return;  // all remaining frames were empty
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = n_iov;
+    const ssize_t sent = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendmsg()");
+    }
+    // Advance (next, offset) past `sent` bytes — a short write resumes
+    // mid-frame on the next iteration.
+    std::size_t remaining = static_cast<std::size_t>(sent);
+    while (remaining > 0 && next < frames.size()) {
+      const std::size_t left = frames[next].size() - offset;
+      if (remaining < left) {
+        offset += remaining;
+        remaining = 0;
+      } else {
+        remaining -= left;
+        ++next;
+        offset = 0;
+      }
+    }
+    // Skip frames that are empty so `offset` always indexes into a
+    // nonempty frame on the next pass.
+    while (next < frames.size() && frames[next].size() == offset) {
+      ++next;
+      offset = 0;
+    }
+  }
+}
+
+void UnixStream::consume(std::size_t n) {
+  OPTSCHED_REQUIRE(n <= buffer_.size(), "consume past buffered bytes");
+  buffer_.erase(0, n);
+}
+
+bool UnixStream::fill_some() {
+  OPTSCHED_REQUIRE(valid(), "fill_some on a closed stream");
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv()");
+    }
+    if (n == 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return true;
   }
 }
 

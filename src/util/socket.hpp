@@ -16,12 +16,19 @@
 // Local (AF_UNIX) only by design: the daemon's trust boundary is the
 // socket file's filesystem permissions, and the wire format is
 // newline-delimited JSON either way (DESIGN.md §7).
+//
+// The dist transport (DESIGN.md §11) additionally runs a binary framing
+// over the same streams; for that, UnixStream exposes its read-ahead
+// buffer (buffered()/consume()/fill_some()) so a caller can implement
+// its own frame boundary detection, and gathered writes (write_gather)
+// so many small frames cost one syscall.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace optsched::util {
 
@@ -57,6 +64,16 @@ class UnixStream {
   /// Throws util::Error when the peer is gone (no SIGPIPE).
   void write_line(std::string_view line);
 
+  /// Write raw bytes exactly as given (no newline appended), retrying
+  /// partial writes. Throws util::Error when the peer is gone.
+  void write_all(std::string_view bytes);
+
+  /// Gathered write: all of `frames`, in order, in as few sendmsg()
+  /// calls as iovec limits allow. Equivalent to write_all on the
+  /// concatenation, but without building it. Throws util::Error when
+  /// the peer is gone.
+  void write_gather(const std::vector<std::string>& frames);
+
   /// Read one '\n'-terminated frame into `out` (newline stripped).
   /// Returns false on clean EOF at a frame boundary. Throws util::Error
   /// on a socket error, on EOF mid-frame, or when a frame exceeds
@@ -71,6 +88,23 @@ class UnixStream {
   bool has_buffered_line() const {
     return buffer_.find('\n') != std::string::npos;
   }
+
+  // --- raw buffer access for callers implementing their own framing ---
+  // (parallel/wire.hpp builds a length-prefixed binary framing on top;
+  // read_line() and these primitives share one read-ahead buffer, so
+  // JSON lines and binary frames can interleave on the same stream.)
+
+  /// Bytes read ahead of the last consumed frame. A view into internal
+  /// storage: invalidated by read_line/consume/fill_some.
+  std::string_view buffered() const { return buffer_; }
+
+  /// Discard exactly `n` leading buffered bytes (n <= buffered().size()).
+  void consume(std::size_t n);
+
+  /// One recv() into the read-ahead buffer (blocking). Returns false on
+  /// EOF, true when at least one byte arrived. Throws util::Error on a
+  /// socket error. Callers enforce their own buffered-size caps.
+  bool fill_some();
 
  private:
   int fd_ = -1;

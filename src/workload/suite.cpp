@@ -241,6 +241,9 @@ SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
           rec.states_serialized = result.stats.states_serialized;
           rec.batches_sent = result.stats.batches_sent;
           rec.termination_rounds = result.stats.termination_rounds;
+          rec.states_deduped_at_send = result.stats.states_deduped_at_send;
+          rec.flushes = result.stats.flushes;
+          rec.bytes_sent = result.stats.bytes_sent;
           rec.valid = true;
           if (config.validate_schedules) {
             const auto violations = validator.check(result.schedule);
@@ -362,7 +365,8 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
          "shard_hits,effective_ppes,warm_start_used,states_retained,"
          "search_skipped_pct,valid,error,spec,cache_hit,cache_lookups,"
          "cache_bytes,queue_wait_ms,bucket_peak,pins_applied,"
-         "states_serialized,batches_sent,termination_rounds,time_ms\n";
+         "states_serialized,batches_sent,termination_rounds,"
+         "states_deduped_at_send,flushes,bytes_sent,time_ms\n";
   for (const auto& r : report.records) {
     out << r.instance << ',' << r.family << ',' << csv_escape(r.engine) << ','
         << r.nodes << ',' << r.edges << ',' << r.procs << ','
@@ -385,6 +389,8 @@ void write_csv(const SuiteReport& report, std::ostream& out) {
         << r.bucket_peak << ',' << r.pins_applied << ','
         << r.states_serialized << ',' << r.batches_sent << ','
         << r.termination_rounds << ','
+        << r.states_deduped_at_send << ',' << r.flushes << ','
+        << r.bytes_sent << ','
         << util::format_number(r.time_ms) << '\n';
   }
 }
@@ -413,6 +419,7 @@ void write_json(const SuiteReport& report, std::ostream& out) {
     std::uint64_t runs = 0, proved = 0, expanded = 0, delta = 0, full = 0;
     std::uint64_t transferred = 0, shard_hits = 0, cache_hits = 0;
     std::uint64_t serialized = 0, batches = 0, term_rounds = 0;
+    std::uint64_t send_dedup = 0, flushes = 0, wire_bytes = 0;
     std::size_t peak = 0;
     for (const auto& r : report.records) {
       if (r.engine != engine || !r.error.empty()) continue;
@@ -428,6 +435,9 @@ void write_json(const SuiteReport& report, std::ostream& out) {
       serialized += r.states_serialized;
       batches += r.batches_sent;
       term_rounds += r.termination_rounds;
+      send_dedup += r.states_deduped_at_send;
+      flushes += r.flushes;
+      wire_bytes += r.bytes_sent;
       peak = std::max(peak, r.peak_memory_bytes);
       time_ms.add(r.time_ms);
     }
@@ -442,6 +452,9 @@ void write_json(const SuiteReport& report, std::ostream& out) {
         << ", \"total_states_serialized\": " << serialized
         << ", \"total_batches_sent\": " << batches
         << ", \"total_termination_rounds\": " << term_rounds
+        << ", \"total_states_deduped_at_send\": " << send_dedup
+        << ", \"total_flushes\": " << flushes
+        << ", \"total_bytes_sent\": " << wire_bytes
         << ", \"cache_hits\": " << cache_hits
         << ", \"max_peak_memory_bytes\": " << peak
         << ", \"total_time_ms\": " << json_number(time_ms.sum()) << "}";
@@ -490,7 +503,10 @@ void write_json(const SuiteReport& report, std::ostream& out) {
           << ", \"effective_ppes\": " << r.effective_ppes
           << ", \"states_serialized\": " << r.states_serialized
           << ", \"batches_sent\": " << r.batches_sent
-          << ", \"termination_rounds\": " << r.termination_rounds;
+          << ", \"termination_rounds\": " << r.termination_rounds
+          << ", \"states_deduped_at_send\": " << r.states_deduped_at_send
+          << ", \"flushes\": " << r.flushes
+          << ", \"bytes_sent\": " << r.bytes_sent;
     }
     out << ", \"warm_start_used\": " << (r.warm_start_used ? "true" : "false")
         << ", \"states_retained\": " << r.states_retained

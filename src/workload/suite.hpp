@@ -127,6 +127,9 @@ struct SuiteRecord {
   std::uint64_t states_serialized = 0;
   std::uint64_t batches_sent = 0;
   std::uint64_t termination_rounds = 0;
+  std::uint64_t states_deduped_at_send = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t bytes_sent = 0;
   bool valid = false;  ///< ScheduleValidator verdict (true when disabled)
   std::string error;   ///< exception text; empty on success
   double time_ms = 0.0;
@@ -159,10 +162,10 @@ struct SuiteReport {
 SuiteReport run_suite(const std::vector<ScenarioSpec>& corpus,
                       const SuiteConfig& config);
 
-/// One header row plus one row per record. The trailing ten columns
+/// One header row plus one row per record. The trailing thirteen columns
 /// (cache_hit, cache_lookups, cache_bytes, queue_wait_ms, bucket_peak,
 /// pins_applied, states_serialized, batches_sent, termination_rounds,
-/// time_ms) are run-dependent — serving-layer state, thread-timing and
+/// states_deduped_at_send, flushes, bytes_sent, time_ms) are run-dependent — serving-layer state, thread-timing and
 /// host-affinity counters, dist-mode communication, and wall-clock — so
 /// determinism diffs strip them by *name* (scripts/strip_csv_columns.awk;
 /// never by position, which silently breaks when columns move); every
